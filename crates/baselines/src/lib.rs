@@ -1,0 +1,29 @@
+//! Baseline fault-localization schemes reproduced for comparison with
+//! Flock (§6.1 of the paper):
+//!
+//! * [`seven`] — **007** (Arzani et al., NSDI '18, Algorithm 1): flows
+//!   with at least one retransmission vote `1/h` for each of the `h`
+//!   links on their (traced) path; links are picked greedily by top vote
+//!   with their flows removed, until the top vote falls below a
+//!   calibrated threshold. One hyperparameter.
+//! * [`netbouncer`] — **NetBouncer** (Tan et al., NSDI '19, Figure 5):
+//!   per-path success rates are explained by per-link success
+//!   probabilities `x_l` minimizing a regularized least-squares objective
+//!   via coordinate descent; links whose estimated drop rate exceeds a
+//!   threshold are flagged, and devices crossed by more problematic flows
+//!   than a second threshold are flagged. Three hyperparameters.
+//!
+//! Both consume the same [`ObservationSet`](flock_telemetry::ObservationSet)
+//! as Flock but can only use the observations whose exact path is known
+//! (singleton path sets): neither scheme models ECMP path uncertainty,
+//! which is why the paper's passive-telemetry experiments exclude them
+//! (§6.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod netbouncer;
+pub mod seven;
+
+pub use netbouncer::NetBouncer;
+pub use seven::ZeroZeroSeven;

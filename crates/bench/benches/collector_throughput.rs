@@ -1,0 +1,73 @@
+//! Fig. 7 as a criterion bench: agent aggregation cost and the
+//! end-to-end loopback TCP export/collect path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flock_telemetry::{AgentConfig, AgentCore, Collector, FlowKey, FlowSample, TrafficClass};
+use flock_topology::NodeId;
+use std::io::Write;
+use std::net::TcpStream;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_throughput");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("agent_observe_10k_samples", |b| {
+        b.iter(|| {
+            let mut agent = AgentCore::new(AgentConfig::default());
+            for i in 0..10_000u32 {
+                agent.observe(FlowSample {
+                    key: FlowKey::tcp(NodeId(i % 64), NodeId(9999), (i % 60000) as u16, 80),
+                    packets: 10,
+                    retransmissions: 0,
+                    bytes: 15_000,
+                    rtt_us: Some(150),
+                    path: None,
+                    class: TrafficClass::Passive,
+                });
+            }
+            agent.export()
+        });
+    });
+
+    // Full loopback round: 100 connections × 100 records.
+    group.throughput(Throughput::Elements(100 * 100));
+    group.bench_function("tcp_export_100_conns_100_records", |b| {
+        b.iter(|| {
+            let collector = Collector::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+            let addr = collector.local_addr();
+            for conn in 0..100u32 {
+                let mut agent = AgentCore::new(AgentConfig {
+                    agent_id: conn,
+                    ..Default::default()
+                });
+                for i in 0..100u32 {
+                    agent.observe(FlowSample {
+                        key: FlowKey::tcp(NodeId(i), NodeId(9999), (conn % 60000) as u16, 80),
+                        packets: 10,
+                        retransmissions: 0,
+                        bytes: 15_000,
+                        rtt_us: None,
+                        path: None,
+                        class: TrafficClass::Passive,
+                    });
+                }
+                let recs = agent.export();
+                let msgs = agent.encode_export(0, &recs);
+                let mut s = TcpStream::connect(addr).unwrap();
+                for m in &msgs {
+                    s.write_all(m).unwrap();
+                }
+            }
+            // Wait for all records to land.
+            while collector.stats().snapshot().2 < 100 * 100 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            collector.shutdown();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 4c as a criterion bench: Flock's greedy+JLE inference across
+//! topology scales, against the greedy-only ablation (the Sherlock series
+//! is extrapolated in `flock-exp fig4c`; a full Sherlock run does not
+//! terminate at bench scale, which is the figure's point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flock_bench::{input, trace, SCALES};
+use flock_core::{FlockGreedy, HyperParams, Localizer};
+use flock_telemetry::InputKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_scaling");
+    group.sample_size(10);
+    for &(name, servers, flows) in SCALES {
+        let t = trace(servers, flows, 1);
+        let obs = input(&t, &[InputKind::Int]);
+        group.bench_with_input(BenchmarkId::new("flock_jle", name), &obs, |b, obs| {
+            let flock = FlockGreedy::default();
+            b.iter(|| flock.localize(&t.topo, obs));
+        });
+        if servers <= 256 {
+            group.bench_with_input(BenchmarkId::new("greedy_only", name), &obs, |b, obs| {
+                let flock = FlockGreedy::without_jle(HyperParams::default());
+                b.iter(|| flock.localize(&t.topo, obs));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

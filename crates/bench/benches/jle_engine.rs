@@ -1,0 +1,50 @@
+//! Microbenchmarks of the JLE engine: initial Δ computation, a single
+//! flip with full Δ maintenance, the Δ-free flip, and a single-neighbor
+//! evaluation — the quantities behind the O(n) JLE speedup claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_bench::{input, trace};
+use flock_core::{Engine, HyperParams};
+use flock_telemetry::InputKind;
+
+fn bench(c: &mut Criterion) {
+    let t = trace(512, 10_000, 3);
+    let obs = input(&t, &[InputKind::Int]);
+    let mut group = c.benchmark_group("jle_engine");
+    group.sample_size(10);
+
+    group.bench_function("engine_build_with_initial_delta", |b| {
+        b.iter(|| Engine::new(&t.topo, &obs, HyperParams::default()));
+    });
+
+    let mut engine = Engine::new(&t.topo, &obs, HyperParams::default());
+    let n = engine.n_comps() as u32;
+    group.bench_function("flip_with_delta_maintenance", |b| {
+        let mut c = 0u32;
+        b.iter(|| {
+            engine.flip(c % n);
+            engine.flip(c % n); // restore
+            c = c.wrapping_add(17);
+        });
+    });
+    group.bench_function("flip_ll_only", |b| {
+        let mut c = 0u32;
+        b.iter(|| {
+            engine.flip_ll_only(c % n);
+            engine.flip_ll_only(c % n);
+            c = c.wrapping_add(17);
+        });
+    });
+    group.bench_function("delta_single", |b| {
+        let mut c = 0u32;
+        b.iter(|| {
+            let d = engine.delta_single(c % n);
+            c = c.wrapping_add(17);
+            d
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

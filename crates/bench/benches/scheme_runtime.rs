@@ -1,0 +1,34 @@
+//! Fig. 4d as a criterion bench: wall-clock inference per scheme×input on
+//! the same trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flock_baselines::{NetBouncer, ZeroZeroSeven};
+use flock_bench::{input, trace};
+use flock_core::{FlockGreedy, Localizer};
+use flock_telemetry::InputKind::*;
+
+fn bench(c: &mut Criterion) {
+    let t = trace(512, 10_000, 2);
+    let mut group = c.benchmark_group("scheme_runtime");
+    group.sample_size(10);
+
+    let cells: Vec<(&str, Vec<flock_telemetry::InputKind>, Box<dyn Localizer>)> = vec![
+        ("flock_int", vec![Int], Box::new(FlockGreedy::default())),
+        ("flock_a1a2p", vec![A1, A2, P], Box::new(FlockGreedy::default())),
+        ("flock_a1", vec![A1], Box::new(FlockGreedy::default())),
+        ("flock_a2", vec![A2], Box::new(FlockGreedy::default())),
+        ("netbouncer_a1", vec![A1], Box::new(NetBouncer::new(1.0, 5e-4))),
+        ("netbouncer_int", vec![Int], Box::new(NetBouncer::new(1.0, 5e-4))),
+        ("seven_a2", vec![A2], Box::new(ZeroZeroSeven::new(2.0))),
+    ];
+    for (name, kinds, localizer) in cells {
+        let obs = input(&t, &kinds);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &obs, |b, obs| {
+            b.iter(|| localizer.localize(&t.topo, obs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Topology substrate benchmarks: fabric construction and ECMP path
+//! enumeration (cold and cached).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flock_topology::clos::three_tier;
+use flock_topology::{ClosParams, NodeRole, Router};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_routing");
+    for servers in [1024u32, 4096] {
+        let params = ClosParams::with_servers(servers);
+        group.bench_with_input(
+            BenchmarkId::new("build_clos", servers),
+            &params,
+            |b, p| b.iter(|| three_tier(*p)),
+        );
+        let topo = three_tier(params);
+        let leaves: Vec<_> = topo
+            .switches()
+            .iter()
+            .copied()
+            .filter(|s| topo.node(*s).role == NodeRole::Leaf)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("ecmp_paths_cold", servers),
+            &topo,
+            |b, topo| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    // New router every call: uncached enumeration.
+                    let router = Router::new(topo);
+                    let a = leaves[i % leaves.len()];
+                    let z = leaves[(i * 7 + 3) % leaves.len()];
+                    i += 1;
+                    router.paths(a, z)
+                });
+            },
+        );
+        let router = Router::new(&topo);
+        group.bench_with_input(
+            BenchmarkId::new("ecmp_paths_cached", servers),
+            &topo,
+            |b, _| {
+                b.iter(|| router.paths(leaves[0], leaves[1]));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

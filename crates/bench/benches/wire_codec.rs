@@ -1,0 +1,43 @@
+//! Wire-codec throughput: encoding and decoding batches of 52-byte flow
+//! records (collector-side cost per record).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flock_telemetry::wire::{decode_message, encode_message};
+use flock_telemetry::{FlowKey, FlowRecord, FlowStats, TrafficClass};
+use flock_topology::{LinkId, NodeId};
+
+fn records(n: usize) -> Vec<FlowRecord> {
+    (0..n)
+        .map(|i| FlowRecord {
+            key: FlowKey::tcp(NodeId(i as u32), NodeId(9999), (i % 60000) as u16, 80),
+            stats: FlowStats {
+                packets: 1000 + i as u64,
+                retransmissions: (i % 7) as u64,
+                bytes: 1_500_000,
+                rtt_sum_us: 120_000,
+                rtt_count: 40,
+                rtt_max_us: 9_000,
+            },
+            class: TrafficClass::Passive,
+            path: (i % 4 == 0).then(|| (0..8).map(|k| LinkId(k)).collect()),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let batch = records(1000);
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("encode_1000_records", |b| {
+        b.iter(|| encode_message(1, 2, 3, &batch));
+    });
+    let encoded = encode_message(1, 2, 3, &batch);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("decode_1000_records", |b| {
+        b.iter(|| decode_message(&encoded).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

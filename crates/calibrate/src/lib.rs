@@ -1,0 +1,27 @@
+//! Automated hyperparameter calibration (§5.2 of the paper).
+//!
+//! All schemes have hyperparameters (Flock 3, NetBouncer 3, 007 1) and
+//! manual settings transfer poorly across environments. The paper
+//! calibrates automatically: simulate a training set with known ground
+//! truth, grid-search each scheme's parameters, and pick — among settings
+//! with training precision ≥ P (initially 98%) — the one with the highest
+//! recall; if none qualifies or recall is below 25%, relax P by 5% and
+//! retry. Sweeping P instead yields the precision/recall tradeoff curves
+//! of Fig. 2.
+//!
+//! * [`scheme`] — a serializable parameterization of each scheme that can
+//!   instantiate the corresponding [`Localizer`].
+//! * [`grid`] — the paper-shaped parameter grids (Fig. 8 ranges).
+//! * [`search`] — parallel grid evaluation over training traces, Pareto
+//!   front extraction, and the §5.2 selection rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod scheme;
+pub mod search;
+
+pub use grid::{FlockGrid, NetBouncerGrid, SevenGrid};
+pub use scheme::SchemeConfig;
+pub use search::{evaluate_grid, pareto_front, select, CalibPoint, TrainingTrace};

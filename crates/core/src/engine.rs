@@ -1,0 +1,1015 @@
+//! The shared inference engine: hypothesis state plus the Δ array of
+//! Joint Likelihood Exploration (JLE, §3.3).
+//!
+//! # State
+//!
+//! The engine mirrors the observation set's structure:
+//!
+//! * per interned fabric path: its (deduplicated) component list and the
+//!   current *fail count* — how many hypothesis components lie on it;
+//! * per interned path set: the number of member paths with a non-zero
+//!   fail count (`set_bad`), shared by every flow using the set;
+//! * per flow: the handful of *extra* components on every one of its
+//!   paths (host attachment links, and the ToR device for intra-rack
+//!   flows) with their own fail count. A flow's failed-path count `b` is
+//!   `w` if any extra failed, else `set_bad` of its set.
+//!
+//! # The Δ array
+//!
+//! `delta[c] = LL(H ⊕ c) − LL(H)` for every component `c` (likelihood
+//! part only; priors are added by the search layers, keeping Δ independent
+//! of hypothesis size). [`Engine::flip`] toggles one component and updates
+//! the *entire* array by visiting only the flows that intersect the
+//! flipped component — Theorem 1 guarantees every other entry's terms are
+//! unchanged. Per flip this costs `O(D·T)` (flows touching the component ×
+//! their path-set sizes) instead of the `O(n·D·T)` a from-scratch
+//! recomputation would need: the `O(n)` JLE speedup.
+//!
+//! For search algorithms that do not want Δ maintenance (Sherlock without
+//! JLE, greedy without JLE), [`Engine::flip_ll_only`] updates the state
+//! and the total log-likelihood but skips the Δ bookkeeping, and
+//! [`Engine::delta_single`] evaluates one neighbor from current state.
+
+use crate::likelihood::{flow_score, llf};
+use crate::params::HyperParams;
+use crate::space::{CompIdx, ComponentSpace};
+use flock_telemetry::{FlowObs, ObservationSet};
+use flock_topology::Topology;
+
+/// Compact CSR-style adjacency: `items[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from unsorted `(bucket, item)` pairs.
+    fn build(n_buckets: usize, pairs: &mut Vec<(u32, u32)>) -> Csr {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; n_buckets + 1];
+        for &(b, _) in pairs.iter() {
+            offsets[b as usize + 1] += 1;
+        }
+        for i in 0..n_buckets {
+            offsets[i + 1] += offsets[i];
+        }
+        let items = pairs.iter().map(|&(_, it)| it).collect();
+        Csr { offsets, items }
+    }
+
+    #[inline]
+    fn get(&self, bucket: u32) -> &[u32] {
+        let lo = self.offsets[bucket as usize] as usize;
+        let hi = self.offsets[bucket as usize + 1] as usize;
+        &self.items[lo..hi]
+    }
+}
+
+/// Engine-internal flow record.
+#[derive(Debug, Clone)]
+struct EFlow {
+    /// Path-set index.
+    set: u32,
+    /// Extra components on every path (host links + intra-rack ToR).
+    extras: [CompIdx; 4],
+    n_extras: u8,
+    /// How many extras are currently in the hypothesis.
+    extra_fail: u8,
+    /// Flow score `s` (see [`crate::likelihood`]).
+    score: f64,
+    /// Aggregation weight × 1.0 (number of identical merged flows).
+    weight: f64,
+    /// Path-set size.
+    w: u32,
+}
+
+impl EFlow {
+    #[inline]
+    fn extras(&self) -> &[CompIdx] {
+        &self.extras[..self.n_extras as usize]
+    }
+}
+
+/// Counters reported by the engine for performance accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Number of `flip`/`flip_ll_only` calls performed.
+    pub flips: u64,
+    /// Flow-contribution updates performed across all flips.
+    pub flow_updates: u64,
+}
+
+/// Shared inference state over one [`ObservationSet`]. See the module
+/// docs for the data layout.
+pub struct Engine {
+    space: ComponentSpace,
+    params: HyperParams,
+
+    // Paths.
+    path_comps: Vec<Vec<CompIdx>>,
+    path_fail: Vec<u32>,
+    comp_to_paths: Csr,
+
+    // Sets.
+    sets: Vec<Vec<u32>>,
+    set_comps: Vec<Vec<CompIdx>>,
+    set_bad: Vec<u32>,
+    comp_to_sets: Csr,
+    set_flows: Csr,
+
+    // Flows.
+    flows: Vec<EFlow>,
+    comp_extra_flows: Csr,
+
+    // Hypothesis state.
+    in_h: Vec<bool>,
+    hypothesis: Vec<CompIdx>,
+    delta: Vec<f64>,
+    ll: f64,
+    stats: EngineStats,
+
+    // Scratch buffers reused across flips.
+    scratch_g: Vec<u32>,
+    scratch_s: Vec<u32>,
+}
+
+impl Engine {
+    /// Build an engine for `obs` over `topo`.
+    pub fn new(topo: &Topology, obs: &ObservationSet, params: HyperParams) -> Engine {
+        params.validate();
+        let space = ComponentSpace::new(topo);
+        let n_comps = space.n_comps();
+
+        // Interned fabric paths → component lists (links + their switch
+        // endpoints, deduplicated; round-trip probe paths visit a device
+        // twice but it is one component).
+        let n_paths = obs.arena.path_count();
+        let mut path_comps: Vec<Vec<CompIdx>> = Vec::with_capacity(n_paths);
+        for pid in 0..n_paths as u32 {
+            let links = obs.arena.path(flock_telemetry::PathId(pid));
+            let mut comps: Vec<CompIdx> = Vec::with_capacity(links.len() * 2 + 1);
+            for &l in links {
+                comps.push(space.link_comp(l));
+                let link = topo.link(l);
+                for end in [link.src, link.dst] {
+                    if let Some(d) = space.device_comp(end) {
+                        comps.push(d);
+                    }
+                }
+            }
+            comps.sort_unstable();
+            comps.dedup();
+            path_comps.push(comps);
+        }
+
+        // Sets and their component unions.
+        let n_sets = obs.arena.set_count();
+        let mut sets: Vec<Vec<u32>> = Vec::with_capacity(n_sets);
+        let mut set_comps: Vec<Vec<CompIdx>> = Vec::with_capacity(n_sets);
+        for sid in 0..n_sets as u32 {
+            let members: Vec<u32> = obs
+                .arena
+                .set(flock_telemetry::PathSetId(sid))
+                .iter()
+                .map(|p| p.0)
+                .collect();
+            let mut comps: Vec<CompIdx> = members
+                .iter()
+                .flat_map(|&p| path_comps[p as usize].iter().copied())
+                .collect();
+            comps.sort_unstable();
+            comps.dedup();
+            sets.push(members);
+            set_comps.push(comps);
+        }
+
+        // Flows.
+        let mut flows: Vec<EFlow> = Vec::with_capacity(obs.flows.len());
+        let mut extra_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut set_flow_pairs: Vec<(u32, u32)> = Vec::new();
+        for o in &obs.flows {
+            let w = sets[o.set.0 as usize].len() as u32;
+            if w == 0 {
+                continue; // unroutable flow carries no information
+            }
+            let extras = flow_extras(topo, &space, &set_comps[o.set.0 as usize], o);
+            let fi = flows.len() as u32;
+            set_flow_pairs.push((o.set.0, fi));
+            for &e in &extras.0[..extras.1 as usize] {
+                extra_pairs.push((e, fi));
+            }
+            flows.push(EFlow {
+                set: o.set.0,
+                extras: extras.0,
+                n_extras: extras.1,
+                extra_fail: 0,
+                score: flow_score(&params, o.sent, o.bad),
+                weight: f64::from(o.weight),
+                w,
+            });
+        }
+
+        // Inverted indexes.
+        let mut comp_path_pairs: Vec<(u32, u32)> = Vec::new();
+        for (p, comps) in path_comps.iter().enumerate() {
+            for &c in comps {
+                comp_path_pairs.push((c, p as u32));
+            }
+        }
+        let mut comp_set_pairs: Vec<(u32, u32)> = Vec::new();
+        for (s, comps) in set_comps.iter().enumerate() {
+            for &c in comps {
+                comp_set_pairs.push((c, s as u32));
+            }
+        }
+
+        let comp_to_paths = Csr::build(n_comps, &mut comp_path_pairs);
+        let comp_to_sets = Csr::build(n_comps, &mut comp_set_pairs);
+        let set_flows = Csr::build(n_sets, &mut set_flow_pairs);
+        let comp_extra_flows = Csr::build(n_comps, &mut extra_pairs);
+
+        let n_paths = path_comps.len();
+        let mut engine = Engine {
+            space,
+            params,
+            path_comps,
+            path_fail: vec![0; n_paths],
+            comp_to_paths,
+            sets,
+            set_comps,
+            set_bad: vec![0; n_sets],
+            comp_to_sets,
+            set_flows,
+            flows,
+            comp_extra_flows,
+            in_h: vec![false; n_comps],
+            hypothesis: Vec::new(),
+            delta: vec![0.0; n_comps],
+            ll: 0.0,
+            stats: EngineStats::default(),
+            scratch_g: vec![0; n_comps],
+            scratch_s: vec![0; n_comps],
+        };
+        engine.compute_initial_delta();
+        engine
+    }
+
+    /// The component space (for translating indices).
+    pub fn space(&self) -> &ComponentSpace {
+        &self.space
+    }
+
+    /// The hyperparameters.
+    pub fn params(&self) -> &HyperParams {
+        &self.params
+    }
+
+    /// Number of components.
+    pub fn n_comps(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of engine flows (aggregated observations).
+    pub fn n_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The current hypothesis (components currently failed).
+    pub fn hypothesis(&self) -> &[CompIdx] {
+        &self.hypothesis
+    }
+
+    /// Whether `c` is in the current hypothesis.
+    #[inline]
+    pub fn in_hypothesis(&self, c: CompIdx) -> bool {
+        self.in_h[c as usize]
+    }
+
+    /// Normalized log-likelihood of the current hypothesis (no priors).
+    pub fn log_likelihood(&self) -> f64 {
+        self.ll
+    }
+
+    /// The Δ array: `delta()[c] = LL(H ⊕ c) − LL(H)` (likelihood only).
+    pub fn delta(&self) -> &[f64] {
+        &self.delta
+    }
+
+    /// Prior log-odds contribution of *adding* component `c` to the
+    /// hypothesis (negative). Removal contributes the negation.
+    #[inline]
+    pub fn prior_logodds(&self, c: CompIdx) -> f64 {
+        if self.space.is_device(c) {
+            self.params.device_prior_logodds()
+        } else {
+            self.params.link_prior_logodds()
+        }
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Toggle component `c`, maintaining the full Δ array (JLE update).
+    /// Returns the likelihood change `LL(H') − LL(H)`.
+    pub fn flip(&mut self, c: CompIdx) -> f64 {
+        self.flip_inner(c, true)
+    }
+
+    /// Toggle component `c`, updating state and total likelihood but *not*
+    /// the Δ array (which becomes stale — callers must not read it until
+    /// the state is restored). Used by the non-JLE baselines.
+    pub fn flip_ll_only(&mut self, c: CompIdx) -> f64 {
+        self.flip_inner(c, false)
+    }
+
+    fn flip_inner(&mut self, c: CompIdx, maintain_delta: bool) -> f64 {
+        self.stats.flips += 1;
+        let adding = !self.in_h[c as usize];
+        let mut dll = 0.0;
+
+        // ---- Fabric effect: sets whose paths contain `c`. ----
+        // Snapshot old per-set counters, update path fail counts once
+        // globally, then walk each affected set.
+        let affected_sets: Vec<u32> = self.comp_to_sets.get(c).to_vec();
+
+        // Old counters per set must be taken before path updates; to avoid
+        // storing them all we process sets one at a time, using the fact
+        // that path fail counts are per-path: we update the paths of a set
+        // lazily with a per-path "done" check via the global visited pass
+        // below. Simpler and allocation-free: first collect old counters
+        // per set, then update paths, then walk sets again.
+        let mut old_counters: Vec<(u32, Vec<(CompIdx, u32, u32)>)> =
+            Vec::with_capacity(affected_sets.len());
+        if maintain_delta {
+            for &s in &affected_sets {
+                let counters = self.collect_counters(s);
+                old_counters.push((self.set_bad[s as usize], counters));
+            }
+        } else {
+            for &s in &affected_sets {
+                old_counters.push((self.set_bad[s as usize], Vec::new()));
+            }
+        }
+
+        // Update path fail counts (each path exactly once).
+        for &p in self.comp_to_paths.get(c) {
+            if adding {
+                self.path_fail[p as usize] += 1;
+            } else {
+                debug_assert!(self.path_fail[p as usize] > 0);
+                self.path_fail[p as usize] -= 1;
+            }
+        }
+
+        // Membership flips now so contribution formulas see the new state;
+        // formulas needing the old membership handle `c` explicitly.
+        self.in_h[c as usize] = adding;
+
+        for (k, &s) in affected_sets.iter().enumerate() {
+            let (old_bad, ref old_ctr) = old_counters[k];
+            let new_bad = self.recount_set_bad(s);
+            self.set_bad[s as usize] = new_bad;
+
+            let new_ctr = if maintain_delta {
+                self.collect_counters(s)
+            } else {
+                Vec::new()
+            };
+
+            // Flow sweep.
+            let flow_ids = self.set_flows.get(s);
+            for &fi in flow_ids {
+                let f = &self.flows[fi as usize];
+                if f.extra_fail > 0 {
+                    // Bad count pinned at w: no likelihood change and no
+                    // fabric-delta change. But when exactly one extra is
+                    // failed, *its* removal delta returns the flow to
+                    // `set_bad` — which just changed.
+                    if maintain_delta && f.extra_fail == 1 && old_bad != new_bad {
+                        let (sc, wgt, w) = (f.score, f.weight, f.w);
+                        let e = f
+                            .extras()
+                            .iter()
+                            .copied()
+                            .find(|&e| self.in_h[e as usize])
+                            .expect("extra_fail==1 implies one failed extra");
+                        self.delta[e as usize] +=
+                            wgt * (llf(sc, w, new_bad) - llf(sc, w, old_bad));
+                    }
+                    continue;
+                }
+                self.stats.flow_updates += 1;
+                let (sc, wgt, w) = (f.score, f.weight, f.w);
+                let ll_old = llf(sc, w, old_bad);
+                let ll_new = llf(sc, w, new_bad);
+                dll += wgt * (ll_new - ll_old);
+
+                if !maintain_delta {
+                    continue;
+                }
+                // Fabric comps of the set.
+                for (i, &(l, g_old, s_old)) in old_ctr.iter().enumerate() {
+                    let (l2, g_new, s_new) = new_ctr[i];
+                    debug_assert_eq!(l, l2);
+                    let in_h_new = self.in_h[l as usize];
+                    let in_h_old = if l == c { !in_h_new } else { in_h_new };
+                    let contrib_old = if in_h_old {
+                        llf(sc, w, old_bad - s_old) - ll_old
+                    } else {
+                        llf(sc, w, old_bad + g_old) - ll_old
+                    };
+                    let contrib_new = if in_h_new {
+                        llf(sc, w, new_bad - s_new) - ll_new
+                    } else {
+                        llf(sc, w, new_bad + g_new) - ll_new
+                    };
+                    self.delta[l as usize] += wgt * (contrib_new - contrib_old);
+                }
+                // Extras of the flow: flipping an extra on pins bad at w.
+                // (All extras are currently out of H since extra_fail==0.)
+                for &e in f.extras() {
+                    // contrib = llf(w) − llf(bad) = score − llf(bad)
+                    self.delta[e as usize] += wgt * (ll_old - ll_new);
+                }
+            }
+        }
+
+        // ---- Extras effect: flows having `c` among their extras. ----
+        let extra_flow_ids: Vec<u32> = self.comp_extra_flows.get(c).to_vec();
+        for fi in extra_flow_ids {
+            dll += self.flip_extra_for_flow(c, fi, adding, maintain_delta);
+        }
+
+        if adding {
+            self.hypothesis.push(c);
+        } else {
+            self.hypothesis.retain(|&x| x != c);
+        }
+        self.ll += dll;
+        dll
+    }
+
+    /// Handle the extras side of flipping `c` for one flow. `in_h[c]` has
+    /// already been set to the new value.
+    fn flip_extra_for_flow(
+        &mut self,
+        c: CompIdx,
+        fi: u32,
+        adding: bool,
+        maintain_delta: bool,
+    ) -> f64 {
+        self.stats.flow_updates += 1;
+        let f = &self.flows[fi as usize];
+        let (sc, wgt, w, set) = (f.score, f.weight, f.w, f.set);
+        let old_extra_fail = f.extra_fail;
+        let new_extra_fail = if adding {
+            old_extra_fail + 1
+        } else {
+            old_extra_fail - 1
+        };
+        let sb = self.set_bad[set as usize];
+        let bad_old = if old_extra_fail > 0 { w } else { sb };
+        let bad_new = if new_extra_fail > 0 { w } else { sb };
+        let ll_old = llf(sc, w, bad_old);
+        let ll_new = llf(sc, w, bad_new);
+        let dll = wgt * (ll_new - ll_old);
+
+        if maintain_delta {
+            // Update this flow's contribution to every component it touches.
+            // Fabric comps: need g/s counters only when the flow is
+            // "active" (extra_fail == 0) on either side.
+            if old_extra_fail == 0 || new_extra_fail == 0 {
+                let counters = self.collect_counters(set);
+                for &(l, g, s_cnt) in &counters {
+                    let in_h_l = self.in_h[l as usize];
+                    debug_assert_ne!(l, c, "extras are disjoint from set comps");
+                    let contrib_old = if old_extra_fail > 0 {
+                        0.0
+                    } else if in_h_l {
+                        llf(sc, w, sb - s_cnt) - ll_old
+                    } else {
+                        llf(sc, w, sb + g) - ll_old
+                    };
+                    let contrib_new = if new_extra_fail > 0 {
+                        0.0
+                    } else if in_h_l {
+                        llf(sc, w, sb - s_cnt) - ll_new
+                    } else {
+                        llf(sc, w, sb + g) - ll_new
+                    };
+                    self.delta[l as usize] += wgt * (contrib_new - contrib_old);
+                }
+            }
+            // Extras comps (including c itself).
+            let extras: Vec<CompIdx> = self.flows[fi as usize].extras().to_vec();
+            for e in extras {
+                let in_h_e_new = self.in_h[e as usize];
+                let in_h_e_old = if e == c { !in_h_e_new } else { in_h_e_new };
+                let fail_wo_e_old = old_extra_fail - u8::from(in_h_e_old);
+                let fail_wo_e_new = new_extra_fail - u8::from(in_h_e_new);
+                // Flipping e: if e currently failed, bad becomes (others
+                // failed ? w : sb); if e currently ok, bad becomes w.
+                let bad_flip_old = if in_h_e_old {
+                    if fail_wo_e_old > 0 {
+                        w
+                    } else {
+                        sb
+                    }
+                } else {
+                    w
+                };
+                let bad_flip_new = if in_h_e_new {
+                    if fail_wo_e_new > 0 {
+                        w
+                    } else {
+                        sb
+                    }
+                } else {
+                    w
+                };
+                let contrib_old = llf(sc, w, bad_flip_old) - ll_old;
+                let contrib_new = llf(sc, w, bad_flip_new) - ll_new;
+                self.delta[e as usize] += wgt * (contrib_new - contrib_old);
+            }
+        }
+
+        self.flows[fi as usize].extra_fail = new_extra_fail;
+        dll
+    }
+
+    /// `(comp, g, s)` per component of set `s`: `g` = member paths with
+    /// fail count 0 containing comp, `s` = member paths with fail count
+    /// exactly 1 containing comp. Two passes over the set's paths, as in
+    /// Algorithm 2's `GetCounters`.
+    fn collect_counters(&mut self, s: u32) -> Vec<(CompIdx, u32, u32)> {
+        let comps = &self.set_comps[s as usize];
+        for &p in &self.sets[s as usize] {
+            let fc = self.path_fail[p as usize];
+            if fc == 0 {
+                for &c in &self.path_comps[p as usize] {
+                    self.scratch_g[c as usize] += 1;
+                }
+            } else if fc == 1 {
+                for &c in &self.path_comps[p as usize] {
+                    self.scratch_s[c as usize] += 1;
+                }
+            }
+        }
+        let out: Vec<(CompIdx, u32, u32)> = comps
+            .iter()
+            .map(|&c| (c, self.scratch_g[c as usize], self.scratch_s[c as usize]))
+            .collect();
+        // Reset scratch.
+        for &(c, ..) in &out {
+            self.scratch_g[c as usize] = 0;
+            self.scratch_s[c as usize] = 0;
+        }
+        out
+    }
+
+    fn recount_set_bad(&self, s: u32) -> u32 {
+        self.sets[s as usize]
+            .iter()
+            .filter(|&&p| self.path_fail[p as usize] > 0)
+            .count() as u32
+    }
+
+    /// Initial Δ array for the empty hypothesis (`ComputeInitialDelta` of
+    /// Algorithm 2): grouped per set so that flows sharing a path set
+    /// evaluate each distinct failed-path count once.
+    fn compute_initial_delta(&mut self) {
+        // Per set: g(c) = member paths containing c (all paths good).
+        for s in 0..self.sets.len() as u32 {
+            // Count paths per comp.
+            for &p in &self.sets[s as usize] {
+                for &c in &self.path_comps[p as usize] {
+                    self.scratch_g[c as usize] += 1;
+                }
+            }
+            let comps = &self.set_comps[s as usize];
+            // Distinct g values of this set.
+            let mut gs: Vec<u32> = comps
+                .iter()
+                .map(|&c| self.scratch_g[c as usize])
+                .collect();
+            gs.sort_unstable();
+            gs.dedup();
+            // Σ_flows weight · LLF(g) per distinct g.
+            let mut sums: Vec<f64> = vec![0.0; gs.len()];
+            for &fi in self.set_flows.get(s) {
+                let f = &self.flows[fi as usize];
+                for (i, &g) in gs.iter().enumerate() {
+                    sums[i] += f.weight * llf(f.score, f.w, g);
+                }
+            }
+            for &c in comps {
+                let g = self.scratch_g[c as usize];
+                let i = gs.binary_search(&g).unwrap();
+                self.delta[c as usize] += sums[i];
+            }
+            for &c in comps {
+                self.scratch_g[c as usize] = 0;
+            }
+        }
+        // Extras: flipping an extra fails all paths of the flow.
+        for f in &self.flows {
+            for &e in f.extras() {
+                self.delta[e as usize] += f.weight * f.score; // llf(w,w)=score
+            }
+        }
+    }
+
+    /// Evaluate one neighbor delta from the current state without touching
+    /// the Δ array (used by greedy-without-JLE): `LL(H ⊕ c) − LL(H)`.
+    pub fn delta_single(&self, c: CompIdx) -> f64 {
+        let mut dll = 0.0;
+        let flipping_on = !self.in_h[c as usize];
+        // Fabric side.
+        for &s in self.comp_to_sets.get(c) {
+            let old_bad = self.set_bad[s as usize];
+            // New bad count if c flips: recount with c's effect.
+            let mut new_bad = 0u32;
+            for &p in &self.sets[s as usize] {
+                let mut fc = self.path_fail[p as usize];
+                if self.path_comps[p as usize].binary_search(&c).is_ok() {
+                    fc = if flipping_on { fc + 1 } else { fc - 1 };
+                }
+                new_bad += u32::from(fc > 0);
+            }
+            if new_bad == old_bad {
+                continue;
+            }
+            for &fi in self.set_flows.get(s) {
+                let f = &self.flows[fi as usize];
+                if f.extra_fail > 0 {
+                    continue;
+                }
+                dll += f.weight * (llf(f.score, f.w, new_bad) - llf(f.score, f.w, old_bad));
+            }
+        }
+        // Extras side.
+        for &fi in self.comp_extra_flows.get(c) {
+            let f = &self.flows[fi as usize];
+            let old_fail = f.extra_fail;
+            let new_fail = if flipping_on { old_fail + 1 } else { old_fail - 1 };
+            let sb = self.set_bad[f.set as usize];
+            let bad_old = if old_fail > 0 { f.w } else { sb };
+            let bad_new = if new_fail > 0 { f.w } else { sb };
+            if bad_old != bad_new {
+                dll += f.weight * (llf(f.score, f.w, bad_new) - llf(f.score, f.w, bad_old));
+            }
+        }
+        dll
+    }
+
+    /// Brute-force `LL(H)` from scratch for an arbitrary hypothesis —
+    /// `O(m·T)`. Reference implementation used by tests and available for
+    /// cross-checking; never on the hot path.
+    pub fn ll_of(&self, hypothesis: &[CompIdx]) -> f64 {
+        let in_h: std::collections::HashSet<CompIdx> = hypothesis.iter().copied().collect();
+        let mut ll = 0.0;
+        for f in &self.flows {
+            let extras_failed = f.extras().iter().any(|e| in_h.contains(e));
+            let bad = if extras_failed {
+                f.w
+            } else {
+                self.sets[f.set as usize]
+                    .iter()
+                    .filter(|&&p| {
+                        self.path_comps[p as usize]
+                            .iter()
+                            .any(|c| in_h.contains(c))
+                    })
+                    .count() as u32
+            };
+            ll += f.weight * llf(f.score, f.w, bad);
+        }
+        ll
+    }
+}
+
+/// Extract the extra components of a flow: its prefix links plus any
+/// switch devices incident to prefix links that do not already appear in
+/// the set's component union (the intra-rack ToR case).
+fn flow_extras(
+    topo: &Topology,
+    space: &ComponentSpace,
+    set_comps: &[CompIdx],
+    o: &FlowObs,
+) -> ([CompIdx; 4], u8) {
+    let mut extras = [0 as CompIdx; 4];
+    let mut n = 0u8;
+    let push = |extras: &mut [CompIdx; 4], n: &mut u8, c: CompIdx| {
+        if !extras[..*n as usize].contains(&c) {
+            extras[*n as usize] = c;
+            *n += 1;
+        }
+    };
+    for link in o.prefix.iter().flatten() {
+        push(&mut extras, &mut n, space.link_comp(*link));
+        let lk = topo.link(*link);
+        for end in [lk.src, lk.dst] {
+            // Hosts yield None; switch devices already covered by the
+            // fabric path set stay out of the extras (they are counted
+            // through the set's path components).
+            if let Some(d) = space.device_comp(end) {
+                if set_comps.binary_search(&d).is_err() {
+                    push(&mut extras, &mut n, d);
+                }
+            }
+        }
+    }
+    (extras, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_telemetry::input::{assemble, AnalysisMode, InputKind};
+    use flock_telemetry::{FlowKey, FlowStats, MonitoredFlow, TrafficClass};
+    use flock_topology::clos::{three_tier, ClosParams};
+    use flock_topology::Router;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Build a small observation set with a mix of passive (path-set) and
+    /// known-path flows, with pseudo-random metrics.
+    fn small_obs(seed: u64) -> (flock_topology::Topology, ObservationSet) {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hosts = topo.hosts().to_vec();
+        let mut flows = Vec::new();
+        for i in 0..60 {
+            let s = hosts[rng.random_range(0..hosts.len())];
+            let mut d = hosts[rng.random_range(0..hosts.len())];
+            while d == s {
+                d = hosts[rng.random_range(0..hosts.len())];
+            }
+            let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+            let pick = rng.random_range(0..paths.len());
+            let mut tp = vec![topo.host_uplink(s)];
+            tp.extend_from_slice(&paths[pick].links);
+            tp.push(topo.host_downlink(d));
+            let sent = rng.random_range(5..200u64);
+            let bad = if rng.random::<f64>() < 0.3 {
+                rng.random_range(0..=sent.min(6))
+            } else {
+                0
+            };
+            flows.push(MonitoredFlow {
+                key: FlowKey::tcp(s, d, 1000 + i, 80),
+                stats: FlowStats {
+                    packets: sent,
+                    retransmissions: bad,
+                    bytes: sent * 1500,
+                    rtt_sum_us: 100,
+                    rtt_count: 1,
+                    rtt_max_us: 100,
+                },
+                class: TrafficClass::Passive,
+                true_path: tp,
+            });
+        }
+        let obs = assemble(
+            &topo,
+            &router,
+            &flows,
+            &[InputKind::A2, InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        (topo, obs)
+    }
+
+    /// The central JLE invariant: after any sequence of flips, every Δ
+    /// entry equals the brute-force `LL(H ⊕ c) − LL(H)`.
+    #[test]
+    fn delta_matches_brute_force_after_flips() {
+        let (topo, obs) = small_obs(1);
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
+        let n = engine.n_comps() as u32;
+        let mut rng = StdRng::seed_from_u64(99);
+
+        let check = |engine: &Engine| {
+            let h: Vec<CompIdx> = engine.hypothesis().to_vec();
+            let base = engine.ll_of(&h);
+            assert!(
+                (base - engine.log_likelihood()).abs() < 1e-7,
+                "ll drift: {} vs {}",
+                base,
+                engine.log_likelihood()
+            );
+            for c in 0..n {
+                let mut h2 = h.clone();
+                if let Some(pos) = h2.iter().position(|&x| x == c) {
+                    h2.remove(pos);
+                } else {
+                    h2.push(c);
+                }
+                let expect = engine.ll_of(&h2) - base;
+                let got = engine.delta()[c as usize];
+                assert!(
+                    (expect - got).abs() < 1e-7 * (1.0 + expect.abs()),
+                    "comp {c}: delta {got} vs brute {expect} (|H|={})",
+                    h.len()
+                );
+            }
+        };
+
+        check(&engine);
+        // Random flip walk, including removals.
+        let mut flipped: Vec<CompIdx> = Vec::new();
+        for step in 0..12 {
+            let c = if step % 4 == 3 && !flipped.is_empty() {
+                flipped[rng.random_range(0..flipped.len())] // possibly remove
+            } else {
+                rng.random_range(0..n)
+            };
+            engine.flip(c);
+            if let Some(pos) = flipped.iter().position(|&x| x == c) {
+                flipped.remove(pos);
+            } else {
+                flipped.push(c);
+            }
+            check(&engine);
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let (topo, obs) = small_obs(2);
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
+        let d0 = engine.delta().to_vec();
+        let ll0 = engine.log_likelihood();
+        let c = engine.n_comps() as u32 / 2;
+        let gain = engine.flip(c);
+        let back = engine.flip(c);
+        assert!((gain + back).abs() < 1e-9);
+        assert!((engine.log_likelihood() - ll0).abs() < 1e-9);
+        for (i, (a, b)) in d0.iter().zip(engine.delta()).enumerate() {
+            assert!((a - b).abs() < 1e-8, "delta[{i}] {a} vs {b}");
+        }
+        assert!(engine.hypothesis().is_empty());
+    }
+
+    #[test]
+    fn delta_single_matches_delta_array() {
+        let (topo, obs) = small_obs(3);
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
+        let n = engine.n_comps() as u32;
+        engine.flip(n / 3);
+        engine.flip(2 * n / 3);
+        for c in (0..n).step_by(7) {
+            let arr = engine.delta()[c as usize];
+            let single = engine.delta_single(c);
+            assert!(
+                (arr - single).abs() < 1e-8 * (1.0 + arr.abs()),
+                "comp {c}: {arr} vs {single}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_ll_only_tracks_likelihood() {
+        let (topo, obs) = small_obs(4);
+        let mut e1 = Engine::new(&topo, &obs, HyperParams::default());
+        let mut e2 = Engine::new(&topo, &obs, HyperParams::default());
+        let n = e1.n_comps() as u32;
+        for c in [n / 5, n / 2, n - 3, n / 2] {
+            let d1 = e1.flip(c);
+            let d2 = e2.flip_ll_only(c);
+            assert!((d1 - d2).abs() < 1e-9, "flip deltas differ for {c}");
+        }
+        assert!((e1.log_likelihood() - e2.log_likelihood()).abs() < 1e-9);
+    }
+
+    /// Three pods break the 2-pod "serial link" observational equivalence
+    /// (with two pods, an up-link and the down-link it always feeds carry
+    /// exactly the same flows and tie in likelihood — the equivalence-class
+    /// phenomenon of Fig. 5c).
+    fn three_pods() -> ClosParams {
+        ClosParams {
+            pods: 3,
+            tors_per_pod: 2,
+            aggs_per_pod: 2,
+            spines_per_plane: 2,
+            hosts_per_tor: 2,
+        }
+    }
+
+    #[test]
+    fn known_failure_gets_top_delta() {
+        // One heavily dropping link: its initial delta should dominate.
+        let topo = three_tier(three_pods());
+        let router = Router::new(&topo);
+        let bad_link = topo.fabric_links()[3];
+        let mut flows = Vec::new();
+        let hosts = topo.hosts().to_vec();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..200 {
+            let s = hosts[rng.random_range(0..hosts.len())];
+            let mut d = hosts[rng.random_range(0..hosts.len())];
+            while d == s {
+                d = hosts[rng.random_range(0..hosts.len())];
+            }
+            let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+            let pick = rng.random_range(0..paths.len());
+            let mut tp = vec![topo.host_uplink(s)];
+            tp.extend_from_slice(&paths[pick].links);
+            tp.push(topo.host_downlink(d));
+            let crosses = tp.contains(&bad_link);
+            let sent = 100u64;
+            let bad = if crosses { 5 } else { 0 };
+            flows.push(MonitoredFlow {
+                key: FlowKey::tcp(s, d, 2000 + i, 80),
+                stats: FlowStats {
+                    packets: sent,
+                    retransmissions: bad,
+                    bytes: sent * 1500,
+                    rtt_sum_us: 0,
+                    rtt_count: 0,
+                    rtt_max_us: 0,
+                },
+                class: TrafficClass::Passive,
+                true_path: tp,
+            });
+        }
+        let obs = assemble(
+            &topo,
+            &router,
+            &flows,
+            &[InputKind::Int],
+            AnalysisMode::PerPacket,
+        );
+        let engine = Engine::new(&topo, &obs, HyperParams::default());
+        let best = (0..engine.n_comps() as u32)
+            .max_by(|&a, &b| {
+                engine.delta()[a as usize]
+                    .partial_cmp(&engine.delta()[b as usize])
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(
+            engine.space().component(best),
+            flock_topology::Component::Link(bad_link),
+            "the dropping link should have the highest delta"
+        );
+    }
+
+    #[test]
+    fn empty_observation_set_yields_zero_deltas() {
+        let topo = three_tier(ClosParams::tiny());
+        let obs = ObservationSet {
+            arena: flock_telemetry::PathArena::new(),
+            flows: Vec::new(),
+            mode: AnalysisMode::PerPacket,
+        };
+        let engine = Engine::new(&topo, &obs, HyperParams::default());
+        assert!(engine.delta().iter().all(|&d| d == 0.0));
+        assert_eq!(engine.log_likelihood(), 0.0);
+    }
+
+    #[test]
+    fn same_rack_flow_blames_tor_via_extras() {
+        // An intra-rack flow has an empty fabric path: the ToR device must
+        // still be blameable (it lives in the flow's extras).
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts().to_vec();
+        // hosts[0] and hosts[1] share a leaf in the tiny Clos.
+        let (a, b) = (hosts[0], hosts[1]);
+        assert_eq!(topo.host_leaf(a), topo.host_leaf(b));
+        let tp = vec![topo.host_uplink(a), topo.host_downlink(b)];
+        let flows = vec![MonitoredFlow {
+            key: FlowKey::tcp(a, b, 1, 80),
+            stats: FlowStats {
+                packets: 100,
+                retransmissions: 10,
+                bytes: 150_000,
+                rtt_sum_us: 0,
+                rtt_count: 0,
+                rtt_max_us: 0,
+            },
+            class: TrafficClass::Passive,
+            true_path: tp,
+        }];
+        let obs = assemble(
+            &topo,
+            &router,
+            &flows,
+            &[InputKind::Int],
+            AnalysisMode::PerPacket,
+        );
+        let engine = Engine::new(&topo, &obs, HyperParams::default());
+        let tor = topo.host_leaf(a);
+        let tor_comp = engine.space().device_comp(tor).unwrap();
+        assert!(
+            engine.delta()[tor_comp as usize] > 0.0,
+            "ToR device must be implicated by the intra-rack flow"
+        );
+    }
+}

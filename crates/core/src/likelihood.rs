@@ -1,0 +1,142 @@
+//! Numerically stable evaluation of the flow likelihood (Eq. 1).
+//!
+//! All likelihoods are *normalized* by the no-failure hypothesis (§3.3),
+//! which cancels every flow whose path set contains no failed component.
+//! For one flow with `w` possible paths, `r` bad of `t` packets, and `b`
+//! failed paths under the hypothesis, the normalized log-likelihood is
+//!
+//! ```text
+//! LLF(b) = ln( (b·e^s + (w-b)) / w ),
+//! s = r·ln(p_b/p_g) + (t-r)·ln((1-p_b)/(1-p_g))
+//! ```
+//!
+//! `s` — the flow's *score* — is the log-likelihood ratio of the flow's
+//! observation on a bad vs. good path. It is the only place the packet
+//! counts enter, so it is precomputed once per flow; `LLF(b)` itself
+//! depends on the hypothesis only through the failed-path count `b`, which
+//! is exactly the memoization the JLE pseudocode (`GetCounters`,
+//! Algorithm 2) exploits.
+
+use crate::params::HyperParams;
+
+/// The flow score `s`: log-likelihood ratio of observing `(bad, sent)` on
+/// a failed path vs. a good path.
+///
+/// Positive when the observation is evidence *for* a failure (enough bad
+/// packets), negative when it is evidence against (mostly clean packets).
+#[inline]
+pub fn flow_score(params: &HyperParams, sent: u64, bad: u64) -> f64 {
+    debug_assert!(bad <= sent);
+    let r = bad as f64;
+    let t = sent as f64;
+    r * (params.p_b / params.p_g).ln()
+        + (t - r) * ((1.0 - params.p_b) / (1.0 - params.p_g)).ln()
+}
+
+/// Normalized flow log-likelihood given `b` failed paths out of `w`.
+///
+/// `llf(score, w, 0) == 0` (no failed path ⇒ same as the no-failure
+/// hypothesis) and `llf(score, w, w) == score`.
+#[inline]
+pub fn llf(score: f64, w: u32, b: u32) -> f64 {
+    debug_assert!(b <= w && w > 0, "b={b} w={w}");
+    if b == 0 {
+        return 0.0;
+    }
+    if b == w {
+        return score;
+    }
+    // ln((b·e^s + (w-b))/w) via log-sum-exp for stability at large |s|.
+    let a1 = (b as f64).ln() + score;
+    let a2 = ((w - b) as f64).ln();
+    let (hi, lo) = if a1 >= a2 { (a1, a2) } else { (a2, a1) };
+    hi + (lo - hi).exp().ln_1p() - (w as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HyperParams {
+        HyperParams::default()
+    }
+
+    /// Direct (unstable) evaluation of Eq. 1, for cross-checking.
+    fn llf_direct(p: &HyperParams, sent: u64, bad: u64, w: u32, b: u32) -> f64 {
+        let good_term =
+            p.p_g.powi(bad as i32) * (1.0 - p.p_g).powi((sent - bad) as i32);
+        let bad_term = p.p_b.powi(bad as i32) * (1.0 - p.p_b).powi((sent - bad) as i32);
+        let num = b as f64 * bad_term + (w - b) as f64 * good_term;
+        (num / (w as f64 * good_term)).ln()
+    }
+
+    #[test]
+    fn boundary_values() {
+        let s = flow_score(&params(), 100, 3);
+        assert_eq!(llf(s, 8, 0), 0.0);
+        assert!((llf(s, 8, 8) - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_direct_evaluation() {
+        let p = params();
+        for (sent, bad) in [(50u64, 0u64), (50, 1), (200, 5), (1000, 12)] {
+            let s = flow_score(&p, sent, bad);
+            for w in [1u32, 2, 4, 16] {
+                for b in 0..=w {
+                    let fast = llf(s, w, b);
+                    let direct = llf_direct(&p, sent, bad, w, b);
+                    assert!(
+                        (fast - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                        "sent={sent} bad={bad} w={w} b={b}: {fast} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_b_matching_score_sign() {
+        let p = params();
+        // Evidence for failure: more failed paths ⇒ higher likelihood.
+        let s_pos = flow_score(&p, 100, 10);
+        assert!(s_pos > 0.0);
+        for b in 0..16 {
+            assert!(llf(s_pos, 16, b + 1) > llf(s_pos, 16, b));
+        }
+        // Evidence against: more failed paths ⇒ lower likelihood.
+        let s_neg = flow_score(&p, 1000, 0);
+        assert!(s_neg < 0.0);
+        for b in 0..16 {
+            assert!(llf(s_neg, 16, b + 1) < llf(s_neg, 16, b));
+        }
+    }
+
+    #[test]
+    fn stable_at_extreme_scores() {
+        // A flow with thousands of drops has an astronomically large
+        // score; llf must not overflow.
+        let p = params();
+        let s = flow_score(&p, 100_000, 50_000);
+        assert!(s.is_finite() && s > 1000.0);
+        let v = llf(s, 32, 1);
+        assert!(v.is_finite());
+        // b=1 of w: llf ≈ s - ln w for huge s.
+        assert!((v - (s - (32f64).ln())).abs() < 1e-6);
+
+        let s2 = flow_score(&p, 1_000_000, 0);
+        let v2 = llf(s2, 32, 31);
+        assert!(v2.is_finite());
+        // Almost all paths failed with crushing counter-evidence:
+        // ln(1/w) remains.
+        assert!((v2 - (1.0f64 / 32.0).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_is_linear_in_counts() {
+        let p = params();
+        let s1 = flow_score(&p, 100, 2);
+        let s2 = flow_score(&p, 200, 4);
+        assert!((2.0 * s1 - s2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Dense component indexing.
+//!
+//! Inference iterates over *components* — switch devices and directed
+//! links — with flat arrays. [`ComponentSpace`] assigns each component a
+//! dense index: devices first (`0..n_devices`, in `Topology::switches()`
+//! order), then links (`n_devices..n_devices + n_links`, by `LinkId`).
+
+use flock_topology::{Component, LinkId, NodeId, Topology};
+
+/// Dense index of a component in a [`ComponentSpace`].
+pub type CompIdx = u32;
+
+/// Bidirectional mapping between topology components and dense indices.
+#[derive(Debug, Clone)]
+pub struct ComponentSpace {
+    n_devices: u32,
+    n_links: u32,
+    /// NodeId index → device comp index (u32::MAX for hosts).
+    device_of_node: Vec<u32>,
+    /// Device comp index → NodeId.
+    node_of_device: Vec<NodeId>,
+}
+
+impl ComponentSpace {
+    /// Build the component space of a topology.
+    pub fn new(topo: &Topology) -> Self {
+        let mut device_of_node = vec![u32::MAX; topo.node_count()];
+        let mut node_of_device = Vec::with_capacity(topo.switch_count());
+        for (i, &sw) in topo.switches().iter().enumerate() {
+            device_of_node[sw.idx()] = i as u32;
+            node_of_device.push(sw);
+        }
+        ComponentSpace {
+            n_devices: topo.switch_count() as u32,
+            n_links: topo.link_count() as u32,
+            device_of_node,
+            node_of_device,
+        }
+    }
+
+    /// Total number of components.
+    #[inline]
+    pub fn n_comps(&self) -> usize {
+        (self.n_devices + self.n_links) as usize
+    }
+
+    /// Number of device components.
+    #[inline]
+    pub fn n_devices(&self) -> usize {
+        self.n_devices as usize
+    }
+
+    /// Dense index of a link.
+    #[inline]
+    pub fn link_comp(&self, l: LinkId) -> CompIdx {
+        debug_assert!(l.0 < self.n_links);
+        self.n_devices + l.0
+    }
+
+    /// Dense index of a switch device (`None` for hosts).
+    #[inline]
+    pub fn device_comp(&self, n: NodeId) -> Option<CompIdx> {
+        match self.device_of_node.get(n.idx()) {
+            Some(&d) if d != u32::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether a dense index denotes a device.
+    #[inline]
+    pub fn is_device(&self, c: CompIdx) -> bool {
+        c < self.n_devices
+    }
+
+    /// The component behind a dense index.
+    #[inline]
+    pub fn component(&self, c: CompIdx) -> Component {
+        if self.is_device(c) {
+            Component::Device(self.node_of_device[c as usize])
+        } else {
+            Component::Link(LinkId(c - self.n_devices))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_topology::clos::{three_tier, ClosParams};
+
+    #[test]
+    fn roundtrip_all_components() {
+        let topo = three_tier(ClosParams::tiny());
+        let sp = ComponentSpace::new(&topo);
+        assert_eq!(sp.n_comps(), topo.switch_count() + topo.link_count());
+        for c in 0..sp.n_comps() as u32 {
+            match sp.component(c) {
+                Component::Device(n) => {
+                    assert!(sp.is_device(c));
+                    assert_eq!(sp.device_comp(n), Some(c));
+                }
+                Component::Link(l) => {
+                    assert!(!sp.is_device(c));
+                    assert_eq!(sp.link_comp(l), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_are_not_devices() {
+        let topo = three_tier(ClosParams::tiny());
+        let sp = ComponentSpace::new(&topo);
+        for h in topo.hosts() {
+            assert_eq!(sp.device_comp(*h), None);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the JLE engine and the likelihood kernel: the
+//! Δ array must equal brute-force neighbor evaluation after *any* flip
+//! sequence, and greedy must match exhaustive MLE in the separable-failure
+//! regime (§4.2).
+
+use flock_core::{llf, Engine, FlockGreedy, HyperParams, Localizer, SherlockFerret};
+use flock_telemetry::input::{assemble, AnalysisMode, InputKind};
+use flock_telemetry::{FlowKey, FlowStats, MonitoredFlow, ObservationSet, TrafficClass};
+use flock_topology::clos::{leaf_spine, three_tier, ClosParams, LeafSpineParams};
+use flock_topology::{Router, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random mixed-telemetry observation set on a tiny Clos.
+fn random_obs(seed: u64, n_flows: usize, kinds: &[InputKind]) -> (Topology, ObservationSet) {
+    let topo = three_tier(ClosParams::tiny());
+    let router = Router::new(&topo);
+    let hosts = topo.hosts().to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flows = Vec::new();
+    for i in 0..n_flows {
+        let s = hosts[rng.random_range(0..hosts.len())];
+        let mut d = hosts[rng.random_range(0..hosts.len())];
+        while d == s {
+            d = hosts[rng.random_range(0..hosts.len())];
+        }
+        let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+        let pick = rng.random_range(0..paths.len());
+        let mut tp = vec![topo.host_uplink(s)];
+        tp.extend_from_slice(&paths[pick].links);
+        tp.push(topo.host_downlink(d));
+        let sent = rng.random_range(1..300u64);
+        let bad = rng.random_range(0..=sent.min(8));
+        flows.push(MonitoredFlow {
+            key: FlowKey::tcp(s, d, (i % 60000) as u16, 80),
+            stats: FlowStats {
+                packets: sent,
+                retransmissions: bad,
+                bytes: 0,
+                rtt_sum_us: 0,
+                rtt_count: 0,
+                rtt_max_us: 0,
+            },
+            class: TrafficClass::Passive,
+            true_path: tp,
+        });
+    }
+    let obs = assemble(&topo, &router, &flows, kinds, AnalysisMode::PerPacket);
+    (topo, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central JLE invariant under arbitrary flip walks.
+    #[test]
+    fn delta_equals_brute_force_after_any_flip_walk(
+        seed in 0u64..1000,
+        flips in prop::collection::vec(any::<u16>(), 1..10),
+        mixed in any::<bool>(),
+    ) {
+        let kinds: &[InputKind] = if mixed {
+            &[InputKind::A2, InputKind::P]
+        } else {
+            &[InputKind::P]
+        };
+        let (topo, obs) = random_obs(seed, 40, kinds);
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
+        let n = engine.n_comps() as u32;
+        for &f in &flips {
+            engine.flip(f as u32 % n);
+        }
+        let h = engine.hypothesis().to_vec();
+        let base = engine.ll_of(&h);
+        prop_assert!((base - engine.log_likelihood()).abs() < 1e-6);
+        // Check a deterministic sample of components (all would be slow).
+        for c in (0..n).step_by(7) {
+            let mut h2 = h.clone();
+            match h2.iter().position(|&x| x == c) {
+                Some(p) => { h2.remove(p); }
+                None => h2.push(c),
+            }
+            let expect = engine.ll_of(&h2) - base;
+            let got = engine.delta()[c as usize];
+            prop_assert!(
+                (expect - got).abs() < 1e-6 * (1.0 + expect.abs()),
+                "comp {}: delta {} vs brute {}", c, got, expect
+            );
+        }
+    }
+
+    /// llf is bounded between its endpoints and exact at them.
+    #[test]
+    fn llf_bounds(score in -500.0f64..500.0, w in 1u32..64, b_frac in 0.0f64..1.0) {
+        let b = ((w as f64) * b_frac) as u32;
+        let v = llf(score, w, b.min(w));
+        prop_assert!(v.is_finite());
+        let lo = score.min(0.0);
+        let hi = score.max(0.0);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "llf {} outside [{}, {}]", v, lo, hi);
+        prop_assert_eq!(llf(score, w, 0), 0.0);
+        prop_assert!((llf(score, w, w) - score).abs() < 1e-12);
+    }
+
+    /// Greedy equals bounded exhaustive search when failures sit on
+    /// disjoint devices with clear evidence (the Theorem 2 regime).
+    #[test]
+    fn greedy_matches_exhaustive_on_separable_instances(seed in 0u64..300) {
+        let topo = leaf_spine(LeafSpineParams { spines: 3, leaves: 3, hosts_per_leaf: 2 });
+        let router = Router::new(&topo);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fabric = topo.fabric_links();
+        // 1-2 failed links on disjoint devices.
+        let k = rng.random_range(1..=2usize);
+        let mut bad: Vec<flock_topology::LinkId> = Vec::new();
+        let mut guard = 0;
+        while bad.len() < k && guard < 1000 {
+            guard += 1;
+            let l = fabric[rng.random_range(0..fabric.len())];
+            let lk = topo.link(l);
+            if bad.iter().all(|&b| {
+                let bl = topo.link(b);
+                lk.src != bl.src && lk.src != bl.dst && lk.dst != bl.src && lk.dst != bl.dst
+            }) {
+                bad.push(l);
+            }
+        }
+        let hosts = topo.hosts().to_vec();
+        let mut flows = Vec::new();
+        for i in 0..400usize {
+            let s = hosts[rng.random_range(0..hosts.len())];
+            let mut d = hosts[rng.random_range(0..hosts.len())];
+            while d == s { d = hosts[rng.random_range(0..hosts.len())]; }
+            let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+            let pick = rng.random_range(0..paths.len());
+            let mut tp = vec![topo.host_uplink(s)];
+            tp.extend_from_slice(&paths[pick].links);
+            tp.push(topo.host_downlink(d));
+            let crossings = tp.iter().filter(|l| bad.contains(l)).count() as u64;
+            flows.push(MonitoredFlow {
+                key: FlowKey::tcp(s, d, (i % 60000) as u16, 80),
+                stats: FlowStats {
+                    packets: 1000,
+                    retransmissions: crossings * 6,
+                    bytes: 0, rtt_sum_us: 0, rtt_count: 0, rtt_max_us: 0,
+                },
+                class: TrafficClass::Passive,
+                true_path: tp,
+            });
+        }
+        let obs = assemble(&topo, &router, &flows, &[InputKind::Int], AnalysisMode::PerPacket);
+        let mut e = SherlockFerret::with_jle(HyperParams::default(), 2)
+            .localize(&topo, &obs).predicted;
+        let mut g = FlockGreedy::default().localize(&topo, &obs).predicted;
+        e.sort();
+        g.sort();
+        prop_assert_eq!(e, g);
+    }
+}

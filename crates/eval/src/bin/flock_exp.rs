@@ -1,0 +1,77 @@
+//! `flock-exp` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! flock-exp <experiment>... [--quick] [--threads N] [--out DIR]
+//! flock-exp all [--quick]
+//! flock-exp list
+//! ```
+
+use flock_eval::experiments;
+use flock_eval::scenario::ExpOpts;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOpts::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                );
+            }
+            "list" => {
+                println!("available experiments: {}", experiments::ALL.join(", "));
+                return;
+            }
+            "all" => names.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => names.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if names.is_empty() {
+        die("usage: flock-exp <experiment>|all [--quick] [--threads N] [--out DIR]; `flock-exp list` shows ids");
+    }
+    names.dedup();
+
+    for name in &names {
+        eprintln!(
+            "== running {name}{} ==",
+            if opts.quick { " (quick)" } else { "" }
+        );
+        let started = std::time::Instant::now();
+        match experiments::run(name, &opts) {
+            Ok(report) => {
+                println!("{report}");
+                eprintln!("== {name} done in {:.1?} ==\n", started.elapsed());
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create output dir");
+                    let path = format!("{dir}/{name}.md");
+                    let mut f = std::fs::File::create(&path).expect("create report file");
+                    f.write_all(report.as_bytes()).expect("write report");
+                }
+            }
+            Err(e) => die(&e),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("flock-exp: {msg}");
+    std::process::exit(2);
+}

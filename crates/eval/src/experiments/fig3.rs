@@ -1,0 +1,87 @@
+//! Fig. 3 — soft gray failures (§7.3): Fscore as a function of the failed
+//! link's drop rate, under uniform (3a) and skewed (3b) traffic. The
+//! paper's conclusion: Flock detects > 1% drop rate with A2, and > 0.4%
+//! once passive telemetry (INT or A1+A2+P) is added; 007's recall
+//! collapses under skew.
+
+use crate::report::{f3, Table};
+use crate::scenario::{sim_topology, soft_failure_trace, ExpOpts, TraceBundle, Workload};
+use crate::schemes::{defaults, SchemeUnderTest};
+use flock_core::fscore;
+use flock_netsim::traffic::TrafficPattern;
+use flock_telemetry::InputKind::*;
+
+fn panel(skewed: bool) -> Vec<SchemeUnderTest> {
+    let mut v = vec![
+        defaults::flock("Flock (INT)", &[Int]),
+        defaults::flock("Flock (A1+A2+P)", &[A1, A2, P]),
+        defaults::flock("Flock (A2)", &[A2]),
+        defaults::seven("007 (A2)", &[A2]),
+    ];
+    if !skewed {
+        // Schemes on active probes are unaffected by application-traffic
+        // skew and are omitted from Fig. 3b (§7.3).
+        v.push(defaults::flock("Flock (A1)", &[A1]));
+        v.push(defaults::netbouncer("NetBouncer (A1)", &[A1]));
+    }
+    v
+}
+
+/// Run the drop-rate sweep.
+pub fn run(opts: &ExpOpts, skewed: bool) -> String {
+    let topo = sim_topology(opts);
+    let flows = opts.pick(8_000, 100_000);
+    let traces_per_point = opts.pick(4, 16);
+    let rates = [0.002, 0.004, 0.006, 0.008, 0.010, 0.012, 0.014];
+    let pattern = if skewed {
+        TrafficPattern::paper_skewed()
+    } else {
+        TrafficPattern::Uniform
+    };
+
+    // Calibrate once on mid-rate traces (§6.1: parameters calibrated on
+    // random-drop simulations and reused; 007 recalibrated separately for
+    // skewed traffic, as the paper had to).
+    let train: Vec<TraceBundle> = (0..opts.pick(3, 6))
+        .map(|i| {
+            soft_failure_trace(
+                &topo,
+                0.005,
+                &Workload::with_flows(flows, pattern),
+                7000 + i as u64,
+            )
+        })
+        .collect();
+    let schemes: Vec<SchemeUnderTest> = panel(skewed)
+        .into_iter()
+        .map(|s| s.calibrated(&train, opts.quick, opts.threads))
+        .collect();
+
+    let name = if skewed { "Fig 3b (skewed)" } else { "Fig 3a (uniform)" };
+    let mut out = format!("# {name}: Fscore vs drop rate, {traces_per_point} traces/point\n\n");
+    let mut header: Vec<&str> = vec!["drop rate %"];
+    let labels: Vec<String> = schemes.iter().map(|s| s.label.clone()).collect();
+    header.extend(labels.iter().map(|s| s.as_str()));
+    let mut tbl = Table::new(&header);
+
+    for (ri, rate) in rates.iter().enumerate() {
+        let traces: Vec<TraceBundle> = (0..traces_per_point)
+            .map(|i| {
+                soft_failure_trace(
+                    &topo,
+                    *rate,
+                    &Workload::with_flows(flows, pattern),
+                    (3000 + ri * 100 + i) as u64,
+                )
+            })
+            .collect();
+        let mut row = vec![format!("{:.1}", rate * 100.0)];
+        for s in &schemes {
+            let pr = s.evaluate(&traces);
+            row.push(f3(fscore(pr.precision, pr.recall)));
+        }
+        tbl.row(row);
+    }
+    out.push_str(&tbl.render());
+    out
+}

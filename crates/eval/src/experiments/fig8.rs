@@ -1,0 +1,86 @@
+//! Fig. 8 (appendix) — Flock's parameter sensitivity.
+//!
+//! 8a: Fscore as `p_b` sweeps 0.2–1.0 ×10⁻² for several `p_g` values.
+//! 8b: precision/recall as the prior strength `−ln ρ` varies
+//! (stronger priors → fewer false positives → points move right).
+
+use crate::report::{f3, Table};
+use crate::scenario::{silent_drop_trace, sim_topology, ExpOpts, TraceBundle, Workload};
+use crate::schemes::SchemeUnderTest;
+use flock_calibrate::SchemeConfig;
+use flock_core::{fscore, HyperParams};
+use flock_netsim::traffic::TrafficPattern;
+use flock_telemetry::InputKind::*;
+
+fn traces(opts: &ExpOpts) -> Vec<TraceBundle> {
+    let topo = sim_topology(opts);
+    let flows = opts.pick(8_000, 60_000);
+    (0..opts.pick(4, 12))
+        .map(|i| {
+            silent_drop_trace(
+                &topo,
+                1 + i % 4,
+                &Workload::with_flows(flows, TrafficPattern::Uniform),
+                11_000 + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 8a.
+pub fn run_sensitivity(opts: &ExpOpts) -> String {
+    let ts = traces(opts);
+    let p_gs = [1e-4, 3e-4, 5e-4, 7e-4];
+    let p_bs = [2e-3, 4e-3, 6e-3, 8e-3, 1e-2];
+
+    let mut out = String::from("# Fig 8a: Fscore over (p_g, p_b) — input A1+A2+P\n\n");
+    let mut header = vec!["p_b".to_string()];
+    header.extend(p_gs.iter().map(|g| format!("p_g={g:.0e}")));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut tbl = Table::new(&hdr);
+    for p_b in p_bs {
+        let mut row = vec![format!("{:.1e}", p_b)];
+        for p_g in p_gs {
+            let scheme = SchemeUnderTest::new(
+                "Flock",
+                &[A1, A2, P],
+                SchemeConfig::Flock(HyperParams {
+                    p_g,
+                    p_b,
+                    ..Default::default()
+                }),
+            );
+            let pr = scheme.evaluate(&ts);
+            row.push(f3(fscore(pr.precision, pr.recall)));
+        }
+        tbl.row(row);
+    }
+    out.push_str(&tbl.render());
+    out
+}
+
+/// Fig. 8b.
+pub fn run_priors(opts: &ExpOpts) -> String {
+    let ts = traces(opts);
+    let mut out = String::from("# Fig 8b: effect of the prior strength — input A1+A2+P\n\n");
+    let mut tbl = Table::new(&["-ln(rho)", "precision", "recall"]);
+    for neg_ln_rho in [5.0, 10.0, 15.0, 20.0] {
+        let scheme = SchemeUnderTest::new(
+            "Flock",
+            &[A1, A2, P],
+            SchemeConfig::Flock(HyperParams {
+                rho_link: (-neg_ln_rho as f64).exp(),
+                ..Default::default()
+            }),
+        );
+        let pr = scheme.evaluate(&ts);
+        tbl.row(vec![
+            format!("{neg_ln_rho:.0}"),
+            f3(pr.precision),
+            f3(pr.recall),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out.push_str("\nStronger priors trade recall for precision (points move right in Fig. 8b).\n");
+    out
+}

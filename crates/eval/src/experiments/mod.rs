@@ -1,0 +1,48 @@
+//! One module per paper figure/table. See the crate docs for the mapping
+//! and DESIGN.md §5 for workloads and parameters.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4ab;
+pub mod fig4cd;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod headline;
+pub mod table1;
+
+use crate::scenario::ExpOpts;
+
+/// All experiment ids in run order.
+pub const ALL: &[&str] = &[
+    "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig5ab",
+    "fig5c", "fig6", "fig7", "fig8a", "fig8b", "table1", "headline",
+];
+
+/// Run one experiment by id; returns its report text.
+pub fn run(name: &str, opts: &ExpOpts) -> Result<String, String> {
+    match name {
+        "fig2a" => Ok(fig2::run_silent_drops(opts, false)),
+        "fig2b" => Ok(fig2::run_silent_drops(opts, true)),
+        "fig2c" => Ok(fig2::run_device_failures(opts)),
+        "fig3a" => Ok(fig3::run(opts, false)),
+        "fig3b" => Ok(fig3::run(opts, true)),
+        "fig4a" => Ok(fig4ab::run_wred(opts)),
+        "fig4b" => Ok(fig4ab::run_flap(opts)),
+        "fig4c" => Ok(fig4cd::run_inference_scaling(opts)),
+        "fig4d" => Ok(fig4cd::run_scheme_runtime(opts)),
+        "fig5ab" => Ok(fig5::run_irregular(opts)),
+        "fig5c" => Ok(fig5::run_passive_hard(opts)),
+        "fig6" => Ok(fig6::run()),
+        "fig7" => Ok(fig7::run(opts)),
+        "fig8a" => Ok(fig8::run_sensitivity(opts)),
+        "fig8b" => Ok(fig8::run_priors(opts)),
+        "table1" => Ok(table1::run(opts)),
+        "headline" => Ok(headline::run(opts, None)),
+        other => Err(format!(
+            "unknown experiment '{other}'; available: {}",
+            ALL.join(", ")
+        )),
+    }
+}

@@ -1,0 +1,183 @@
+//! Table 1 — parameter-calibration robustness (§7.7).
+//!
+//! Each scheme is calibrated on one environment and tested on another
+//! ("D" rows), against calibrating on the test environment itself ("S"
+//! rows). Four environment shifts, as in the paper:
+//!
+//! * **different topology** — calibrated on the simulated Clos with
+//!   random silent drops, tested on DES misconfigured-queue traces in the
+//!   20× smaller testbed fabric;
+//! * **different failure rate** — tested on traces whose failed links
+//!   drop at 2–5% instead of the training 0.1–1%;
+//! * **different monitoring interval** — tested on traces with a quarter
+//!   of the flows (shorter monitoring);
+//! * **different failure scenario** — tested on device failures.
+
+use crate::report::{f3, Table};
+use crate::scenario::{
+    device_failure_trace, run_scenario, silent_drop_trace, sim_topology, testbed_topology,
+    testbed_wred_trace, ExpOpts, TraceBundle, Workload,
+};
+use crate::schemes::{defaults, SchemeUnderTest};
+use flock_core::fscore;
+use flock_netsim::failure;
+use flock_netsim::traffic::TrafficPattern;
+use flock_telemetry::InputKind::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn panel() -> Vec<SchemeUnderTest> {
+    vec![
+        defaults::flock("Flock (A1+A2+P)", &[A1, A2, P]),
+        defaults::flock("Flock (A2)", &[A2]),
+        defaults::flock("Flock (INT)", &[Int]),
+        defaults::seven("007 (A2)", &[A2]),
+        defaults::netbouncer("NetBouncer (INT)", &[Int]),
+    ]
+}
+
+struct Environment {
+    name: &'static str,
+    test: Vec<TraceBundle>,
+    /// Same-distribution training set for the "S" rows.
+    train_same: Vec<TraceBundle>,
+}
+
+fn environments(opts: &ExpOpts) -> Vec<Environment> {
+    let topo = sim_topology(opts);
+    let flows = opts.pick(6_000, 60_000);
+    let n_test = opts.pick(4, 10);
+    let n_train = opts.pick(3, 6);
+    let wl = |f| Workload::with_flows(f, TrafficPattern::Uniform);
+
+    // (a) different topology: DES testbed, WRED misconfiguration.
+    let tb = testbed_topology();
+    let env_topology = Environment {
+        name: "different topology",
+        test: (0..n_test)
+            .map(|i| testbed_wred_trace(&tb, opts.pick(150, 500), 20_000 + i as u64))
+            .collect(),
+        train_same: (0..n_train)
+            .map(|i| testbed_wred_trace(&tb, opts.pick(150, 500), 21_000 + i as u64))
+            .collect(),
+    };
+
+    // (b) different failure rate: 2–5% drops instead of 0.1–1%.
+    let hot = |seed0: u64, n: usize| -> Vec<TraceBundle> {
+        (0..n)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed0 + i as u64);
+                let sc = failure::silent_link_drops(
+                    &topo,
+                    1 + i % 4,
+                    (0.02, 0.05),
+                    failure::DEFAULT_NOISE_MAX,
+                    &mut rng,
+                );
+                run_scenario(&topo, &sc, &wl(flows), seed0 + i as u64)
+            })
+            .collect()
+    };
+    let env_rate = Environment {
+        name: "different failure rate",
+        test: hot(22_000, n_test),
+        train_same: hot(23_000, n_train),
+    };
+
+    // (c) different monitoring interval: a quarter of the flows.
+    let env_interval = Environment {
+        name: "different monitoring interval",
+        test: (0..n_test)
+            .map(|i| silent_drop_trace(&topo, 1 + i % 4, &wl(flows / 4), 24_000 + i as u64))
+            .collect(),
+        train_same: (0..n_train)
+            .map(|i| silent_drop_trace(&topo, 1 + i % 4, &wl(flows / 4), 25_000 + i as u64))
+            .collect(),
+    };
+
+    // (d) different failure scenario: device failures.
+    let env_scenario = Environment {
+        name: "different failure scenario",
+        test: (0..n_test)
+            .map(|i| {
+                device_failure_trace(
+                    &topo,
+                    1 + i % 2,
+                    [0.25, 0.5, 0.75, 1.0][i % 4],
+                    &wl(flows),
+                    26_000 + i as u64,
+                )
+            })
+            .collect(),
+        train_same: (0..n_train)
+            .map(|i| {
+                device_failure_trace(
+                    &topo,
+                    1 + i % 2,
+                    [0.5, 1.0][i % 2],
+                    &wl(flows),
+                    27_000 + i as u64,
+                )
+            })
+            .collect(),
+    };
+
+    vec![env_topology, env_rate, env_interval, env_scenario]
+}
+
+/// Run the robustness table.
+pub fn run(opts: &ExpOpts) -> String {
+    let topo = sim_topology(opts);
+    let flows = opts.pick(6_000, 60_000);
+    let n_train = opts.pick(3, 6);
+    // The base training environment: simulated random silent drops (§5.2).
+    let base_train: Vec<TraceBundle> = (0..n_train)
+        .map(|i| {
+            silent_drop_trace(
+                &topo,
+                1 + i % 4,
+                &Workload::with_flows(flows, TrafficPattern::Uniform),
+                28_000 + i as u64,
+            )
+        })
+        .collect();
+
+    let envs = environments(opts);
+    let mut out = String::from("# Table 1: parameter-calibration robustness\n\n");
+    let mut header = vec!["scheme".to_string(), "calibrated".to_string()];
+    for e in &envs {
+        header.push(format!("{} p", e.name));
+        header.push(format!("{} r", e.name));
+    }
+    header.push("aggregate fscore".to_string());
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut tbl = Table::new(&hdr);
+
+    for scheme in panel() {
+        // D: calibrated on the base environment.
+        let d_cal = scheme.calibrated(&base_train, opts.quick, opts.threads);
+        let mut d_row = vec![scheme.label.clone(), "D".to_string()];
+        let mut d_f = 0.0;
+        // S: calibrated per environment.
+        let mut s_row = vec![scheme.label.clone(), "S".to_string()];
+        let mut s_f = 0.0;
+        for env in &envs {
+            let pr = d_cal.evaluate(&env.test);
+            d_row.push(f3(pr.precision));
+            d_row.push(f3(pr.recall));
+            d_f += fscore(pr.precision, pr.recall);
+
+            let s_cal = scheme.calibrated(&env.train_same, opts.quick, opts.threads);
+            let pr = s_cal.evaluate(&env.test);
+            s_row.push(f3(pr.precision));
+            s_row.push(f3(pr.recall));
+            s_f += fscore(pr.precision, pr.recall);
+        }
+        d_row.push(f3(d_f / envs.len() as f64));
+        s_row.push(f3(s_f / envs.len() as f64));
+        tbl.row(d_row);
+        tbl.row(s_row);
+    }
+    out.push_str(&tbl.render());
+    out
+}

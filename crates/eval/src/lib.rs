@@ -1,0 +1,30 @@
+//! Evaluation harness: one experiment per figure/table of the paper.
+//!
+//! Every experiment in §6–7 (plus the appendix figures) is regenerable via
+//! the `flock-exp` binary:
+//!
+//! ```text
+//! cargo run --release -p flock-eval --bin flock-exp -- <experiment> [--quick]
+//! ```
+//!
+//! where `<experiment>` is one of `fig2a`, `fig2b`, `fig2c`, `fig3a`,
+//! `fig3b`, `fig4a`, `fig4b`, `fig4c`, `fig4d`, `fig5ab`, `fig5c`, `fig6`,
+//! `fig7`, `fig8a`, `fig8b`, `table1`, `headline`, or `all`. `--quick`
+//! shrinks trace counts and topology sizes for CI-speed runs; the full
+//! settings match the paper's workload shapes (see DESIGN.md §5 for the
+//! per-experiment index).
+//!
+//! The harness prints the same rows/series the paper's figures plot;
+//! EXPERIMENTS.md records a full run together with the paper-reported
+//! values for shape comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod schemes;
+
+pub use scenario::{ExpOpts, TraceBundle};
+pub use schemes::SchemeUnderTest;

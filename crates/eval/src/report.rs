@@ -1,0 +1,95 @@
+//! Minimal table formatting for experiment output (markdown-flavored, so
+//! reports paste directly into EXPERIMENTS.md).
+
+/// A simple column-aligned markdown table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a markdown table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a duration in adaptive units.
+pub fn dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["scheme", "precision"]);
+        t.row(vec!["Flock".into(), f3(0.987)]);
+        t.row(vec!["007".into(), f3(0.5)]);
+        let s = t.render();
+        assert!(s.contains("| scheme |"));
+        assert!(s.contains("| 0.987"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert!(dur(std::time::Duration::from_millis(5)).contains("ms"));
+        assert!(dur(std::time::Duration::from_secs(3)).ends_with("s"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Trace generation: the glue between the simulators and the inference
+//! input assembly, shared by every experiment.
+
+use flock_netsim::des::{simulate_des, DesConfig, DesFaults, Flap, WredParams};
+use flock_netsim::failure::{self, FailureScenario, DEFAULT_NOISE_MAX};
+use flock_netsim::flowsim::{run_probes, simulate_flows, FlowSimConfig};
+use flock_netsim::traffic::{generate_demands, TrafficConfig, TrafficPattern};
+use flock_telemetry::input::{assemble, AnalysisMode, InputKind, ObservationSet};
+use flock_telemetry::{plan_a1_probes, MonitoredFlow};
+use flock_topology::{ClosParams, GroundTruth, LeafSpineParams, Router, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Global experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOpts {
+    /// Shrink workloads for fast runs.
+    pub quick: bool,
+    /// Worker threads for calibration sweeps.
+    pub threads: usize,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            quick: false,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExpOpts {
+    /// `quick ? a : b`
+    pub fn pick(&self, quick: usize, full: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// A generated trace: the monitored flows of one fault episode plus its
+/// ground truth. Input kinds are applied afterwards via
+/// [`TraceBundle::assemble`], so one trace serves every scheme.
+#[derive(Clone)]
+pub struct TraceBundle {
+    /// The topology of this trace.
+    pub topo: Arc<Topology>,
+    /// All monitored flows (probes and passive traffic).
+    pub flows: Vec<MonitoredFlow>,
+    /// Ground truth.
+    pub truth: GroundTruth,
+}
+
+impl TraceBundle {
+    /// Assemble the inference input for the given telemetry kinds.
+    pub fn assemble(&self, kinds: &[InputKind], mode: AnalysisMode) -> ObservationSet {
+        let router = Router::new(&self.topo);
+        assemble(&self.topo, &router, &self.flows, kinds, mode)
+    }
+}
+
+/// The simulation topology of §6.3 (NS3-scale: ~2500 links); quick mode
+/// uses a quarter-size fabric.
+pub fn sim_topology(opts: &ExpOpts) -> Arc<Topology> {
+    let params = if opts.quick {
+        ClosParams {
+            pods: 4,
+            tors_per_pod: 4,
+            aggs_per_pod: 2,
+            spines_per_plane: 4,
+            hosts_per_tor: 6,
+        }
+    } else {
+        ClosParams::ns3_scale()
+    };
+    Arc::new(flock_topology::clos::three_tier(params))
+}
+
+/// The hardware-testbed topology (2 spines, 8 leaves, 6 hosts per rack).
+pub fn testbed_topology() -> Arc<Topology> {
+    Arc::new(flock_topology::clos::leaf_spine(LeafSpineParams::testbed()))
+}
+
+/// Workload knobs shared by the accuracy experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Passive flows per trace.
+    pub passive_flows: usize,
+    /// Probe packets per (host, spine, path) triple.
+    pub probe_packets: u64,
+    /// Cap on the number of probe streams.
+    pub probe_budget: usize,
+    /// Traffic matrix shape.
+    pub pattern: TrafficPattern,
+}
+
+impl Workload {
+    /// The paper's default workload with the given passive-flow count.
+    pub fn with_flows(passive_flows: usize, pattern: TrafficPattern) -> Self {
+        Workload {
+            passive_flows,
+            probe_packets: 50,
+            probe_budget: 8192,
+            pattern,
+        }
+    }
+}
+
+/// Simulate one trace under an arbitrary failure scenario.
+pub fn run_scenario(
+    topo: &Arc<Topology>,
+    scenario: &FailureScenario,
+    workload: &Workload,
+    seed: u64,
+) -> TraceBundle {
+    let router = Router::new(topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = FlowSimConfig::default();
+    let demands = generate_demands(
+        topo,
+        &TrafficConfig::paper(workload.passive_flows, workload.pattern),
+        &mut rng,
+    );
+    let mut flows = simulate_flows(topo, &router, scenario, &demands, &cfg, &mut rng);
+    let specs = plan_a1_probes(topo, &router, workload.probe_packets, Some(workload.probe_budget));
+    flows.extend(run_probes(scenario, &specs, &cfg, &mut rng));
+    TraceBundle {
+        topo: Arc::clone(topo),
+        flows,
+        truth: scenario.truth.clone(),
+    }
+}
+
+/// Silent-link-drop trace (§7.1): 1–8 failed links, drop rates 0.1–1%.
+pub fn silent_drop_trace(
+    topo: &Arc<Topology>,
+    n_failed: usize,
+    workload: &Workload,
+    seed: u64,
+) -> TraceBundle {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+    let scenario =
+        failure::silent_link_drops(topo, n_failed, (0.001, 0.01), DEFAULT_NOISE_MAX, &mut rng);
+    run_scenario(topo, &scenario, workload, seed)
+}
+
+/// Device-failure trace (§7.2): up to `n_devices` devices with
+/// `frac_links` of their cables failed.
+pub fn device_failure_trace(
+    topo: &Arc<Topology>,
+    n_devices: usize,
+    frac_links: f64,
+    workload: &Workload,
+    seed: u64,
+) -> TraceBundle {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xc2b2_ae35));
+    let scenario = failure::device_failure(
+        topo,
+        n_devices,
+        frac_links,
+        (0.001, 0.01),
+        DEFAULT_NOISE_MAX,
+        &mut rng,
+    );
+    run_scenario(topo, &scenario, workload, seed)
+}
+
+/// Soft-gray-failure trace (§7.3): one failed link with an exact rate.
+pub fn soft_failure_trace(
+    topo: &Arc<Topology>,
+    drop_rate: f64,
+    workload: &Workload,
+    seed: u64,
+) -> TraceBundle {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x1656_67b1));
+    let scenario = failure::single_soft_failure(topo, drop_rate, DEFAULT_NOISE_MAX, &mut rng);
+    run_scenario(topo, &scenario, workload, seed)
+}
+
+/// Testbed misconfigured-WRED trace (§7.4), generated by the DES.
+pub fn testbed_wred_trace(topo: &Arc<Topology>, flows: usize, seed: u64) -> TraceBundle {
+    let router = Router::new(topo);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x27d4_eb2f));
+    use rand::seq::IndexedRandom;
+    let bad = *topo.fabric_links().choose(&mut rng).unwrap();
+    let faults = DesFaults {
+        wred: vec![(
+            bad,
+            WredParams {
+                threshold: 0,
+                drop_prob: 0.01,
+            },
+        )],
+        ..Default::default()
+    };
+    let demands = generate_demands(
+        topo,
+        &TrafficConfig::paper(flows, TrafficPattern::Uniform),
+        &mut rng,
+    );
+    let telemetry = simulate_des(topo, &router, &DesConfig::default(), &faults, &demands, &mut rng);
+    // A2-style path tracing is available on the testbed; A1 probing is not
+    // (no IP-in-IP switch support, §6.3), so no probe records here.
+    TraceBundle {
+        topo: Arc::clone(topo),
+        flows: telemetry,
+        truth: GroundTruth {
+            failed_links: vec![bad],
+            failed_devices: vec![],
+        },
+    }
+}
+
+/// Testbed link-flap trace (§7.5): the link buffers for the flap duration.
+pub fn testbed_flap_trace(topo: &Arc<Topology>, flows: usize, seed: u64) -> TraceBundle {
+    let router = Router::new(topo);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x85eb_ca6b));
+    use rand::seq::IndexedRandom;
+    let bad = *topo.fabric_links().choose(&mut rng).unwrap();
+    let cfg = DesConfig {
+        horizon_ns: 1_000_000_000,
+        ..Default::default()
+    };
+    let faults = DesFaults {
+        flaps: vec![Flap {
+            link: bad,
+            start_ns: 0,
+            duration_ns: 800_000_000, // 800 ms: most flows overlap it
+        }],
+        ..Default::default()
+    };
+    let demands = generate_demands(
+        topo,
+        &TrafficConfig::paper(flows, TrafficPattern::Uniform),
+        &mut rng,
+    );
+    let telemetry = simulate_des(topo, &router, &cfg, &faults, &demands, &mut rng);
+    TraceBundle {
+        topo: Arc::clone(topo),
+        flows: telemetry,
+        truth: GroundTruth {
+            failed_links: vec![bad],
+            failed_devices: vec![],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_drop_trace_contains_probes_and_passive() {
+        let opts = ExpOpts {
+            quick: true,
+            threads: 1,
+        };
+        let topo = sim_topology(&opts);
+        let workload = Workload::with_flows(500, TrafficPattern::Uniform);
+        let t = silent_drop_trace(&topo, 2, &workload, 1);
+        assert_eq!(t.truth.failed_links.len(), 2);
+        let probes = t
+            .flows
+            .iter()
+            .filter(|f| f.class == flock_telemetry::TrafficClass::Probe)
+            .count();
+        assert!(probes > 0 && probes <= 8192);
+        assert!(t.flows.len() > probes, "passive flows present");
+        // Assembly produces non-empty inputs for all kinds.
+        for kinds in [
+            vec![InputKind::A1],
+            vec![InputKind::A2],
+            vec![InputKind::P],
+            vec![InputKind::Int],
+        ] {
+            let obs = t.assemble(&kinds, AnalysisMode::PerPacket);
+            if kinds != [InputKind::A2] {
+                assert!(!obs.flows.is_empty(), "{kinds:?} input empty");
+            }
+        }
+    }
+
+    #[test]
+    fn testbed_traces_have_single_truth_link() {
+        let topo = testbed_topology();
+        let t = testbed_wred_trace(&topo, 60, 3);
+        assert_eq!(t.truth.failed_links.len(), 1);
+        let t2 = testbed_flap_trace(&topo, 40, 4);
+        assert_eq!(t2.truth.failed_links.len(), 1);
+        // Flap: some flow has a big RTT.
+        assert!(t2.flows.iter().any(|f| f.stats.rtt_max_us > 10_000));
+    }
+}

@@ -1,0 +1,185 @@
+//! The scheme × input-telemetry configurations the paper compares, and
+//! helpers to run them over traces.
+
+use crate::scenario::TraceBundle;
+use flock_calibrate::{evaluate_grid, select, FlockGrid, NetBouncerGrid, SchemeConfig, SevenGrid, TrainingTrace};
+use flock_core::{evaluate, MetricsAccumulator, PrecisionRecall};
+use flock_telemetry::input::{AnalysisMode, InputKind};
+use std::sync::Arc;
+
+/// One (scheme, input kind) cell of the paper's comparisons, e.g.
+/// "Flock (A1+P)" or "NetBouncer (INT)".
+#[derive(Clone)]
+pub struct SchemeUnderTest {
+    /// Display label, matching the paper's figure legends.
+    pub label: String,
+    /// Telemetry kinds fed to the scheme.
+    pub kinds: Vec<InputKind>,
+    /// Analysis mode (per-packet except the link-flap experiment).
+    pub mode: AnalysisMode,
+    /// Scheme configuration (parameters possibly calibrated).
+    pub config: SchemeConfig,
+}
+
+impl SchemeUnderTest {
+    /// Construct with a label of the form `"<family> (<input>)"`.
+    pub fn new(label: &str, kinds: &[InputKind], config: SchemeConfig) -> Self {
+        SchemeUnderTest {
+            label: label.to_string(),
+            kinds: kinds.to_vec(),
+            mode: AnalysisMode::PerPacket,
+            config,
+        }
+    }
+
+    /// Evaluate this scheme over a set of traces; returns mean
+    /// precision/recall.
+    pub fn evaluate(&self, traces: &[TraceBundle]) -> PrecisionRecall {
+        let localizer = self.config.build();
+        let mut acc = MetricsAccumulator::new();
+        for t in traces {
+            let obs = t.assemble(&self.kinds, self.mode);
+            let result = localizer.localize(&t.topo, &obs);
+            acc.add(evaluate(&t.topo, &result.predicted, &t.truth));
+        }
+        acc.mean()
+    }
+
+    /// Calibrate this scheme's parameters on training traces (§5.2),
+    /// returning a copy with the selected configuration.
+    pub fn calibrated(&self, train: &[TraceBundle], quick: bool, threads: usize) -> Self {
+        let grid = grid_for(&self.config, quick);
+        let training: Vec<TrainingTrace> = train
+            .iter()
+            .map(|t| TrainingTrace {
+                topo: Arc::clone(&t.topo),
+                obs: Arc::new(t.assemble(&self.kinds, self.mode)),
+                truth: t.truth.clone(),
+            })
+            .collect();
+        let points = evaluate_grid(&grid, &training, threads);
+        let chosen = select(&points).expect("non-empty grid");
+        SchemeUnderTest {
+            config: chosen.config,
+            ..self.clone()
+        }
+    }
+
+    /// Evaluate the whole parameter grid on `traces` (the Fig. 2 tradeoff
+    /// curves), returning `(config, precision, recall)` rows.
+    pub fn tradeoff_curve(
+        &self,
+        traces: &[TraceBundle],
+        quick: bool,
+        threads: usize,
+    ) -> Vec<(SchemeConfig, PrecisionRecall)> {
+        let grid = grid_for(&self.config, quick);
+        let ts: Vec<TrainingTrace> = traces
+            .iter()
+            .map(|t| TrainingTrace {
+                topo: Arc::clone(&t.topo),
+                obs: Arc::new(t.assemble(&self.kinds, self.mode)),
+                truth: t.truth.clone(),
+            })
+            .collect();
+        let points = evaluate_grid(&grid, &ts, threads);
+        flock_calibrate::pareto_front(&points)
+            .into_iter()
+            .map(|p| (p.config, p.metrics))
+            .collect()
+    }
+}
+
+/// The calibration grid for a scheme family; quick mode trims it.
+fn grid_for(config: &SchemeConfig, quick: bool) -> Vec<SchemeConfig> {
+    match config {
+        SchemeConfig::Flock(_) => {
+            let mut g = FlockGrid::default();
+            if quick {
+                g.p_g = vec![1e-4, 5e-4];
+                g.p_b = vec![2e-3, 6e-3, 1e-2];
+                g.neg_ln_rho = vec![5.0, 10.0, 15.0];
+            }
+            g.points()
+        }
+        SchemeConfig::NetBouncer { device_flow_threshold, .. } => {
+            let mut g = NetBouncerGrid::default();
+            if quick {
+                g.lambda = vec![0.5, 5.0];
+                g.link_threshold = vec![2e-4, 1e-3, 5e-3];
+            }
+            if *device_flow_threshold != u64::MAX {
+                g.device_flow_threshold = vec![5, 20, 80];
+            }
+            g.points()
+        }
+        SchemeConfig::Seven { .. } => SevenGrid::default().points(),
+    }
+}
+
+/// Default (uncalibrated) configurations for each family.
+pub mod defaults {
+    use super::*;
+    use flock_core::HyperParams;
+
+    /// Flock with default model parameters.
+    pub fn flock(label: &str, kinds: &[InputKind]) -> SchemeUnderTest {
+        SchemeUnderTest::new(label, kinds, SchemeConfig::Flock(HyperParams::default()))
+    }
+
+    /// NetBouncer with default parameters.
+    pub fn netbouncer(label: &str, kinds: &[InputKind]) -> SchemeUnderTest {
+        SchemeUnderTest::new(
+            label,
+            kinds,
+            SchemeConfig::NetBouncer {
+                lambda: 1.0,
+                link_threshold: 5e-4,
+                device_flow_threshold: u64::MAX,
+            },
+        )
+    }
+
+    /// 007 with a default vote threshold.
+    pub fn seven(label: &str, kinds: &[InputKind]) -> SchemeUnderTest {
+        SchemeUnderTest::new(label, kinds, SchemeConfig::Seven { vote_threshold: 2.0 })
+    }
+
+    /// The full Fig. 2 scheme×input panel.
+    pub fn figure2_panel() -> Vec<SchemeUnderTest> {
+        use InputKind::*;
+        vec![
+            flock("Flock (INT)", &[Int]),
+            flock("Flock (A1+A2+P)", &[A1, A2, P]),
+            flock("Flock (A2)", &[A2]),
+            flock("Flock (A1+P)", &[A1, P]),
+            netbouncer("NetBouncer (INT)", &[Int]),
+            flock("Flock (A1)", &[A1]),
+            netbouncer("NetBouncer (A1)", &[A1]),
+            seven("007 (A2)", &[A2]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{silent_drop_trace, sim_topology, ExpOpts, Workload};
+    use flock_netsim::traffic::TrafficPattern;
+
+    #[test]
+    fn evaluate_panel_on_one_trace() {
+        let opts = ExpOpts {
+            quick: true,
+            threads: 2,
+        };
+        let topo = sim_topology(&opts);
+        let traces =
+            vec![silent_drop_trace(&topo, 1, &Workload::with_flows(800, TrafficPattern::Uniform), 7)];
+        for s in defaults::figure2_panel() {
+            let pr = s.evaluate(&traces);
+            assert!((0.0..=1.0).contains(&pr.precision), "{}", s.label);
+            assert!((0.0..=1.0).contains(&pr.recall), "{}", s.label);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Small hand-rolled samplers used by the traffic generator.
+//!
+//! The suite restricts itself to the `rand` core crate; the two
+//! distributions the paper's workloads need (Pareto flow sizes with mean
+//! 200 KB and shape 1.05 [§6.3], exponential inter-arrivals) are
+//! implemented here by inverse-transform sampling.
+
+use rand::{Rng, RngExt};
+
+/// Pareto distribution `xm * U^(-1/alpha)`.
+///
+/// The paper draws flow sizes from a Pareto with mean 200 KB and shape
+/// 1.05; [`Pareto::with_mean`] solves `mean = alpha*xm/(alpha-1)` for the
+/// scale parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Scale (minimum value).
+    pub xm: f64,
+    /// Shape parameter; heavier tail for smaller values.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct from scale and shape.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0);
+        Pareto { xm, alpha }
+    }
+
+    /// Construct with the given mean and shape (`alpha > 1` required for
+    /// the mean to exist).
+    pub fn with_mean(mean: f64, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "mean undefined for alpha <= 1");
+        Pareto::new(mean * (alpha - 1.0) / alpha, alpha)
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // U in (0,1]: avoid 0 which would blow up.
+        let u: f64 = 1.0 - rng.random::<f64>();
+        self.xm * u.powf(-1.0 / self.alpha)
+    }
+
+    /// Theoretical mean (`alpha > 1`).
+    pub fn mean(&self) -> f64 {
+        assert!(self.alpha > 1.0);
+        self.alpha * self.xm / (self.alpha - 1.0)
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit time).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    /// Rate λ.
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Construct from a rate λ > 0.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Exponential { rate }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Sample a Binomial(n, p) count by inverse-transform on the pmf
+/// recurrence. Expected work is `O(np)`, which is what makes the
+/// flow-level simulator fast: drop probabilities are tiny, so nearly every
+/// call terminates after inspecting `k = 0`.
+///
+/// Falls back to a normal approximation when `np(1-p)` is large (>1000),
+/// where the exact walk would be slow and the approximation error is
+/// negligible for trace generation.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let np = n as f64 * p;
+    let var = np * (1.0 - p);
+    if var > 1000.0 {
+        // Normal approximation with continuity correction.
+        let z = normal_sample(rng);
+        let x = np + z * var.sqrt();
+        return x.round().clamp(0.0, n as f64) as u64;
+    }
+    // Inverse transform: walk the pmf from k = 0.
+    let mut k = 0u64;
+    let mut pmf = (n as f64 * (1.0 - p).ln()).exp(); // P(X = 0)
+    let mut cdf = pmf;
+    let u: f64 = rng.random();
+    let ratio = p / (1.0 - p);
+    while u > cdf && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        cdf += pmf;
+        k += 1;
+        if pmf < 1e-300 {
+            break; // numerical tail exhausted
+        }
+    }
+    k
+}
+
+/// One standard normal sample (Box–Muller).
+fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_mean_is_close() {
+        let d = Pareto::with_mean(200_000.0, 1.05);
+        assert!((d.mean() - 200_000.0).abs() < 1e-6);
+        // Empirical mean of a heavy-tailed distribution converges slowly;
+        // use the median as a robust check instead: median = xm * 2^(1/a).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[10_000];
+        let expected = d.xm * 2f64.powf(1.0 / d.alpha);
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs expected {expected}"
+        );
+        assert!(samples[0] >= d.xm);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(4.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+        for _ in 0..100 {
+            let k = binomial(&mut rng, 5, 0.5);
+            assert!(k <= 5);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_small_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 1000u64;
+        let p = 0.005;
+        let total: u64 = (0..20_000).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_var_uses_normal_path() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 1_000_000u64;
+        let p = 0.01; // var = 9900 > 1000 → normal path
+        let total: u64 = (0..2_000).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = total as f64 / 2_000.0;
+        assert!((mean / 10_000.0 - 1.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Network simulators for the Flock fault-localization suite.
+//!
+//! Two simulators generate the telemetry traces the paper evaluates on:
+//!
+//! * [`flowsim`] — a fast flow-level simulator (the paper's "large scale
+//!   simulator", §6.3, also substituting for its NS3 traces per DESIGN.md):
+//!   each flow picks an ECMP path uniformly at random and every traversed
+//!   link drops packets with its configured probability. Scales to
+//!   millions of flows.
+//! * [`des`] — a packet-level discrete-event simulator with per-port
+//!   queues, WRED, a simplified TCP (dup-ACK fast retransmit, RTO, RTT
+//!   estimation) and link-flap events: the substitute for the paper's
+//!   hardware testbed scenarios (§6.4).
+//!
+//! Supporting modules: [`dist`] (hand-rolled Pareto/exponential samplers),
+//! [`traffic`] (uniform and skewed traffic matrices with Pareto flow
+//! sizes), and [`failure`] (failure-scenario generators: silent link
+//! drops, device failures, soft gray failures, latency faults).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod dist;
+pub mod failure;
+pub mod flowsim;
+pub mod traffic;
+
+pub use des::{simulate_des, DesConfig, DesFaults, Flap, WredParams};
+pub use failure::{FailureScenario, LatencyFault};
+pub use flowsim::{run_probes, simulate_flows, FlowSimConfig};
+pub use traffic::{FlowDemand, TrafficConfig, TrafficPattern};

@@ -1,0 +1,357 @@
+//! The central telemetry collector (§5.1, Fig. 7).
+//!
+//! A TCP listener accepts connections from many agents; each connection is
+//! served by a reader thread that frames and decodes export messages and
+//! appends the records to a shared store. The inference engine drains the
+//! store periodically (every 30 s in the paper). Throughput counters allow
+//! the Fig. 7 scalability experiment (connections/sec × records/conn) to
+//! be reproduced against the real socket path.
+
+use crate::flow::FlowRecord;
+use crate::wire::StreamDecoder;
+use parking_lot::Mutex;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Monotonic counters describing collector activity.
+#[derive(Debug, Default)]
+pub struct CollectorStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Messages decoded.
+    pub messages: AtomicU64,
+    /// Flow records received.
+    pub records: AtomicU64,
+    /// Bytes read off sockets.
+    pub bytes: AtomicU64,
+    /// Connections dropped due to decode errors.
+    pub decode_errors: AtomicU64,
+}
+
+impl CollectorStats {
+    /// Snapshot the counters as plain integers
+    /// `(connections, messages, records, bytes, decode_errors)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.connections.load(Ordering::Relaxed),
+            self.messages.load(Ordering::Relaxed),
+            self.records.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.decode_errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A running collector. Dropping it (or calling [`Collector::shutdown`])
+/// stops the accept loop and joins the reader threads.
+pub struct Collector {
+    addr: SocketAddr,
+    store: Arc<Mutex<Vec<FlowRecord>>>,
+    stats: Arc<CollectorStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Bind a collector to `addr` (use port 0 for an ephemeral port) and
+    /// start accepting agent connections.
+    pub fn bind(addr: SocketAddr) -> std::io::Result<Collector> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let store: Arc<Mutex<Vec<FlowRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(CollectorStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("flock-collector-accept".into())
+                .spawn(move || accept_loop(listener, store, stats, stop))
+                .expect("spawn collector accept thread")
+        };
+
+        Ok(Collector {
+            addr: local,
+            store,
+            stats,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drain all records received so far.
+    pub fn drain(&self) -> Vec<FlowRecord> {
+        std::mem::take(&mut *self.store.lock())
+    }
+
+    /// Number of records currently buffered.
+    pub fn pending(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &CollectorStats {
+        &self.stats
+    }
+
+    /// Stop the collector and join its threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    store: Arc<Mutex<Vec<FlowRecord>>>,
+    stats: Arc<CollectorStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    'accepting: while !stop.load(Ordering::SeqCst) {
+        // Drain every pending connection before sleeping: under a
+        // connection storm (Fig. 7's 8K connections/sec) a
+        // one-accept-per-poll loop becomes the bottleneck.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let store = Arc::clone(&store);
+                    let stats = Arc::clone(&stats);
+                    let stop = Arc::clone(&stop);
+                    readers.push(
+                        std::thread::Builder::new()
+                            .name("flock-collector-conn".into())
+                            .spawn(move || reader_loop(stream, store, stats, stop))
+                            .expect("spawn collector reader thread"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break 'accepting,
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+        // Reap finished readers opportunistically to bound the vec.
+        readers.retain(|h| !h.is_finished());
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    store: Arc<Mutex<Vec<FlowRecord>>>,
+    stats: Arc<CollectorStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut decoder = StreamDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // agent closed
+            Ok(n) => {
+                stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                decoder.feed(&buf[..n]);
+                loop {
+                    match decoder.next_message() {
+                        Ok(Some(msg)) => {
+                            stats.messages.fetch_add(1, Ordering::Relaxed);
+                            stats
+                                .records
+                                .fetch_add(msg.records.len() as u64, Ordering::Relaxed);
+                            store.lock().extend(msg.records);
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            return; // drop poisoned connection
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{AgentConfig, AgentCore, Exporter, FlowSample};
+    use crate::flow::{FlowKey, TrafficClass};
+    use crate::wire::encode_message;
+    use flock_topology::NodeId;
+    use std::io::Write;
+
+    fn wait_for<F: Fn() -> bool>(cond: F, ms: u64) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_millis(ms);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    fn ephemeral() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn agent_to_collector_roundtrip() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let mut agent = AgentCore::new(AgentConfig {
+            agent_id: 7,
+            ..Default::default()
+        });
+        for i in 0..10u32 {
+            agent.observe(FlowSample {
+                key: FlowKey::tcp(NodeId(i), NodeId(100), 4000 + i as u16, 80),
+                packets: 100,
+                retransmissions: u64::from(i % 3),
+                bytes: 10_000,
+                rtt_us: Some(250),
+                path: None,
+                class: TrafficClass::Passive,
+            });
+        }
+        let records = agent.export();
+        let msgs = agent.encode_export(1234, &records);
+        let mut exporter = Exporter::connect(collector.local_addr()).unwrap();
+        for m in &msgs {
+            exporter.send(m).unwrap();
+        }
+        exporter.finish().unwrap();
+
+        assert!(wait_for(|| collector.pending() == 10, 2000));
+        let got = collector.drain();
+        assert_eq!(got.len(), 10);
+        assert_eq!(collector.pending(), 0);
+        let (conns, _msgs, recs, bytes, errs) = collector.stats().snapshot();
+        assert_eq!(conns, 1);
+        assert_eq!(recs, 10);
+        assert!(bytes > 0);
+        assert_eq!(errs, 0);
+    }
+
+    #[test]
+    fn multiple_agents_concurrently() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let addr = collector.local_addr();
+        let n_agents = 8;
+        let per_agent = 50u32;
+        let handles: Vec<_> = (0..n_agents)
+            .map(|a| {
+                std::thread::spawn(move || {
+                    let mut agent = AgentCore::new(AgentConfig {
+                        agent_id: a,
+                        ..Default::default()
+                    });
+                    for i in 0..per_agent {
+                        agent.observe(FlowSample {
+                            key: FlowKey::tcp(
+                                NodeId(a * 1000 + i),
+                                NodeId(9999),
+                                (i % 60000) as u16,
+                                80,
+                            ),
+                            packets: 1,
+                            retransmissions: 0,
+                            bytes: 64,
+                            rtt_us: None,
+                            path: None,
+                            class: TrafficClass::Passive,
+                        });
+                    }
+                    let recs = agent.export();
+                    let msgs = agent.encode_export(0, &recs);
+                    let mut exp = Exporter::connect(addr).unwrap();
+                    for m in &msgs {
+                        exp.send(m).unwrap();
+                    }
+                    exp.finish().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = (n_agents * per_agent) as usize;
+        assert!(wait_for(|| collector.pending() == expected, 3000));
+        let (conns, ..) = collector.stats().snapshot();
+        assert_eq!(conns, n_agents as u64);
+    }
+
+    #[test]
+    fn malformed_stream_increments_error_and_drops_conn() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let mut s = TcpStream::connect(collector.local_addr()).unwrap();
+        s.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        s.write_all(&[0u8; 60]).unwrap();
+        drop(s);
+        assert!(wait_for(
+            || collector.stats().decode_errors.load(Ordering::Relaxed) == 1,
+            2000
+        ));
+        // A healthy agent can still connect afterwards.
+        let msg = encode_message(1, 0, 0, &[]);
+        let mut s2 = TcpStream::connect(collector.local_addr()).unwrap();
+        s2.write_all(&msg).unwrap();
+        drop(s2);
+        assert!(wait_for(
+            || collector.stats().messages.load(Ordering::Relaxed) == 1,
+            2000
+        ));
+    }
+
+    #[test]
+    fn shutdown_joins_threads() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let addr = collector.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&encode_message(1, 0, 0, &[])).unwrap();
+        assert!(wait_for(
+            || collector.stats().messages.load(Ordering::Relaxed) == 1,
+            2000
+        ));
+        collector.shutdown();
+        // Port should eventually be reusable / connections refused.
+        // (We only assert shutdown() returned, i.e. threads joined.)
+    }
+}

@@ -1,0 +1,543 @@
+//! Inference input assembly (§6.2).
+//!
+//! Every localization scheme in the suite consumes the same structure, an
+//! [`ObservationSet`]: a list of aggregated flow observations, each with a
+//! number of packets sent, a number of "bad" packets, and a *path set* —
+//! a single pinned path for known-path telemetry (A1 probes, A2 traced
+//! flows, INT) or the full ECMP set for passive flows.
+//!
+//! Paths are split into a per-flow *prefix* (the host attachment links,
+//! shared by every member of the flow's path set) and an interned *fabric
+//! path set* (switch-to-switch). The split keeps memory linear in the
+//! number of distinct ToR pairs rather than host pairs, which is what
+//! makes the 9.5M-flow headline experiment feasible; the inference engine
+//! exploits the same split to share path state across flows.
+//!
+//! Observations that are fully identical — same prefix, same path set,
+//! same `(sent, bad)` — are merged with a `weight` multiplier. The
+//! per-flow likelihood of Eq. 1 depends only on these fields, so the merge
+//! is exact. Active-probe inputs compress dramatically (most probes lose
+//! zero packets).
+
+use crate::flow::{MonitoredFlow, TrafficClass};
+use flock_topology::{LinkId, NodeRole, Router, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of an interned fabric path in a [`PathArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathId(pub u32);
+
+/// Index of an interned fabric path *set* in a [`PathArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathSetId(pub u32);
+
+/// Interning arena for fabric paths and path sets.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct PathArena {
+    paths: Vec<Vec<LinkId>>,
+    sets: Vec<Vec<PathId>>,
+    #[serde(skip)]
+    path_lookup: HashMap<Vec<LinkId>, PathId>,
+    #[serde(skip)]
+    set_lookup: HashMap<Vec<PathId>, PathSetId>,
+}
+
+impl PathArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a fabric path (a link sequence; may be empty for same-ToR
+    /// traffic).
+    pub fn intern_path(&mut self, links: &[LinkId]) -> PathId {
+        if let Some(id) = self.path_lookup.get(links) {
+            return *id;
+        }
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(links.to_vec());
+        self.path_lookup.insert(links.to_vec(), id);
+        id
+    }
+
+    /// Intern a path *without* dedup lookup. ECMP fabric paths are unique
+    /// to their ToR pair (every member contains both endpoint ToRs), so
+    /// the assembler skips the lookup map for them — at the headline scale
+    /// (tens of millions of paths) the map's key copies would dominate
+    /// memory.
+    pub fn intern_path_nodedup(&mut self, links: &[LinkId]) -> PathId {
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(links.to_vec());
+        id
+    }
+
+    /// Intern a set of already-interned paths. Order-insensitive: the set
+    /// is canonicalized by sorting.
+    pub fn intern_set(&mut self, mut paths: Vec<PathId>) -> PathSetId {
+        paths.sort_unstable_by_key(|p| p.0);
+        paths.dedup();
+        if let Some(id) = self.set_lookup.get(&paths) {
+            return *id;
+        }
+        let id = PathSetId(self.sets.len() as u32);
+        self.sets.push(paths.clone());
+        self.set_lookup.insert(paths, id);
+        id
+    }
+
+    /// Intern a singleton set for a known path.
+    pub fn intern_single(&mut self, links: &[LinkId]) -> PathSetId {
+        let p = self.intern_path(links);
+        self.intern_set(vec![p])
+    }
+
+    /// The links of an interned path.
+    #[inline]
+    pub fn path(&self, id: PathId) -> &[LinkId] {
+        &self.paths[id.0 as usize]
+    }
+
+    /// The member paths of an interned set.
+    #[inline]
+    pub fn set(&self, id: PathSetId) -> &[PathId] {
+        &self.sets[id.0 as usize]
+    }
+
+    /// Number of interned paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of interned sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// How flow metrics are turned into the model's `(sent, bad)` counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AnalysisMode {
+    /// Per-packet analysis (§3.2): `sent` = packets, `bad` =
+    /// retransmissions (proxy for lost/corrupted packets).
+    PerPacket,
+    /// Per-flow analysis (§3.2, used for latency faults like link flaps,
+    /// §7.5): `sent` = 1, `bad` = 1 iff the flow's max RTT exceeds the
+    /// threshold.
+    PerFlow {
+        /// RTT threshold in microseconds above which the flow is "bad".
+        rtt_threshold_us: u32,
+    },
+}
+
+/// One aggregated observation handed to inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowObs {
+    /// Host attachment links traversed by *every* possible path of this
+    /// flow (source uplink and/or destination downlink); `None` for
+    /// switch-terminated traffic.
+    pub prefix: [Option<LinkId>; 2],
+    /// The fabric path set (singleton when the path is known).
+    pub set: PathSetId,
+    /// Packets sent (or 1 in per-flow mode).
+    pub sent: u64,
+    /// Bad packets (or 0/1 in per-flow mode).
+    pub bad: u64,
+    /// Number of identical underlying flows merged into this observation.
+    pub weight: u32,
+}
+
+impl FlowObs {
+    /// Whether the exact path of this observation is known.
+    pub fn path_known(&self, arena: &PathArena) -> bool {
+        arena.set(self.set).len() == 1
+    }
+}
+
+/// The input to every inference scheme: interned paths plus aggregated
+/// flow observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObservationSet {
+    /// Path/set interning arena.
+    pub arena: PathArena,
+    /// Aggregated observations.
+    pub flows: Vec<FlowObs>,
+    /// The analysis mode the observations were assembled under.
+    pub mode: AnalysisMode,
+}
+
+impl ObservationSet {
+    /// Total underlying flows (sum of weights).
+    pub fn flow_count(&self) -> u64 {
+        self.flows.iter().map(|f| u64::from(f.weight)).sum()
+    }
+
+    /// Iterate the full link sequence (prefix + fabric) of one member path
+    /// of an observation.
+    pub fn full_path_links<'a>(
+        &'a self,
+        obs: &'a FlowObs,
+        path: PathId,
+    ) -> impl Iterator<Item = LinkId> + 'a {
+        obs.prefix
+            .iter()
+            .take(1)
+            .filter_map(|l| *l)
+            .chain(self.arena.path(path).iter().copied())
+            .chain(obs.prefix.iter().skip(1).filter_map(|l| *l))
+    }
+}
+
+/// Telemetry kinds per §6.2. Combinations are expressed as slices, e.g.
+/// `&[InputKind::A1, InputKind::P]` for "A1+P".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputKind {
+    /// Active host↔spine probes with known paths (NetBouncer-style).
+    A1,
+    /// Flagged flows (≥1 bad packet) with traced paths (007-style).
+    A2,
+    /// Passive flow reports with ECMP path *sets* (NetFlow/IPFIX-style).
+    P,
+    /// INT: paths known for all reported traffic (probes and passive).
+    Int,
+}
+
+/// Assemble an [`ObservationSet`] from monitored flows under the given
+/// telemetry kinds and analysis mode.
+///
+/// Selection rules (§6.2):
+/// * probes are included under A1 or INT, always with their known path;
+/// * passive flows are included with known paths under INT;
+/// * under A2, passive flows with at least one bad packet are included
+///   with known (traced) paths;
+/// * under P, remaining passive flows are included with their ECMP path
+///   set (resolved through `router`).
+pub fn assemble(
+    topo: &Topology,
+    router: &Router<'_>,
+    flows: &[MonitoredFlow],
+    kinds: &[InputKind],
+    mode: AnalysisMode,
+) -> ObservationSet {
+    let has = |k: InputKind| kinds.contains(&k);
+    let mut arena = PathArena::new();
+    let mut agg: HashMap<FlowObs, u32> = HashMap::new();
+    // Cache of ECMP path-set ids per (src_leaf, dst_leaf).
+    let mut ecmp_cache: HashMap<(flock_topology::NodeId, flock_topology::NodeId), PathSetId> =
+        HashMap::new();
+
+    for mf in flows {
+        let (sent, bad) = metrics(mf, mode);
+        if sent == 0 {
+            continue;
+        }
+        let obs = match mf.class {
+            TrafficClass::Probe => {
+                if !(has(InputKind::A1) || has(InputKind::Int)) {
+                    continue;
+                }
+                known_path_obs(topo, &mut arena, &mf.true_path, sent, bad)
+            }
+            TrafficClass::Passive => {
+                let known = has(InputKind::Int) || (has(InputKind::A2) && bad > 0);
+                if known {
+                    known_path_obs(topo, &mut arena, &mf.true_path, sent, bad)
+                } else if has(InputKind::P) {
+                    let src_leaf = topo.host_leaf(mf.key.src);
+                    let dst_leaf = topo.host_leaf(mf.key.dst);
+                    let set = *ecmp_cache.entry((src_leaf, dst_leaf)).or_insert_with(|| {
+                        let paths = router.paths(src_leaf, dst_leaf);
+                        let ids: Vec<PathId> = paths
+                            .iter()
+                            .map(|p| arena.intern_path_nodedup(&p.links))
+                            .collect();
+                        arena.intern_set(ids)
+                    });
+                    FlowObs {
+                        prefix: [
+                            Some(topo.host_uplink(mf.key.src)),
+                            Some(topo.host_downlink(mf.key.dst)),
+                        ],
+                        set,
+                        sent,
+                        bad,
+                        weight: 1,
+                    }
+                } else {
+                    continue;
+                }
+            }
+        };
+        *agg.entry(obs).or_insert(0) += 1;
+    }
+
+    let mut out: Vec<FlowObs> = agg
+        .into_iter()
+        .map(|(mut obs, w)| {
+            obs.weight = w;
+            obs
+        })
+        .collect();
+    // Deterministic order independent of HashMap iteration.
+    out.sort_by_key(|o| (o.set.0, o.prefix, o.sent, o.bad));
+    ObservationSet {
+        arena,
+        flows: out,
+        mode,
+    }
+}
+
+fn metrics(mf: &MonitoredFlow, mode: AnalysisMode) -> (u64, u64) {
+    match mode {
+        AnalysisMode::PerPacket => (
+            mf.stats.packets,
+            mf.stats.retransmissions.min(mf.stats.packets),
+        ),
+        AnalysisMode::PerFlow { rtt_threshold_us } => {
+            (1, u64::from(mf.stats.rtt_max_us > rtt_threshold_us))
+        }
+    }
+}
+
+/// Build a known-path observation, splitting host attachment links off
+/// into the prefix.
+fn known_path_obs(
+    topo: &Topology,
+    arena: &mut PathArena,
+    true_path: &[LinkId],
+    sent: u64,
+    bad: u64,
+) -> FlowObs {
+    let mut start = 0;
+    let mut end = true_path.len();
+    let mut prefix = [None, None];
+    if end > start {
+        let first = true_path[start];
+        if topo.node(topo.link(first).src).role == NodeRole::Host {
+            prefix[0] = Some(first);
+            start += 1;
+        }
+    }
+    if end > start {
+        let last = true_path[end - 1];
+        if topo.node(topo.link(last).dst).role == NodeRole::Host {
+            prefix[1] = Some(last);
+            end -= 1;
+        }
+    }
+    let set = arena.intern_single(&true_path[start..end]);
+    FlowObs {
+        prefix,
+        set,
+        sent,
+        bad,
+        weight: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowKey, FlowStats};
+    use flock_topology::clos::{three_tier, ClosParams};
+    use flock_topology::NodeId;
+
+    fn mk_passive(
+        topo: &Topology,
+        router: &Router<'_>,
+        src: NodeId,
+        dst: NodeId,
+        packets: u64,
+        retrans: u64,
+    ) -> MonitoredFlow {
+        // True path: first ECMP option.
+        let paths = router.paths(topo.host_leaf(src), topo.host_leaf(dst));
+        let mut path = vec![topo.host_uplink(src)];
+        path.extend_from_slice(&paths[0].links);
+        path.push(topo.host_downlink(dst));
+        MonitoredFlow {
+            key: FlowKey::tcp(src, dst, 4000, 80),
+            stats: FlowStats {
+                packets,
+                retransmissions: retrans,
+                bytes: packets * 1500,
+                rtt_sum_us: 100,
+                rtt_count: 1,
+                rtt_max_us: 100,
+            },
+            class: TrafficClass::Passive,
+            true_path: path,
+        }
+    }
+
+    #[test]
+    fn arena_interns_and_dedups() {
+        let mut a = PathArena::new();
+        let p1 = a.intern_path(&[LinkId(1), LinkId(2)]);
+        let p2 = a.intern_path(&[LinkId(1), LinkId(2)]);
+        let p3 = a.intern_path(&[LinkId(3)]);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        let s1 = a.intern_set(vec![p1, p3]);
+        let s2 = a.intern_set(vec![p3, p1, p1]);
+        assert_eq!(s1, s2, "sets canonicalize order and duplicates");
+        assert_eq!(a.path_count(), 2);
+        assert_eq!(a.set_count(), 1);
+    }
+
+    #[test]
+    fn passive_only_uses_path_sets() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        // Cross-pod flow: should carry the full ECMP set.
+        let f = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 1);
+        let obs = assemble(&topo, &router, &[f], &[InputKind::P], AnalysisMode::PerPacket);
+        assert_eq!(obs.flows.len(), 1);
+        let o = &obs.flows[0];
+        assert!(!o.path_known(&obs.arena));
+        assert_eq!(
+            obs.arena.set(o.set).len(),
+            4,
+            "tiny Clos inter-pod ECMP width is aggs*spines = 4"
+        );
+        assert!(o.prefix[0].is_some() && o.prefix[1].is_some());
+    }
+
+    #[test]
+    fn int_reveals_paths() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let f = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 0);
+        let obs = assemble(&topo, &router, &[f], &[InputKind::Int], AnalysisMode::PerPacket);
+        assert_eq!(obs.flows.len(), 1);
+        assert!(obs.flows[0].path_known(&obs.arena));
+    }
+
+    #[test]
+    fn a2_reveals_only_flagged_flows() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let clean = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 0);
+        let flagged = mk_passive(&topo, &router, hosts[1], hosts[10], 100, 3);
+        let obs = assemble(
+            &topo,
+            &router,
+            &[clean.clone(), flagged.clone()],
+            &[InputKind::A2],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs.flows.len(), 1, "only the flagged flow is included");
+        assert!(obs.flows[0].path_known(&obs.arena));
+        assert_eq!(obs.flows[0].bad, 3);
+
+        // A2+P: flagged flow known, clean flow as a path set.
+        let obs2 = assemble(
+            &topo,
+            &router,
+            &[clean, flagged],
+            &[InputKind::A2, InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs2.flows.len(), 2);
+        let known: Vec<bool> = obs2
+            .flows
+            .iter()
+            .map(|o| o.path_known(&obs2.arena))
+            .collect();
+        assert_eq!(known.iter().filter(|k| **k).count(), 1);
+    }
+
+    #[test]
+    fn identical_observations_merge_with_weight() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        // Two identical flows (same endpoints, same metrics).
+        let f1 = mk_passive(&topo, &router, hosts[0], hosts[11], 50, 0);
+        let f2 = mk_passive(&topo, &router, hosts[0], hosts[11], 50, 0);
+        let obs = assemble(
+            &topo,
+            &router,
+            &[f1, f2],
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs.flows.len(), 1);
+        assert_eq!(obs.flows[0].weight, 2);
+        assert_eq!(obs.flow_count(), 2);
+    }
+
+    #[test]
+    fn per_flow_mode_thresholds_rtt() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let mut f = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 0);
+        f.stats.rtt_max_us = 20_000;
+        let obs = assemble(
+            &topo,
+            &router,
+            &[f],
+            &[InputKind::P],
+            AnalysisMode::PerFlow {
+                rtt_threshold_us: 10_000,
+            },
+        );
+        assert_eq!(obs.flows[0].sent, 1);
+        assert_eq!(obs.flows[0].bad, 1);
+    }
+
+    #[test]
+    fn probes_excluded_without_a1() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let probe = MonitoredFlow {
+            key: FlowKey::probe(topo.hosts()[0], topo.switches()[0], 1),
+            stats: FlowStats {
+                packets: 40,
+                ..Default::default()
+            },
+            class: TrafficClass::Probe,
+            true_path: vec![topo.host_uplink(topo.hosts()[0])],
+        };
+        let obs = assemble(
+            &topo,
+            &router,
+            &[probe.clone()],
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert!(obs.flows.is_empty());
+        let obs2 = assemble(
+            &topo,
+            &router,
+            &[probe],
+            &[InputKind::A1],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs2.flows.len(), 1);
+    }
+
+    #[test]
+    fn full_path_links_includes_prefix() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let f = mk_passive(&topo, &router, hosts[0], hosts[11], 10, 1);
+        let true_path = f.true_path.clone();
+        let obs = assemble(
+            &topo,
+            &router,
+            &[f],
+            &[InputKind::Int],
+            AnalysisMode::PerPacket,
+        );
+        let o = &obs.flows[0];
+        let pid = obs.arena.set(o.set)[0];
+        let links: Vec<LinkId> = obs.full_path_links(o, pid).collect();
+        assert_eq!(links, true_path);
+    }
+}

@@ -1,0 +1,41 @@
+//! Telemetry substrate for the Flock fault-localization suite.
+//!
+//! This crate implements the monitoring plane of §3.1/§5.1 of the paper and
+//! the input-assembly logic of §6.2:
+//!
+//! * [`flow`] — flow keys, per-flow statistics, and the monitored-flow
+//!   record shared by the simulators and the live agent path.
+//! * [`wire`] — the IPFIX-style export format: 32-byte message header plus
+//!   52-byte fixed flow-stats records (matching the paper's "52 bytes per
+//!   flow"), with an optional variable-length path attachment for flows
+//!   whose exact route is known (active probes / INT).
+//! * [`agent`] — the end-host agent: aggregates packet/flow samples by flow
+//!   key, optionally downsamples, and periodically exports records.
+//! * [`collector`] — a multi-threaded TCP collector that decodes export
+//!   messages from many agents into a central store, with throughput
+//!   counters (reproduces the Fig. 7 scalability measurements).
+//! * [`probes`] — active-probe planning: A1 host↔spine bounce probes with
+//!   pinned paths (NetBouncer-style) and path-tracing for flagged flows
+//!   (007-style A2).
+//! * [`input`] — assembly of inference inputs: given monitored flows and a
+//!   set of telemetry kinds (A1 / A2 / P / INT), produce the
+//!   [`ObservationSet`](input::ObservationSet) consumed by every inference
+//!   scheme, with interned fabric paths and ECMP path sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod collector;
+pub mod flow;
+pub mod input;
+pub mod probes;
+pub mod wire;
+
+pub use agent::{AgentConfig, AgentCore, FlowSample};
+pub use collector::{Collector, CollectorStats};
+pub use flow::{FlowKey, FlowRecord, FlowStats, MonitoredFlow, TrafficClass};
+pub use input::{
+    AnalysisMode, FlowObs, InputKind, ObservationSet, PathArena, PathId, PathSetId,
+};
+pub use probes::{plan_a1_probes, ProbeSpec};

@@ -1,0 +1,459 @@
+//! The IPFIX-style export wire format.
+//!
+//! An export *message* carries a fixed 32-byte header followed by a run of
+//! flow records. Each record is a fixed 52-byte stats block — matching the
+//! paper's "52 bytes per flow" (§5.1) — optionally followed by a
+//! variable-length path attachment when the exporter knows the flow's
+//! exact route (probes, INT, A2 traceroutes).
+//!
+//! ```text
+//! message  := header record*
+//! header   := magic:u32 version:u16 record_count:u16 msg_len:u32
+//!             agent_id:u32 export_time_ms:u64 sequence:u64        (32 B)
+//! record   := src:u32 dst:u32 sport:u16 dport:u16 proto:u8 flags:u8
+//!             packets:u48 retrans:u48 bytes:u64 rtt_sum_us:u64
+//!             rtt_count:u32 rtt_max_us:u32 reserved:u16           (52 B)
+//! path     := len:u16 link:u32{len}        (present iff flags & HAS_PATH)
+//! ```
+//!
+//! All integers are big-endian. `msg_len` is the total encoded size of the
+//! message including the header, which makes stream framing trivial: a
+//! decoder buffers bytes until `msg_len` are available.
+
+use crate::flow::{FlowKey, FlowRecord, FlowStats, TrafficClass};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flock_topology::{LinkId, NodeId};
+use std::fmt;
+
+/// Message magic: `"FLK1"`.
+pub const MAGIC: u32 = 0x464c_4b31;
+/// Wire protocol version.
+pub const VERSION: u16 = 1;
+/// Size of the message header in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Size of the fixed flow-stats record in bytes.
+pub const RECORD_LEN: usize = 52;
+
+/// Record flag: a path attachment follows the fixed record.
+pub const FLAG_HAS_PATH: u8 = 0b0000_0001;
+/// Record flag: the flow is an active probe.
+pub const FLAG_PROBE: u8 = 0b0000_0010;
+
+const MAX_PATH_LEN: usize = 64;
+const MAX_RECORDS: usize = u16::MAX as usize;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Magic bytes did not match.
+    BadMagic(u32),
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Header-declared length is inconsistent with the decoded content.
+    LengthMismatch {
+        /// Length the header declared.
+        declared: u32,
+        /// Length actually consumed.
+        consumed: u32,
+    },
+    /// A path attachment exceeded [`MAX_PATH_LEN`] entries.
+    PathTooLong(u16),
+    /// The message was truncated mid-record.
+    Truncated,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::LengthMismatch { declared, consumed } => {
+                write!(f, "length mismatch: declared {declared}, consumed {consumed}")
+            }
+            WireError::PathTooLong(n) => write!(f, "path attachment too long: {n}"),
+            WireError::Truncated => write!(f, "message truncated"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded export message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportMessage {
+    /// Identifier of the exporting agent.
+    pub agent_id: u32,
+    /// Export timestamp, milliseconds since an agent-chosen epoch.
+    pub export_time_ms: u64,
+    /// Per-agent message sequence number.
+    pub sequence: u64,
+    /// The flow records.
+    pub records: Vec<FlowRecord>,
+}
+
+/// Encode an export message. Panics if more than `u16::MAX` records are
+/// passed (the agent's exporter chunks before calling this).
+pub fn encode_message(
+    agent_id: u32,
+    export_time_ms: u64,
+    sequence: u64,
+    records: &[FlowRecord],
+) -> Bytes {
+    assert!(records.len() <= MAX_RECORDS, "too many records in one message");
+    let mut body = BytesMut::with_capacity(HEADER_LEN + records.len() * (RECORD_LEN + 8));
+    body.put_u32(MAGIC);
+    body.put_u16(VERSION);
+    body.put_u16(records.len() as u16);
+    body.put_u32(0); // msg_len backpatched below
+    body.put_u32(agent_id);
+    body.put_u64(export_time_ms);
+    body.put_u64(sequence);
+    debug_assert_eq!(body.len(), HEADER_LEN);
+
+    for rec in records {
+        encode_record(&mut body, rec);
+    }
+    let len = body.len() as u32;
+    body[8..12].copy_from_slice(&len.to_be_bytes());
+    body.freeze()
+}
+
+fn encode_record(out: &mut BytesMut, rec: &FlowRecord) {
+    let mut flags = 0u8;
+    if rec.path.is_some() {
+        flags |= FLAG_HAS_PATH;
+    }
+    if rec.class == TrafficClass::Probe {
+        flags |= FLAG_PROBE;
+    }
+    let start = out.len();
+    out.put_u32(rec.key.src.0);
+    out.put_u32(rec.key.dst.0);
+    out.put_u16(rec.key.src_port);
+    out.put_u16(rec.key.dst_port);
+    out.put_u8(rec.key.proto);
+    out.put_u8(flags);
+    out.put_uint(rec.stats.packets.min((1 << 48) - 1), 6);
+    out.put_uint(rec.stats.retransmissions.min((1 << 48) - 1), 6);
+    out.put_u64(rec.stats.bytes);
+    out.put_u64(rec.stats.rtt_sum_us);
+    out.put_u32(rec.stats.rtt_count);
+    out.put_u32(rec.stats.rtt_max_us);
+    out.put_u16(0); // reserved
+    debug_assert_eq!(out.len() - start, RECORD_LEN);
+
+    if let Some(path) = &rec.path {
+        assert!(path.len() <= MAX_PATH_LEN, "path longer than wire maximum");
+        out.put_u16(path.len() as u16);
+        for l in path {
+            out.put_u32(l.0);
+        }
+    }
+}
+
+/// Decode one complete export message from `buf`.
+///
+/// `buf` must contain exactly one message (as framed by
+/// [`StreamDecoder`] or a one-shot caller).
+pub fn decode_message(mut buf: &[u8]) -> Result<ExportMessage, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let total = buf.len();
+    let magic = buf.get_u32();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let record_count = buf.get_u16() as usize;
+    let msg_len = buf.get_u32();
+    let agent_id = buf.get_u32();
+    let export_time_ms = buf.get_u64();
+    let sequence = buf.get_u64();
+
+    let mut records = Vec::with_capacity(record_count);
+    for _ in 0..record_count {
+        if buf.remaining() < RECORD_LEN {
+            return Err(WireError::Truncated);
+        }
+        let src = NodeId(buf.get_u32());
+        let dst = NodeId(buf.get_u32());
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let proto = buf.get_u8();
+        let flags = buf.get_u8();
+        let packets = buf.get_uint(6);
+        let retransmissions = buf.get_uint(6);
+        let bytes = buf.get_u64();
+        let rtt_sum_us = buf.get_u64();
+        let rtt_count = buf.get_u32();
+        let rtt_max_us = buf.get_u32();
+        let _reserved = buf.get_u16();
+
+        let path = if flags & FLAG_HAS_PATH != 0 {
+            if buf.remaining() < 2 {
+                return Err(WireError::Truncated);
+            }
+            let n = buf.get_u16();
+            if n as usize > MAX_PATH_LEN {
+                return Err(WireError::PathTooLong(n));
+            }
+            if buf.remaining() < n as usize * 4 {
+                return Err(WireError::Truncated);
+            }
+            Some((0..n).map(|_| LinkId(buf.get_u32())).collect())
+        } else {
+            None
+        };
+
+        records.push(FlowRecord {
+            key: FlowKey {
+                src,
+                dst,
+                src_port,
+                dst_port,
+                proto,
+            },
+            stats: FlowStats {
+                packets,
+                retransmissions,
+                bytes,
+                rtt_sum_us,
+                rtt_count,
+                rtt_max_us,
+            },
+            class: if flags & FLAG_PROBE != 0 {
+                TrafficClass::Probe
+            } else {
+                TrafficClass::Passive
+            },
+            path,
+        });
+    }
+    let consumed = (total - buf.remaining()) as u32;
+    if consumed != msg_len {
+        return Err(WireError::LengthMismatch {
+            declared: msg_len,
+            consumed,
+        });
+    }
+    Ok(ExportMessage {
+        agent_id,
+        export_time_ms,
+        sequence,
+        records,
+    })
+}
+
+/// Incremental stream decoder: feed arbitrary byte chunks, pop complete
+/// messages. Used by the collector's per-connection readers.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: BytesMut,
+}
+
+impl StreamDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pop the next complete message, if one is fully buffered.
+    ///
+    /// On a framing/decoding error the buffered data cannot be resynced
+    /// (it is a TCP stream we no longer trust), so the decoder drains its
+    /// buffer and surfaces the error; the collector drops the connection.
+    pub fn next_message(&mut self) -> Result<Option<ExportMessage>, WireError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u32::from_be_bytes(self.buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            self.buf.clear();
+            return Err(WireError::BadMagic(magic));
+        }
+        let msg_len = u32::from_be_bytes(self.buf[8..12].try_into().unwrap()) as usize;
+        if msg_len < HEADER_LEN {
+            self.buf.clear();
+            return Err(WireError::LengthMismatch {
+                declared: msg_len as u32,
+                consumed: HEADER_LEN as u32,
+            });
+        }
+        if self.buf.len() < msg_len {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(msg_len);
+        match decode_message(&frame) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(e) => {
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes currently buffered (for tests/diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<FlowRecord> {
+        vec![
+            FlowRecord {
+                key: FlowKey::tcp(NodeId(3), NodeId(9), 4001, 80),
+                stats: FlowStats {
+                    packets: 1234,
+                    retransmissions: 7,
+                    bytes: 1_850_000,
+                    rtt_sum_us: 55_000,
+                    rtt_count: 11,
+                    rtt_max_us: 9_000,
+                },
+                class: TrafficClass::Passive,
+                path: None,
+            },
+            FlowRecord {
+                key: FlowKey::probe(NodeId(3), NodeId(40), 2),
+                stats: FlowStats {
+                    packets: 40,
+                    retransmissions: 1,
+                    bytes: 4_000,
+                    rtt_sum_us: 2_000,
+                    rtt_count: 39,
+                    rtt_max_us: 80,
+                },
+                class: TrafficClass::Probe,
+                path: Some(vec![LinkId(0), LinkId(8), LinkId(22), LinkId(23), LinkId(9), LinkId(1)]),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = sample_records();
+        let bytes = encode_message(42, 1111, 5, &recs);
+        let msg = decode_message(&bytes).unwrap();
+        assert_eq!(msg.agent_id, 42);
+        assert_eq!(msg.export_time_ms, 1111);
+        assert_eq!(msg.sequence, 5);
+        assert_eq!(msg.records, recs);
+    }
+
+    #[test]
+    fn record_is_exactly_52_bytes_without_path() {
+        let recs = vec![FlowRecord {
+            key: FlowKey::tcp(NodeId(0), NodeId(1), 1, 2),
+            stats: FlowStats::default(),
+            class: TrafficClass::Passive,
+            path: None,
+        }];
+        let bytes = encode_message(0, 0, 0, &recs);
+        assert_eq!(bytes.len(), HEADER_LEN + RECORD_LEN);
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_split_messages() {
+        let recs = sample_records();
+        let m1 = encode_message(1, 10, 0, &recs);
+        let m2 = encode_message(1, 20, 1, &recs[..1]);
+        let mut all = Vec::new();
+        all.extend_from_slice(&m1);
+        all.extend_from_slice(&m2);
+
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        // Feed in awkward 7-byte chunks.
+        for chunk in all.chunks(7) {
+            dec.feed(chunk);
+            while let Some(msg) = dec.next_message().unwrap() {
+                out.push(msg);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].sequence, 0);
+        assert_eq!(out[1].sequence, 1);
+        assert_eq!(out[1].records.len(), 1);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut dec = StreamDecoder::new();
+        dec.feed(&[0u8; HEADER_LEN]);
+        assert!(matches!(dec.next_message(), Err(WireError::BadMagic(0))));
+        assert_eq!(dec.buffered(), 0, "poisoned buffer must be dropped");
+    }
+
+    #[test]
+    fn truncated_message_is_detected() {
+        let recs = sample_records();
+        let bytes = encode_message(42, 0, 0, &recs);
+        // Chop the message: the one-shot decoder must not panic.
+        for cut in [HEADER_LEN - 1, HEADER_LEN + 10, bytes.len() - 1] {
+            let err = decode_message(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::LengthMismatch { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_check() {
+        let recs = sample_records();
+        let bytes = encode_message(42, 0, 0, &recs);
+        let mut bad = bytes.to_vec();
+        bad[4..6].copy_from_slice(&99u16.to_be_bytes());
+        assert_eq!(decode_message(&bad), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn oversized_path_rejected_on_decode() {
+        let recs = vec![FlowRecord {
+            key: FlowKey::tcp(NodeId(0), NodeId(1), 1, 2),
+            stats: FlowStats::default(),
+            class: TrafficClass::Passive,
+            path: Some(vec![LinkId(1); 4]),
+        }];
+        let bytes = encode_message(0, 0, 0, &recs);
+        let mut bad = bytes.to_vec();
+        // Overwrite the path length field with a huge value.
+        let off = HEADER_LEN + RECORD_LEN;
+        bad[off..off + 2].copy_from_slice(&1000u16.to_be_bytes());
+        assert!(matches!(
+            decode_message(&bad),
+            Err(WireError::PathTooLong(1000)) | Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn u48_saturation() {
+        let recs = vec![FlowRecord {
+            key: FlowKey::tcp(NodeId(0), NodeId(1), 1, 2),
+            stats: FlowStats {
+                packets: u64::MAX,
+                retransmissions: u64::MAX,
+                ..Default::default()
+            },
+            class: TrafficClass::Passive,
+            path: None,
+        }];
+        let bytes = encode_message(0, 0, 0, &recs);
+        let msg = decode_message(&bytes).unwrap();
+        assert_eq!(msg.records[0].stats.packets, (1 << 48) - 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Derivation of "irregular" Clos topologies (§7.6).
+//!
+//! Real datacenters deviate from the symmetric Clos blueprint due to
+//! failures, policies and piecemeal upgrades. The paper models this by
+//! omitting a fraction of links from the fat tree. The generator here
+//! removes random fabric *cables* (both directions at once) subject to
+//! connectivity guardrails — every leaf keeps at least one uplink, every
+//! aggregation switch keeps at least one uplink and one downlink — and the
+//! caller can additionally verify full leaf-pair reachability with
+//! [`all_leaf_pairs_routable`].
+
+use crate::graph::{LinkId, NodeId, NodeRole, Topology, TopologyBuilder};
+use crate::routing::Router;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Remove approximately `fraction` of the fabric cables from `topo`,
+/// seeded by `rng`, while preserving minimum up/down degree at each
+/// switch. Host attachment links are never removed.
+///
+/// Returns the degraded topology (node ids preserved, link ids reassigned)
+/// together with the number of cables actually removed.
+pub fn omit_links<R: Rng + ?Sized>(
+    topo: &Topology,
+    fraction: f64,
+    rng: &mut R,
+) -> (Topology, usize) {
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0,1)");
+    // Candidate cables: canonical direction only (src id < dst id dedups the
+    // two directions of each cable).
+    let mut cables: Vec<LinkId> = topo
+        .fabric_links()
+        .into_iter()
+        .filter(|l| topo.link(*l).src < topo.link(*l).dst)
+        .collect();
+    cables.shuffle(rng);
+    let target = (cables.len() as f64 * fraction).round() as usize;
+
+    // Degree bookkeeping: up-degree and down-degree per switch.
+    let mut up_deg = vec![0usize; topo.node_count()];
+    let mut down_deg = vec![0usize; topo.node_count()];
+    for (_, link) in topo.links() {
+        let (s, d) = (link.src, link.dst);
+        if !(topo.node(s).role.is_switch() && topo.node(d).role.is_switch()) {
+            continue;
+        }
+        if topo.node(d).role.tier() > topo.node(s).role.tier() {
+            up_deg[s.idx()] += 1;
+            down_deg[d.idx()] += 1;
+        }
+    }
+
+    let min_up = |t: &Topology, n: NodeId| match t.node(n).role {
+        NodeRole::Leaf | NodeRole::Agg => 1,
+        _ => 0,
+    };
+    let min_down = |t: &Topology, n: NodeId| match t.node(n).role {
+        NodeRole::Agg | NodeRole::Spine => 1,
+        _ => 0,
+    };
+
+    let mut removed: Vec<bool> = vec![false; topo.link_count()];
+    let mut removed_count = 0usize;
+    for cable in cables {
+        if removed_count >= target {
+            break;
+        }
+        let link = topo.link(cable);
+        // Identify the upward direction of this cable.
+        let (lo, hi) = if topo.node(link.dst).role.tier() > topo.node(link.src).role.tier() {
+            (link.src, link.dst)
+        } else {
+            (link.dst, link.src)
+        };
+        if up_deg[lo.idx()] <= min_up(topo, lo) || down_deg[hi.idx()] <= min_down(topo, hi) {
+            continue; // would strand a switch
+        }
+        up_deg[lo.idx()] -= 1;
+        down_deg[hi.idx()] -= 1;
+        removed[cable.idx()] = true;
+        removed[link.reverse.idx()] = true;
+        removed_count += 1;
+    }
+
+    (rebuild_without(topo, &removed, fraction), removed_count)
+}
+
+/// Rebuild `topo` without the links marked in `removed` (both directions of
+/// each removed cable must be marked).
+fn rebuild_without(topo: &Topology, removed: &[bool], fraction: f64) -> Topology {
+    let mut b = TopologyBuilder::new(format!("{}-irregular{:.0}pct", topo.name, fraction * 100.0));
+    for (_, n) in topo.nodes() {
+        b.add_node(n.role, n.pod, n.index_in_group);
+    }
+    for (id, link) in topo.links() {
+        // Canonical direction only; `connect` adds both.
+        if link.src < link.dst && !removed[id.idx()] {
+            b.connect(link.src, link.dst);
+        }
+    }
+    b.build()
+}
+
+/// Check that every ordered pair of distinct leaves has at least one
+/// valley-free route. Quadratic in the number of leaves; intended for
+/// experiment setup validation, not hot paths.
+pub fn all_leaf_pairs_routable(topo: &Topology) -> bool {
+    let router = Router::new(topo);
+    let leaves: Vec<NodeId> = topo
+        .switches()
+        .iter()
+        .copied()
+        .filter(|s| topo.node(*s).role == NodeRole::Leaf)
+        .collect();
+    for a in &leaves {
+        for b in &leaves {
+            if a != b && router.paths(*a, *b).is_empty() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Convenience: derive an irregular topology, retrying with successive
+/// seeds until all leaf pairs remain routable (gives up after `attempts`).
+pub fn omit_links_routable(
+    topo: &Topology,
+    fraction: f64,
+    base_seed: u64,
+    attempts: usize,
+) -> Option<(Topology, usize)> {
+    use rand::SeedableRng;
+    for i in 0..attempts {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed.wrapping_add(i as u64));
+        let (t, n) = omit_links(topo, fraction, &mut rng);
+        if all_leaf_pairs_routable(&t) {
+            return Some((t, n));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clos::{three_tier, ClosParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn omission_reduces_links_but_keeps_hosts() {
+        let t = three_tier(ClosParams::tiny());
+        let mut rng = StdRng::seed_from_u64(7);
+        let (t2, removed) = omit_links(&t, 0.2, &mut rng);
+        assert!(removed > 0);
+        assert_eq!(t2.hosts().len(), t.hosts().len());
+        assert_eq!(t2.link_count(), t.link_count() - 2 * removed);
+        assert_eq!(t2.host_link_count(), t.host_link_count());
+    }
+
+    #[test]
+    fn zero_fraction_is_identity_shape() {
+        let t = three_tier(ClosParams::tiny());
+        let mut rng = StdRng::seed_from_u64(7);
+        let (t2, removed) = omit_links(&t, 0.0, &mut rng);
+        assert_eq!(removed, 0);
+        assert_eq!(t2.link_count(), t.link_count());
+    }
+
+    #[test]
+    fn degree_guardrails_hold() {
+        let t = three_tier(ClosParams::tiny());
+        let mut rng = StdRng::seed_from_u64(3);
+        // Ask for an extreme fraction; guardrails must clamp it.
+        let (t2, _) = omit_links(&t, 0.9, &mut rng);
+        for (id, n) in t2.nodes() {
+            let ups = t2
+                .out_links(id)
+                .iter()
+                .filter(|l| {
+                    let d = t2.link(**l).dst;
+                    t2.node(d).role.tier() > n.role.tier()
+                })
+                .count();
+            match n.role {
+                NodeRole::Leaf | NodeRole::Agg => {
+                    assert!(ups >= 1, "switch {id:?} lost all uplinks")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn routable_helper_finds_valid_degradation() {
+        let t = three_tier(ClosParams::tiny());
+        let got = omit_links_routable(&t, 0.15, 42, 16);
+        assert!(got.is_some());
+        let (t2, _) = got.unwrap();
+        assert!(all_leaf_pairs_routable(&t2));
+    }
+
+    #[test]
+    fn irregularity_breaks_path_symmetry() {
+        // With links omitted, different leaf pairs see different ECMP
+        // fan-outs — the asymmetry Flock(P) exploits in §7.6.
+        let t = three_tier(ClosParams::ns3_scale());
+        let (t2, _) = omit_links_routable(&t, 0.1, 1, 8).unwrap();
+        let router = Router::new(&t2);
+        let leaves: Vec<NodeId> = t2
+            .switches()
+            .iter()
+            .copied()
+            .filter(|s| t2.node(*s).role == NodeRole::Leaf)
+            .collect();
+        let mut sizes = std::collections::HashSet::new();
+        for i in 0..8usize {
+            let a = leaves[i];
+            let b = leaves[leaves.len() - 1 - i];
+            sizes.insert(router.paths(a, b).len());
+        }
+        assert!(sizes.len() > 1, "expected varied ECMP widths, got {sizes:?}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Valley-free (up–down) ECMP shortest-path enumeration.
+//!
+//! Datacenter fabrics route traffic up towards the spine and then down
+//! towards the destination; ECMP hashes a flow onto one of the equal-cost
+//! shortest such paths. The PGM's path layer (§3.2) is exactly this path
+//! set: for a flow with unknown routing (passive telemetry) the whole set
+//! is the flow's parent path-nodes; for known-path telemetry (A1/A2/INT)
+//! a single member is selected.
+//!
+//! Enumeration is implemented as two upward BFS sweeps (from the source
+//! and destination switches) that meet at a common apex: a valley-free
+//! path of shape `up* down*` is an up-path from the source joined to the
+//! reverse of an up-path from the destination. This covers regular and
+//! irregular Clos fabrics alike and yields *all* minimal-hop valley-free
+//! paths.
+
+use crate::graph::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A directed switch-to-switch path through the fabric, as a sequence of
+/// links. The empty path (same source and destination switch) is valid and
+/// arises for host pairs under the same ToR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FabricPath {
+    /// Links in traversal order; empty for a same-switch path.
+    pub links: Vec<LinkId>,
+}
+
+impl FabricPath {
+    /// Number of links (hops) in the path.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the path has no links (same-switch path).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The sequence of switches visited, starting from `src`.
+    pub fn nodes(&self, topo: &Topology, src: NodeId) -> Vec<NodeId> {
+        let mut out = vec![src];
+        for l in &self.links {
+            debug_assert_eq!(topo.link(*l).src, *out.last().unwrap());
+            out.push(topo.link(*l).dst);
+        }
+        out
+    }
+}
+
+/// Shared handle to an ECMP path set (cheap to clone).
+pub type PathSetHandle = Arc<Vec<FabricPath>>;
+
+/// ECMP route computer with per-pair caching.
+///
+/// `Router` is `Sync`: the cache uses a `RwLock`, so evaluation code can
+/// resolve path sets from worker threads.
+pub struct Router<'t> {
+    topo: &'t Topology,
+    cache: RwLock<HashMap<(NodeId, NodeId), PathSetHandle>>,
+}
+
+impl<'t> Router<'t> {
+    /// Create a router over `topo`.
+    pub fn new(topo: &'t Topology) -> Self {
+        Router {
+            topo,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The topology this router serves.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// All minimal valley-free paths from switch `src` to switch `dst`.
+    ///
+    /// Returns an empty set when no valley-free route exists (possible in
+    /// heavily degraded irregular topologies; callers treat such pairs as
+    /// unroutable). Results are cached per ordered pair.
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> PathSetHandle {
+        debug_assert!(self.topo.node(src).role.is_switch());
+        debug_assert!(self.topo.node(dst).role.is_switch());
+        if let Some(h) = self.cache.read().unwrap().get(&(src, dst)) {
+            return Arc::clone(h);
+        }
+        let computed = Arc::new(self.compute(src, dst));
+        let mut w = self.cache.write().unwrap();
+        Arc::clone(w.entry((src, dst)).or_insert(computed))
+    }
+
+    /// Fabric paths between the ToRs of two hosts (the host attachment
+    /// links are *not* included; the model layer prepends/appends them).
+    pub fn host_fabric_paths(&self, h1: NodeId, h2: NodeId) -> PathSetHandle {
+        self.paths(self.topo.host_leaf(h1), self.topo.host_leaf(h2))
+    }
+
+    /// Number of cached pairs (for tests and capacity diagnostics).
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.read().unwrap().len()
+    }
+
+    fn compute(&self, src: NodeId, dst: NodeId) -> Vec<FabricPath> {
+        if src == dst {
+            return vec![FabricPath { links: Vec::new() }];
+        }
+        let up_src = self.up_bfs(src);
+        let up_dst = self.up_bfs(dst);
+
+        // Find the minimal total length over all meeting points.
+        let mut best = usize::MAX;
+        for (node, sa) in &up_src {
+            if let Some(sb) = up_dst.get(node) {
+                best = best.min(sa.dist + sb.dist);
+            }
+        }
+        if best == usize::MAX {
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        for (node, sa) in &up_src {
+            let Some(sb) = up_dst.get(node) else { continue };
+            if sa.dist + sb.dist != best {
+                continue;
+            }
+            let ups = enumerate_up_paths(self.topo, &up_src, *node);
+            let downs = enumerate_up_paths(self.topo, &up_dst, *node);
+            for u in &ups {
+                for d in &downs {
+                    let mut links = u.clone();
+                    // The down half is the reverse of an up path from dst.
+                    links.extend(
+                        d.iter()
+                            .rev()
+                            .map(|l| self.topo.link(*l).reverse),
+                    );
+                    out.push(FabricPath { links });
+                }
+            }
+        }
+        // Deterministic order regardless of HashMap iteration.
+        out.sort_by(|a, b| a.links.cmp(&b.links));
+        out.dedup();
+        out
+    }
+
+    /// Upward BFS: explore strictly tier-increasing links from `start`,
+    /// recording distance and all shortest-path parent links per node.
+    fn up_bfs(&self, start: NodeId) -> HashMap<NodeId, UpState> {
+        let mut seen: HashMap<NodeId, UpState> = HashMap::new();
+        seen.insert(
+            start,
+            UpState {
+                dist: 0,
+                parents: Vec::new(),
+            },
+        );
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for node in frontier.drain(..) {
+                let d = seen[&node].dist;
+                let tier = self.topo.node(node).role.tier();
+                for l in self.topo.out_links(node) {
+                    let link = self.topo.link(*l);
+                    if self.topo.node(link.dst).role.tier() <= tier {
+                        continue; // only strictly upward
+                    }
+                    match seen.get_mut(&link.dst) {
+                        None => {
+                            seen.insert(
+                                link.dst,
+                                UpState {
+                                    dist: d + 1,
+                                    parents: vec![*l],
+                                },
+                            );
+                            next.push(link.dst);
+                        }
+                        Some(st) if st.dist == d + 1 => st.parents.push(*l),
+                        Some(_) => {}
+                    }
+                }
+            }
+            frontier = next;
+        }
+        seen
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UpState {
+    dist: usize,
+    /// Links `u → this` on shortest up-paths.
+    parents: Vec<LinkId>,
+}
+
+/// All shortest up-paths from the BFS root to `node`, each as the link
+/// sequence root→…→node.
+fn enumerate_up_paths(
+    topo: &Topology,
+    states: &HashMap<NodeId, UpState>,
+    node: NodeId,
+) -> Vec<Vec<LinkId>> {
+    let st = &states[&node];
+    if st.dist == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for pl in &st.parents {
+        let parent = topo.link(*pl).src;
+        for mut prefix in enumerate_up_paths(topo, states, parent) {
+            prefix.push(*pl);
+            out.push(prefix);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clos::{leaf_spine, three_tier, ClosParams, LeafSpineParams};
+    use crate::graph::NodeRole;
+
+    fn leaves_of(t: &Topology) -> Vec<NodeId> {
+        t.switches()
+            .iter()
+            .copied()
+            .filter(|s| t.node(*s).role == NodeRole::Leaf)
+            .collect()
+    }
+
+    #[test]
+    fn same_switch_has_empty_path() {
+        let t = three_tier(ClosParams::tiny());
+        let r = Router::new(&t);
+        let l = leaves_of(&t)[0];
+        let ps = r.paths(l, l);
+        assert_eq!(ps.len(), 1);
+        assert!(ps[0].is_empty());
+    }
+
+    #[test]
+    fn intra_pod_path_count_is_aggs_per_pod() {
+        let p = ClosParams::tiny();
+        let t = three_tier(p);
+        let r = Router::new(&t);
+        let leaves = leaves_of(&t);
+        // leaves 0 and 1 are in pod 0.
+        let (a, b) = (leaves[0], leaves[1]);
+        assert_eq!(t.node(a).pod, t.node(b).pod);
+        let ps = r.paths(a, b);
+        assert_eq!(ps.len(), p.aggs_per_pod as usize);
+        for path in ps.iter() {
+            assert_eq!(path.len(), 2, "tor-agg-tor");
+            let nodes = path.nodes(&t, a);
+            assert_eq!(*nodes.last().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn inter_pod_path_count_is_aggs_times_spines() {
+        let p = ClosParams::tiny();
+        let t = three_tier(p);
+        let r = Router::new(&t);
+        let leaves = leaves_of(&t);
+        let (a, b) = (leaves[0], leaves[2]);
+        assert_ne!(t.node(a).pod, t.node(b).pod);
+        let ps = r.paths(a, b);
+        assert_eq!(ps.len(), (p.aggs_per_pod * p.spines_per_plane) as usize);
+        for path in ps.iter() {
+            assert_eq!(path.len(), 4, "tor-agg-spine-agg-tor");
+            assert_eq!(*path.nodes(&t, a).last().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn leaf_spine_paths_go_via_each_spine() {
+        let p = LeafSpineParams::testbed();
+        let t = leaf_spine(p);
+        let r = Router::new(&t);
+        let leaves = leaves_of(&t);
+        let ps = r.paths(leaves[0], leaves[1]);
+        assert_eq!(ps.len(), p.spines as usize);
+    }
+
+    #[test]
+    fn leaf_to_spine_paths_are_up_only() {
+        let p = ClosParams::tiny();
+        let t = three_tier(p);
+        let r = Router::new(&t);
+        let leaf = leaves_of(&t)[0];
+        let spine = t
+            .switches()
+            .iter()
+            .copied()
+            .find(|s| t.node(*s).role == NodeRole::Spine)
+            .unwrap();
+        let ps = r.paths(leaf, spine);
+        // Exactly one plane connects this leaf's pod aggs to this spine:
+        // tor → agg(plane of spine) → spine, one agg qualifies.
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].len(), 2);
+    }
+
+    #[test]
+    fn caching_returns_same_handle() {
+        let t = three_tier(ClosParams::tiny());
+        let r = Router::new(&t);
+        let leaves = leaves_of(&t);
+        let p1 = r.paths(leaves[0], leaves[1]);
+        let p2 = r.paths(leaves[0], leaves[1]);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(r.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn paths_are_link_consistent() {
+        let t = three_tier(ClosParams::tiny());
+        let r = Router::new(&t);
+        let leaves = leaves_of(&t);
+        for a in &leaves {
+            for b in &leaves {
+                for path in r.paths(*a, *b).iter() {
+                    let nodes = path.nodes(&t, *a); // panics on inconsistency
+                    assert_eq!(nodes.first(), Some(a));
+                    assert_eq!(nodes.last(), Some(b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of topology construction, routing, and
+//! degradation invariants.
+
+use flock_topology::clos::{leaf_spine, three_tier, ClosParams, LeafSpineParams};
+use flock_topology::irregular::omit_links;
+use flock_topology::{NodeRole, Router};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_clos() -> impl Strategy<Value = ClosParams> {
+    (2u32..5, 1u32..4, 1u32..4, 1u32..4, 1u32..5).prop_map(
+        |(pods, tors, aggs, spines, hosts)| ClosParams {
+            pods,
+            tors_per_pod: tors,
+            aggs_per_pod: aggs,
+            spines_per_plane: spines,
+            hosts_per_tor: hosts,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clos_counts_match_formula(p in arb_clos()) {
+        let t = three_tier(p);
+        prop_assert_eq!(t.hosts().len() as u32, p.total_hosts());
+        prop_assert_eq!(t.link_count() as u32, p.total_links());
+        // Reverse pairing is involutive and endpoint-swapping.
+        for (id, l) in t.links() {
+            prop_assert_eq!(t.link(l.reverse).reverse, id);
+            prop_assert_eq!(t.link(l.reverse).src, l.dst);
+        }
+    }
+
+    #[test]
+    fn ecmp_widths_follow_structure(p in arb_clos()) {
+        let t = three_tier(p);
+        let r = Router::new(&t);
+        let leaves: Vec<_> = t.switches().iter().copied()
+            .filter(|s| t.node(*s).role == NodeRole::Leaf).collect();
+        for &a in leaves.iter().take(3) {
+            for &b in leaves.iter().rev().take(3) {
+                if a == b { continue; }
+                let ps = r.paths(a, b);
+                let expect = if t.node(a).pod == t.node(b).pod {
+                    p.aggs_per_pod as usize
+                } else {
+                    (p.aggs_per_pod * p.spines_per_plane) as usize
+                };
+                prop_assert_eq!(ps.len(), expect);
+                for path in ps.iter() {
+                    // Paths are valley-free: tiers rise then fall.
+                    let nodes = path.nodes(&t, a);
+                    let tiers: Vec<u8> = nodes.iter().map(|n| t.node(*n).role.tier()).collect();
+                    let apex = tiers.iter().enumerate().max_by_key(|(_, v)| **v).unwrap().0;
+                    prop_assert!(tiers[..=apex].windows(2).all(|w| w[0] < w[1]));
+                    prop_assert!(tiers[apex..].windows(2).all(|w| w[0] > w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_spine_width_is_spine_count(spines in 1u32..6, leaves in 2u32..6, hosts in 1u32..4) {
+        let p = LeafSpineParams { spines, leaves, hosts_per_leaf: hosts };
+        let t = leaf_spine(p);
+        let r = Router::new(&t);
+        let ls: Vec<_> = t.switches().iter().copied()
+            .filter(|s| t.node(*s).role == NodeRole::Leaf).collect();
+        prop_assert_eq!(r.paths(ls[0], ls[1]).len(), spines as usize);
+    }
+
+    #[test]
+    fn omission_preserves_counts_and_guardrails(p in arb_clos(), frac in 0.0f64..0.5, seed: u64) {
+        let t = three_tier(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (t2, removed) = omit_links(&t, frac, &mut rng);
+        prop_assert_eq!(t2.hosts().len(), t.hosts().len());
+        prop_assert_eq!(t2.link_count(), t.link_count() - 2 * removed);
+        // Every leaf/agg keeps an uplink.
+        for (id, n) in t2.nodes() {
+            if matches!(n.role, NodeRole::Leaf | NodeRole::Agg) {
+                let ups = t2.out_links(id).iter()
+                    .filter(|l| t2.node(t2.link(**l).dst).role.tier() > n.role.tier())
+                    .count();
+                prop_assert!(ups >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Passive-only localization on irregular fabrics (§7.6, Fig. 5c).
+//!
+//! With only NetFlow/IPFIX-style passive reports, flows carry ECMP path
+//! *sets* instead of paths — the setting where past schemes do not apply
+//! at all. On a perfectly symmetric Clos, parallel links are
+//! observationally equivalent and the best any scheme can do is name the
+//! equivalence class; as links are omitted the symmetry breaks and
+//! Flock (P)'s precision climbs toward the theoretical ceiling.
+//!
+//! ```text
+//! cargo run --release --example passive_only
+//! ```
+
+use flock::prelude::*;
+use flock::topology::{irregular, EquivalenceClasses, NodeRole};
+use rand::SeedableRng;
+
+fn main() {
+    let base = flock::topology::clos::three_tier(ClosParams {
+        pods: 4,
+        tors_per_pod: 4,
+        aggs_per_pod: 2,
+        spines_per_plane: 4,
+        hosts_per_tor: 6,
+    });
+
+    println!(
+        "{:<10} {:>10} {:>8} {:>22} {:>14}",
+        "% omitted", "precision", "recall", "theoretical max prec", "eq classes"
+    );
+    for (i, frac) in [0.0, 0.02, 0.05, 0.10, 0.20].iter().enumerate() {
+        let topo = if *frac == 0.0 {
+            base.clone()
+        } else {
+            match irregular::omit_links_routable(&base, *frac, 31 + i as u64, 16) {
+                Some((t, _)) => t,
+                None => {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(31 + i as u64);
+                    irregular::omit_links(&base, *frac, &mut rng).0
+                }
+            }
+        };
+        let router = Router::new(&topo);
+
+        // Equivalence classes of the passive observables (leaf-pair path
+        // sets) give the precision ceiling.
+        let leaves: Vec<NodeId> = topo
+            .switches()
+            .iter()
+            .copied()
+            .filter(|s| topo.node(*s).role == NodeRole::Leaf)
+            .collect();
+        let mut sets = Vec::new();
+        for a in &leaves {
+            for b in &leaves {
+                if a != b {
+                    sets.push(router.paths(*a, *b).to_vec());
+                }
+            }
+        }
+        let eq = EquivalenceClasses::compute(topo.link_count(), sets.iter().map(|s| s.iter()));
+        let ceiling = eq.max_precision(&topo.fabric_links());
+
+        // Average Flock (P) over a few single-failure episodes.
+        let mut acc = flock::core::MetricsAccumulator::new();
+        for seed in 0..6u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 * (i as u64 + 1) + seed);
+            let scenario = flock::netsim::failure::single_soft_failure(&topo, 0.01, 1e-4, &mut rng);
+            let demands = flock::netsim::traffic::generate_demands(
+                &topo,
+                &TrafficConfig::paper(20_000, TrafficPattern::Uniform),
+                &mut rng,
+            );
+            let flows = flock::netsim::flowsim::simulate_flows(
+                &topo,
+                &router,
+                &scenario,
+                &demands,
+                &FlowSimConfig::default(),
+                &mut rng,
+            );
+            let obs = flock::telemetry::input::assemble(
+                &topo,
+                &router,
+                &flows,
+                &[InputKind::P],
+                AnalysisMode::PerPacket,
+            );
+            let result = FlockGreedy::default().localize(&topo, &obs);
+            acc.add(evaluate(&topo, &result.predicted, &scenario.truth));
+        }
+        let pr = acc.mean();
+        println!(
+            "{:<10.0} {:>10.3} {:>8.3} {:>22.3} {:>14}",
+            frac * 100.0,
+            pr.precision,
+            pr.recall,
+            ceiling,
+            eq.class_count()
+        );
+    }
+    println!("\nPrecision below 1.0 with high recall means Flock narrowed the fault to");
+    println!("its equivalence class — 2-3 candidate links an operator checks by hand (§7.6).");
+}

@@ -1,0 +1,103 @@
+//! Scheme shoot-out on the paper's core scenario (§7.1): multiple
+//! concurrent silent-drop failures, compared across Flock, NetBouncer and
+//! 007 on the telemetry each can consume.
+//!
+//! ```text
+//! cargo run --release --example silent_drop_hunt [n_failures]
+//! ```
+
+use flock::prelude::*;
+use flock::telemetry::plan_a1_probes;
+use rand::SeedableRng;
+
+fn main() {
+    let n_failures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let topo = flock::topology::clos::three_tier(ClosParams::ns3_scale());
+    let router = Router::new(&topo);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
+    let scenario = flock::netsim::failure::silent_link_drops(
+        &topo,
+        n_failures,
+        (0.001, 0.01),
+        1e-4,
+        &mut rng,
+    );
+    println!(
+        "{} failed links among {} (drop rates 0.1-1%), SNR {:.0}",
+        scenario.truth.failed_links.len(),
+        topo.link_count(),
+        scenario.snr()
+    );
+
+    // Passive traffic (skewed, as in half the paper's traces) + A1 probes.
+    let demands = flock::netsim::traffic::generate_demands(
+        &topo,
+        &TrafficConfig::paper(60_000, TrafficPattern::paper_skewed()),
+        &mut rng,
+    );
+    let cfg = FlowSimConfig::default();
+    let mut flows = flock::netsim::flowsim::simulate_flows(
+        &topo, &router, &scenario, &demands, &cfg, &mut rng,
+    );
+    let probes = plan_a1_probes(&topo, &router, 50, Some(8192));
+    flows.extend(flock::netsim::flowsim::run_probes(&scenario, &probes, &cfg, &mut rng));
+
+    // Parameters as selected by the calibration harness (§5.2; run
+    // `flock-exp fig2a` to regenerate them).
+    let flock_params = HyperParams {
+        p_g: 5e-4,
+        p_b: 6e-3,
+        rho_link: (-15.0f64).exp(),
+        ..Default::default()
+    };
+    let cells: Vec<(&str, Vec<InputKind>, Box<dyn Localizer>)> = vec![
+        ("Flock (INT)", vec![InputKind::Int], Box::new(FlockGreedy::new(flock_params))),
+        (
+            "Flock (A1+A2+P)",
+            vec![InputKind::A1, InputKind::A2, InputKind::P],
+            Box::new(FlockGreedy::new(flock_params)),
+        ),
+        ("Flock (A2)", vec![InputKind::A2], Box::new(FlockGreedy::new(flock_params))),
+        ("Flock (A1)", vec![InputKind::A1], Box::new(FlockGreedy::new(flock_params))),
+        (
+            "NetBouncer (INT)",
+            vec![InputKind::Int],
+            Box::new(NetBouncer::new(5.0, 5e-3)),
+        ),
+        (
+            "NetBouncer (A1)",
+            vec![InputKind::A1],
+            Box::new(NetBouncer::new(5.0, 5e-3)),
+        ),
+        ("007 (A2)", vec![InputKind::A2], Box::new(ZeroZeroSeven::new(2.0))),
+    ];
+
+    println!(
+        "\n{:<18} {:>9} {:>7} {:>7} {:>10} {:>9}",
+        "scheme", "precision", "recall", "fscore", "runtime", "blamed"
+    );
+    for (label, kinds, localizer) in cells {
+        let obs = flock::telemetry::input::assemble(
+            &topo,
+            &router,
+            &flows,
+            &kinds,
+            AnalysisMode::PerPacket,
+        );
+        let result = localizer.localize(&topo, &obs);
+        let pr = evaluate(&topo, &result.predicted, &scenario.truth);
+        println!(
+            "{:<18} {:>9.3} {:>7.3} {:>7.3} {:>10.1?} {:>9}",
+            label,
+            pr.precision,
+            pr.recall,
+            fscore(pr.precision, pr.recall),
+            result.runtime,
+            result.predicted.len(),
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration: packet-level DES traces through inference — the testbed
+//! scenarios of §7.4/§7.5 end to end.
+
+use flock::prelude::*;
+use flock::netsim::des::{simulate_des, Flap, WredParams};
+use flock::netsim::traffic::generate_demands;
+use rand::SeedableRng;
+
+fn testbed() -> Topology {
+    flock::topology::clos::leaf_spine(LeafSpineParams::testbed())
+}
+
+#[test]
+fn wred_misconfiguration_is_localized_from_tcp_behaviour() {
+    let topo = testbed();
+    let router = Router::new(&topo);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let bad = topo.fabric_links()[5];
+    let faults = DesFaults {
+        wred: vec![(
+            bad,
+            WredParams {
+                threshold: 0,
+                drop_prob: 0.02,
+            },
+        )],
+        ..Default::default()
+    };
+    let demands = generate_demands(
+        &topo,
+        &TrafficConfig::paper(400, TrafficPattern::Uniform),
+        &mut rng,
+    );
+    let flows = simulate_des(&topo, &router, &DesConfig::default(), &faults, &demands, &mut rng);
+    let obs = flock::telemetry::input::assemble(
+        &topo,
+        &router,
+        &flows,
+        &[InputKind::Int],
+        AnalysisMode::PerPacket,
+    );
+    let result = FlockGreedy::default().localize(&topo, &obs);
+    let truth = GroundTruth {
+        failed_links: vec![bad],
+        failed_devices: vec![],
+    };
+    let pr = evaluate(&topo, &result.predicted, &truth);
+    assert!(
+        pr.recall > 0.0,
+        "WRED faults must be localized: blamed {:?}, truth {bad:?}",
+        result.predicted
+    );
+}
+
+#[test]
+fn link_flap_is_localized_by_per_flow_analysis_only() {
+    let topo = testbed();
+    let router = Router::new(&topo);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let bad = topo.fabric_links()[3];
+    let cfg = DesConfig {
+        horizon_ns: 1_000_000_000,
+        ..Default::default()
+    };
+    let faults = DesFaults {
+        flaps: vec![Flap {
+            link: bad,
+            start_ns: 0,
+            duration_ns: 800_000_000,
+        }],
+        ..Default::default()
+    };
+    let demands = generate_demands(
+        &topo,
+        &TrafficConfig::paper(300, TrafficPattern::Uniform),
+        &mut rng,
+    );
+    let flows = simulate_des(&topo, &router, &cfg, &faults, &demands, &mut rng);
+
+    // Per-packet analysis sees (almost) nothing: the flap buffers.
+    let per_packet = flock::telemetry::input::assemble(
+        &topo,
+        &router,
+        &flows,
+        &[InputKind::Int],
+        AnalysisMode::PerPacket,
+    );
+    let total_bad: u64 = per_packet.flows.iter().map(|f| f.bad * f.weight as u64).sum();
+
+    // Per-flow RTT analysis localizes it (§7.5).
+    let per_flow = flock::telemetry::input::assemble(
+        &topo,
+        &router,
+        &flows,
+        &[InputKind::Int],
+        AnalysisMode::PerFlow {
+            rtt_threshold_us: 10_000,
+        },
+    );
+    let flagged: u64 = per_flow.flows.iter().map(|f| f.bad * f.weight as u64).sum();
+    assert!(
+        flagged > 0,
+        "per-flow analysis must flag RTT spikes (per-packet saw {total_bad} bad)"
+    );
+    let result = FlockGreedy::default().localize(&topo, &per_flow);
+    let truth = GroundTruth {
+        failed_links: vec![bad],
+        failed_devices: vec![],
+    };
+    let pr = evaluate(&topo, &result.predicted, &truth);
+    assert!(
+        pr.recall > 0.0,
+        "flap must be localized from RTTs: blamed {:?}, truth {bad:?}",
+        result.predicted
+    );
+}
