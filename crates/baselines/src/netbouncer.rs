@@ -135,8 +135,8 @@ impl NetBouncer {
                     num += n_p * c * y_p;
                     den += n_p * c * c;
                 }
-                let new_x = ((2.0 * num - self.lambda) / (2.0 * den - 2.0 * self.lambda))
-                    .clamp(0.0, 1.0);
+                let new_x =
+                    ((2.0 * num - self.lambda) / (2.0 * den - 2.0 * self.lambda)).clamp(0.0, 1.0);
                 max_move = max_move.max((new_x - x[l.idx()]).abs());
                 x[l.idx()] = new_x;
             }
@@ -175,8 +175,7 @@ impl Localizer for NetBouncer {
                             e.push(l);
                         }
                         if o.bad > 0 {
-                            *dev_bad_flows.entry(end).or_insert(0) +=
-                                u64::from(o.weight);
+                            *dev_bad_flows.entry(end).or_insert(0) += u64::from(o.weight);
                         }
                     }
                 }

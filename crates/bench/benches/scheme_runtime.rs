@@ -14,11 +14,23 @@ fn bench(c: &mut Criterion) {
 
     let cells: Vec<(&str, Vec<flock_telemetry::InputKind>, Box<dyn Localizer>)> = vec![
         ("flock_int", vec![Int], Box::new(FlockGreedy::default())),
-        ("flock_a1a2p", vec![A1, A2, P], Box::new(FlockGreedy::default())),
+        (
+            "flock_a1a2p",
+            vec![A1, A2, P],
+            Box::new(FlockGreedy::default()),
+        ),
         ("flock_a1", vec![A1], Box::new(FlockGreedy::default())),
         ("flock_a2", vec![A2], Box::new(FlockGreedy::default())),
-        ("netbouncer_a1", vec![A1], Box::new(NetBouncer::new(1.0, 5e-4))),
-        ("netbouncer_int", vec![Int], Box::new(NetBouncer::new(1.0, 5e-4))),
+        (
+            "netbouncer_a1",
+            vec![A1],
+            Box::new(NetBouncer::new(1.0, 5e-4)),
+        ),
+        (
+            "netbouncer_int",
+            vec![Int],
+            Box::new(NetBouncer::new(1.0, 5e-4)),
+        ),
         ("seven_a2", vec![A2], Box::new(ZeroZeroSeven::new(2.0))),
     ];
     for (name, kinds, localizer) in cells {

@@ -1,0 +1,105 @@
+//! Warm vs cold epoch inference on an unchanged-fault steady state —
+//! the latency win the online pipeline's warm start buys.
+//!
+//! Two layers are measured: the end-to-end per-epoch pipeline cost
+//! (assembly + engine + search + merge) with warm start on vs off, and
+//! the engine layer alone (rebind vs from-scratch build, and the warm
+//! seeded search vs cold greedy) on identical observations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_bench::steady_epochs;
+use flock_core::{Engine, FlockGreedy, HyperParams};
+use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
+use flock_telemetry::{AnalysisMode, Assembler, InputKind};
+use flock_topology::Router;
+
+fn bench(c: &mut Criterion) {
+    let fixture = steady_epochs(512, 8_000, 4, 7);
+    let topo = &fixture.topo;
+    let kinds = [InputKind::A2, InputKind::P];
+
+    let mut group = c.benchmark_group("stream_epoch");
+    group.sample_size(20);
+
+    // ---- End-to-end per-epoch pipeline cost, steady state. ----
+    let mk_cfg = |warm: bool| StreamConfig {
+        epoch: EpochConfig::tumbling(1_000),
+        kinds: kinds.to_vec(),
+        mode: AnalysisMode::PerPacket,
+        warm_start: warm,
+        shard_by_pod: false,
+        ..StreamConfig::paper_default()
+    };
+    for (name, warm) in [
+        ("pipeline_cold_epoch", false),
+        ("pipeline_warm_epoch", true),
+    ] {
+        let mut pipe = StreamPipeline::new(topo, mk_cfg(warm));
+        // Prime: first epoch pays arena/engine construction either way.
+        pipe.run_flows(0, 0, 1_000, &fixture.epochs[0]);
+        let mut i = 1u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let flows = &fixture.epochs[(i as usize) % fixture.epochs.len()];
+                let r = pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
+                i += 1;
+                r
+            });
+        });
+    }
+
+    // ---- Engine layer alone on identical observations. ----
+    let router = Router::new(topo);
+    let mut asm = Assembler::new();
+    let obs_a = asm.assemble(
+        topo,
+        &router,
+        &fixture.epochs[0],
+        &kinds,
+        AnalysisMode::PerPacket,
+    );
+    // Second epoch assembled against the same arena lineage.
+    let arena_snapshot = {
+        asm.recycle(obs_a);
+        asm.assemble(
+            topo,
+            &router,
+            &fixture.epochs[1],
+            &kinds,
+            AnalysisMode::PerPacket,
+        )
+    };
+    let obs = &arena_snapshot;
+    let params = HyperParams::default();
+
+    group.bench_function("engine_cold_build", |b| {
+        b.iter(|| Engine::new(topo, obs, params));
+    });
+    let mut warm_engine = Engine::new(topo, obs, params);
+    group.bench_function("engine_warm_rebind", |b| {
+        b.iter(|| warm_engine.rebind(topo, obs));
+    });
+
+    let greedy = FlockGreedy::default();
+    let seed: Vec<u32> = {
+        let mut e = Engine::new(topo, obs, params);
+        let (picked, _) = greedy.search(&mut e);
+        picked.iter().map(|(c, _)| *c).collect()
+    };
+    group.bench_function("search_cold", |b| {
+        b.iter(|| {
+            warm_engine.rebind(topo, obs);
+            greedy.search(&mut warm_engine)
+        });
+    });
+    group.bench_function("search_warm_seeded", |b| {
+        b.iter(|| {
+            warm_engine.rebind(topo, obs);
+            greedy.search_warm(&mut warm_engine, &seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

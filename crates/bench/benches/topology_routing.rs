@@ -9,11 +9,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_routing");
     for servers in [1024u32, 4096] {
         let params = ClosParams::with_servers(servers);
-        group.bench_with_input(
-            BenchmarkId::new("build_clos", servers),
-            &params,
-            |b, p| b.iter(|| three_tier(*p)),
-        );
+        group.bench_with_input(BenchmarkId::new("build_clos", servers), &params, |b, p| {
+            b.iter(|| three_tier(*p))
+        });
         let topo = three_tier(params);
         let leaves: Vec<_> = topo
             .switches()

@@ -19,7 +19,7 @@ fn records(n: usize) -> Vec<FlowRecord> {
                 rtt_max_us: 9_000,
             },
             class: TrafficClass::Passive,
-            path: (i % 4 == 0).then(|| (0..8).map(|k| LinkId(k)).collect()),
+            path: (i % 4 == 0).then(|| (0..8).map(LinkId).collect()),
         })
         .collect()
 }

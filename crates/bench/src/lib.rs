@@ -51,3 +51,44 @@ pub fn input(t: &BenchTrace, kinds: &[InputKind]) -> ObservationSet {
     let router = Router::new(&t.topo);
     assemble(&t.topo, &router, &t.flows, kinds, AnalysisMode::PerPacket)
 }
+
+/// A steady-state fixture for the online pipeline: the same persistent
+/// fault observed over several epochs of freshly drawn traffic.
+pub struct SteadyEpochs {
+    /// Topology.
+    pub topo: Topology,
+    /// Per-epoch monitored flows (same fault active throughout).
+    pub epochs: Vec<Vec<MonitoredFlow>>,
+    /// Ground truth (constant across epochs).
+    pub truth: GroundTruth,
+}
+
+/// Build `n_epochs` epochs of traffic under one unchanged silent-drop
+/// fault — the steady state where warm-start inference should shine.
+pub fn steady_epochs(
+    servers: u32,
+    flows_per_epoch: usize,
+    n_epochs: usize,
+    seed: u64,
+) -> SteadyEpochs {
+    let topo = flock_topology::clos::three_tier(ClosParams::with_servers(servers));
+    let router = Router::new(&topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scenario = failure::silent_link_drops(&topo, 1, (0.01, 0.02), DEFAULT_NOISE_MAX, &mut rng);
+    let cfg = FlowSimConfig::default();
+    let epochs = (0..n_epochs)
+        .map(|_| {
+            let demands = generate_demands(
+                &topo,
+                &TrafficConfig::paper(flows_per_epoch, TrafficPattern::Uniform),
+                &mut rng,
+            );
+            simulate_flows(&topo, &router, &scenario, &demands, &cfg, &mut rng)
+        })
+        .collect();
+    SteadyEpochs {
+        truth: scenario.truth,
+        topo,
+        epochs,
+    }
+}

@@ -41,9 +41,7 @@ impl SchemeConfig {
                 nb.device_flow_threshold = *device_flow_threshold;
                 Box::new(nb)
             }
-            SchemeConfig::Seven { vote_threshold } => {
-                Box::new(ZeroZeroSeven::new(*vote_threshold))
-            }
+            SchemeConfig::Seven { vote_threshold } => Box::new(ZeroZeroSeven::new(*vote_threshold)),
         }
     }
 
@@ -89,7 +87,10 @@ mod tests {
 
     #[test]
     fn build_produces_named_localizers() {
-        assert_eq!(SchemeConfig::Flock(HyperParams::default()).build().name(), "Flock");
+        assert_eq!(
+            SchemeConfig::Flock(HyperParams::default()).build().name(),
+            "Flock"
+        );
         assert_eq!(
             SchemeConfig::NetBouncer {
                 lambda: 1.0,
@@ -101,7 +102,11 @@ mod tests {
             "NetBouncer"
         );
         assert_eq!(
-            SchemeConfig::Seven { vote_threshold: 1.0 }.build().name(),
+            SchemeConfig::Seven {
+                vote_threshold: 1.0
+            }
+            .build()
+            .name(),
             "007"
         );
     }

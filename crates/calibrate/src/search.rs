@@ -41,9 +41,9 @@ pub fn evaluate_grid(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: std::sync::Mutex<Vec<Option<CalibPoint>>> =
         std::sync::Mutex::new(vec![None; points.len()]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(points.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
@@ -52,8 +52,7 @@ pub fn evaluate_grid(
                 results.lock().unwrap()[i] = Some(point);
             });
         }
-    })
-    .expect("calibration worker panicked");
+    });
     results
         .into_inner()
         .unwrap()
@@ -121,12 +120,7 @@ pub fn select(points: &[CalibPoint]) -> Option<CalibPoint> {
     // Degenerate training set: fall back to the best Fscore.
     points
         .iter()
-        .max_by(|a, b| {
-            a.metrics
-                .fscore()
-                .partial_cmp(&b.metrics.fscore())
-                .unwrap()
-        })
+        .max_by(|a, b| a.metrics.fscore().partial_cmp(&b.metrics.fscore()).unwrap())
         .cloned()
 }
 
@@ -173,9 +167,11 @@ mod tests {
         let front = pareto_front(&points);
         // (0.8,0.4) dominated by (0.9,0.5) and (0.9,0.5) by (0.9,0.6).
         assert_eq!(front.len(), 2);
-        assert!(front
-            .iter()
-            .all(|p| p.metrics != PrecisionRecall { precision: 0.8, recall: 0.4 }));
+        assert!(front.iter().all(|p| p.metrics
+            != PrecisionRecall {
+                precision: 0.8,
+                recall: 0.4
+            }));
     }
 
     #[test]
@@ -198,7 +194,9 @@ mod tests {
         }];
         let points = vec![
             SchemeConfig::Flock(HyperParams::default()),
-            SchemeConfig::Seven { vote_threshold: 1.0 },
+            SchemeConfig::Seven {
+                vote_threshold: 1.0,
+            },
         ];
         let seq = evaluate_grid(&points, &traces, 1);
         let par = evaluate_grid(&points, &traces, 4);

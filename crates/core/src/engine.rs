@@ -36,6 +36,9 @@ use crate::space::{CompIdx, ComponentSpace};
 use flock_telemetry::{FlowObs, ObservationSet};
 use flock_topology::Topology;
 
+/// A set's pre-flip state: `(set_bad, per-component (comp, g, s))`.
+type SetSnapshot = (u32, Vec<(CompIdx, u32, u32)>);
+
 /// Compact CSR-style adjacency: `items[offsets[i]..offsets[i+1]]`.
 #[derive(Debug, Clone, Default)]
 struct Csr {
@@ -44,18 +47,25 @@ struct Csr {
 }
 
 impl Csr {
-    /// Build from unsorted `(bucket, item)` pairs.
-    fn build(n_buckets: usize, pairs: &mut Vec<(u32, u32)>) -> Csr {
-        pairs.sort_unstable();
-        pairs.dedup();
+    /// Build from `(bucket, item)` pairs by counting scatter — `O(pairs +
+    /// buckets)`, no comparison sort. Pairs must be duplicate-free (they
+    /// are throughout the engine: per-path/per-set component lists and
+    /// per-flow extras are deduplicated before pairs are emitted), and
+    /// within a bucket items keep their input order.
+    fn build(n_buckets: usize, pairs: &[(u32, u32)]) -> Csr {
         let mut offsets = vec![0u32; n_buckets + 1];
-        for &(b, _) in pairs.iter() {
+        for &(b, _) in pairs {
             offsets[b as usize + 1] += 1;
         }
         for i in 0..n_buckets {
             offsets[i + 1] += offsets[i];
         }
-        let items = pairs.iter().map(|&(_, it)| it).collect();
+        let mut cursor: Vec<u32> = offsets[..n_buckets].to_vec();
+        let mut items = vec![0u32; pairs.len()];
+        for &(b, it) in pairs {
+            items[cursor[b as usize] as usize] = it;
+            cursor[b as usize] += 1;
+        }
         Csr { offsets, items }
     }
 
@@ -111,12 +121,17 @@ pub struct Engine {
     path_comps: Vec<Vec<CompIdx>>,
     path_fail: Vec<u32>,
     comp_to_paths: Csr,
+    /// Cumulative `(comp, path)` pairs backing `comp_to_paths`; appended
+    /// as the arena grows so a rebind never re-derives history.
+    comp_path_pairs: Vec<(u32, u32)>,
 
     // Sets.
     sets: Vec<Vec<u32>>,
     set_comps: Vec<Vec<CompIdx>>,
     set_bad: Vec<u32>,
     comp_to_sets: Csr,
+    /// Cumulative `(comp, set)` pairs backing `comp_to_sets`.
+    comp_set_pairs: Vec<(u32, u32)>,
     set_flows: Csr,
 
     // Flows.
@@ -135,115 +150,44 @@ pub struct Engine {
     scratch_s: Vec<u32>,
 }
 
+/// Predicate selecting the observations an engine sees (sharded
+/// executors build several engines over one `ObservationSet`, each
+/// restricted to the flows that can implicate its components).
+pub type FlowFilter<'a> = &'a dyn Fn(&FlowObs) -> bool;
+
 impl Engine {
     /// Build an engine for `obs` over `topo`.
     pub fn new(topo: &Topology, obs: &ObservationSet, params: HyperParams) -> Engine {
+        Self::new_filtered(topo, obs, params, None)
+    }
+
+    /// Build an engine over the subset of `obs` selected by `filter`
+    /// (`None` = all observations). The component space always covers the
+    /// full topology; the filter restricts evidence, not blame targets.
+    pub fn new_filtered(
+        topo: &Topology,
+        obs: &ObservationSet,
+        params: HyperParams,
+        filter: Option<FlowFilter<'_>>,
+    ) -> Engine {
         params.validate();
         let space = ComponentSpace::new(topo);
         let n_comps = space.n_comps();
-
-        // Interned fabric paths → component lists (links + their switch
-        // endpoints, deduplicated; round-trip probe paths visit a device
-        // twice but it is one component).
-        let n_paths = obs.arena.path_count();
-        let mut path_comps: Vec<Vec<CompIdx>> = Vec::with_capacity(n_paths);
-        for pid in 0..n_paths as u32 {
-            let links = obs.arena.path(flock_telemetry::PathId(pid));
-            let mut comps: Vec<CompIdx> = Vec::with_capacity(links.len() * 2 + 1);
-            for &l in links {
-                comps.push(space.link_comp(l));
-                let link = topo.link(l);
-                for end in [link.src, link.dst] {
-                    if let Some(d) = space.device_comp(end) {
-                        comps.push(d);
-                    }
-                }
-            }
-            comps.sort_unstable();
-            comps.dedup();
-            path_comps.push(comps);
-        }
-
-        // Sets and their component unions.
-        let n_sets = obs.arena.set_count();
-        let mut sets: Vec<Vec<u32>> = Vec::with_capacity(n_sets);
-        let mut set_comps: Vec<Vec<CompIdx>> = Vec::with_capacity(n_sets);
-        for sid in 0..n_sets as u32 {
-            let members: Vec<u32> = obs
-                .arena
-                .set(flock_telemetry::PathSetId(sid))
-                .iter()
-                .map(|p| p.0)
-                .collect();
-            let mut comps: Vec<CompIdx> = members
-                .iter()
-                .flat_map(|&p| path_comps[p as usize].iter().copied())
-                .collect();
-            comps.sort_unstable();
-            comps.dedup();
-            sets.push(members);
-            set_comps.push(comps);
-        }
-
-        // Flows.
-        let mut flows: Vec<EFlow> = Vec::with_capacity(obs.flows.len());
-        let mut extra_pairs: Vec<(u32, u32)> = Vec::new();
-        let mut set_flow_pairs: Vec<(u32, u32)> = Vec::new();
-        for o in &obs.flows {
-            let w = sets[o.set.0 as usize].len() as u32;
-            if w == 0 {
-                continue; // unroutable flow carries no information
-            }
-            let extras = flow_extras(topo, &space, &set_comps[o.set.0 as usize], o);
-            let fi = flows.len() as u32;
-            set_flow_pairs.push((o.set.0, fi));
-            for &e in &extras.0[..extras.1 as usize] {
-                extra_pairs.push((e, fi));
-            }
-            flows.push(EFlow {
-                set: o.set.0,
-                extras: extras.0,
-                n_extras: extras.1,
-                extra_fail: 0,
-                score: flow_score(&params, o.sent, o.bad),
-                weight: f64::from(o.weight),
-                w,
-            });
-        }
-
-        // Inverted indexes.
-        let mut comp_path_pairs: Vec<(u32, u32)> = Vec::new();
-        for (p, comps) in path_comps.iter().enumerate() {
-            for &c in comps {
-                comp_path_pairs.push((c, p as u32));
-            }
-        }
-        let mut comp_set_pairs: Vec<(u32, u32)> = Vec::new();
-        for (s, comps) in set_comps.iter().enumerate() {
-            for &c in comps {
-                comp_set_pairs.push((c, s as u32));
-            }
-        }
-
-        let comp_to_paths = Csr::build(n_comps, &mut comp_path_pairs);
-        let comp_to_sets = Csr::build(n_comps, &mut comp_set_pairs);
-        let set_flows = Csr::build(n_sets, &mut set_flow_pairs);
-        let comp_extra_flows = Csr::build(n_comps, &mut extra_pairs);
-
-        let n_paths = path_comps.len();
         let mut engine = Engine {
             space,
             params,
-            path_comps,
-            path_fail: vec![0; n_paths],
-            comp_to_paths,
-            sets,
-            set_comps,
-            set_bad: vec![0; n_sets],
-            comp_to_sets,
-            set_flows,
-            flows,
-            comp_extra_flows,
+            path_comps: Vec::new(),
+            path_fail: Vec::new(),
+            comp_to_paths: Csr::default(),
+            comp_path_pairs: Vec::new(),
+            sets: Vec::new(),
+            set_comps: Vec::new(),
+            set_bad: Vec::new(),
+            comp_to_sets: Csr::default(),
+            comp_set_pairs: Vec::new(),
+            set_flows: Csr::default(),
+            flows: Vec::new(),
+            comp_extra_flows: Csr::default(),
             in_h: vec![false; n_comps],
             hypothesis: Vec::new(),
             delta: vec![0.0; n_comps],
@@ -252,8 +196,159 @@ impl Engine {
             scratch_g: vec![0; n_comps],
             scratch_s: vec![0; n_comps],
         };
+        engine.extend_structures(topo, obs);
+        engine.rebuild_flows(topo, obs, filter);
         engine.compute_initial_delta();
         engine
+    }
+
+    /// Rebind the engine to a *new* observation set whose arena extends
+    /// the one this engine was built on (the contract kept by
+    /// [`flock_telemetry::Assembler`]: interning is append-only, so every
+    /// previously seen path/set id denotes identical content).
+    ///
+    /// This is the warm-start fast path of the online pipeline: per-path
+    /// and per-set component structures — the dominant cost of
+    /// [`Engine::new`] — are reused and only *extended* for newly interned
+    /// paths; the per-flow layer is rebuilt for the epoch. The hypothesis
+    /// is cleared and the Δ array recomputed; re-seed via
+    /// [`Engine::flip`] (see `FlockGreedy::search_warm`).
+    ///
+    /// # Panics
+    /// Debug-asserts that the arena has not shrunk; binding an arena from
+    /// a different lineage is a logic error the engine cannot detect
+    /// beyond that.
+    pub fn rebind(&mut self, topo: &Topology, obs: &ObservationSet) {
+        self.rebind_filtered(topo, obs, None)
+    }
+
+    /// [`Engine::rebind`] restricted to the observations selected by
+    /// `filter`.
+    pub fn rebind_filtered(
+        &mut self,
+        topo: &Topology,
+        obs: &ObservationSet,
+        filter: Option<FlowFilter<'_>>,
+    ) {
+        // Reset hypothesis-dependent state.
+        self.in_h.fill(false);
+        self.hypothesis.clear();
+        self.path_fail.fill(0);
+        self.set_bad.fill(0);
+        self.delta.fill(0.0);
+        self.ll = 0.0;
+
+        self.extend_structures(topo, obs);
+        self.rebuild_flows(topo, obs, filter);
+        self.compute_initial_delta();
+    }
+
+    /// Extend the arena-derived structural layer (per-path and per-set
+    /// component lists plus their inverted indexes) to cover `obs`'s
+    /// arena. No-op when the arena has not grown — the steady-state case
+    /// that makes warm rebinding cheap.
+    fn extend_structures(&mut self, topo: &Topology, obs: &ObservationSet) {
+        let old_paths = self.path_comps.len();
+        let n_paths = obs.arena.path_count();
+        debug_assert!(
+            n_paths >= old_paths,
+            "rebind requires an arena extending the engine's lineage"
+        );
+        // Interned fabric paths → component lists (links + their switch
+        // endpoints, deduplicated; round-trip probe paths visit a device
+        // twice but it is one component).
+        for pid in old_paths as u32..n_paths as u32 {
+            let links = obs.arena.path(flock_telemetry::PathId(pid));
+            let mut comps: Vec<CompIdx> = Vec::with_capacity(links.len() * 2 + 1);
+            for &l in links {
+                comps.push(self.space.link_comp(l));
+                let link = topo.link(l);
+                for end in [link.src, link.dst] {
+                    if let Some(d) = self.space.device_comp(end) {
+                        comps.push(d);
+                    }
+                }
+            }
+            comps.sort_unstable();
+            comps.dedup();
+            self.comp_path_pairs.extend(comps.iter().map(|&c| (c, pid)));
+            self.path_comps.push(comps);
+        }
+        self.path_fail.resize(n_paths, 0);
+
+        // Sets and their component unions.
+        let old_sets = self.sets.len();
+        let n_sets = obs.arena.set_count();
+        for sid in old_sets as u32..n_sets as u32 {
+            let members: Vec<u32> = obs
+                .arena
+                .set(flock_telemetry::PathSetId(sid))
+                .iter()
+                .map(|p| p.0)
+                .collect();
+            let mut comps: Vec<CompIdx> = members
+                .iter()
+                .flat_map(|&p| self.path_comps[p as usize].iter().copied())
+                .collect();
+            comps.sort_unstable();
+            comps.dedup();
+            self.comp_set_pairs.extend(comps.iter().map(|&c| (c, sid)));
+            self.sets.push(members);
+            self.set_comps.push(comps);
+        }
+        self.set_bad.resize(n_sets, 0);
+
+        // Inverted indexes: rebuilt on growth (from the cumulative pair
+        // lists, by linear counting scatter — no per-epoch re-derivation
+        // or sort of history), and on the first build even when the arena
+        // is empty — `flip`/`delta_single` index the CSR offset tables
+        // unconditionally, so they must always span the component space.
+        let unbuilt = self.comp_to_paths.offsets.is_empty();
+        if n_paths > old_paths || n_sets > old_sets || unbuilt {
+            let n_comps = self.space.n_comps();
+            self.comp_to_paths = Csr::build(n_comps, &self.comp_path_pairs);
+            self.comp_to_sets = Csr::build(n_comps, &self.comp_set_pairs);
+        }
+    }
+
+    /// Rebuild the per-epoch flow layer from `obs`.
+    fn rebuild_flows(
+        &mut self,
+        topo: &Topology,
+        obs: &ObservationSet,
+        filter: Option<FlowFilter<'_>>,
+    ) {
+        self.flows.clear();
+        let mut extra_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut set_flow_pairs: Vec<(u32, u32)> = Vec::new();
+        for o in &obs.flows {
+            if let Some(keep) = filter {
+                if !keep(o) {
+                    continue;
+                }
+            }
+            let w = self.sets[o.set.0 as usize].len() as u32;
+            if w == 0 {
+                continue; // unroutable flow carries no information
+            }
+            let extras = flow_extras(topo, &self.space, &self.set_comps[o.set.0 as usize], o);
+            let fi = self.flows.len() as u32;
+            set_flow_pairs.push((o.set.0, fi));
+            for &e in &extras.0[..extras.1 as usize] {
+                extra_pairs.push((e, fi));
+            }
+            self.flows.push(EFlow {
+                set: o.set.0,
+                extras: extras.0,
+                n_extras: extras.1,
+                extra_fail: 0,
+                score: flow_score(&self.params, o.sent, o.bad),
+                weight: f64::from(o.weight),
+                w,
+            });
+        }
+        self.set_flows = Csr::build(self.sets.len(), &set_flow_pairs);
+        self.comp_extra_flows = Csr::build(self.space.n_comps(), &extra_pairs);
     }
 
     /// The component space (for translating indices).
@@ -342,8 +437,7 @@ impl Engine {
         // lazily with a per-path "done" check via the global visited pass
         // below. Simpler and allocation-free: first collect old counters
         // per set, then update paths, then walk sets again.
-        let mut old_counters: Vec<(u32, Vec<(CompIdx, u32, u32)>)> =
-            Vec::with_capacity(affected_sets.len());
+        let mut old_counters: Vec<SetSnapshot> = Vec::with_capacity(affected_sets.len());
         if maintain_delta {
             for &s in &affected_sets {
                 let counters = self.collect_counters(s);
@@ -397,8 +491,7 @@ impl Engine {
                             .copied()
                             .find(|&e| self.in_h[e as usize])
                             .expect("extra_fail==1 implies one failed extra");
-                        self.delta[e as usize] +=
-                            wgt * (llf(sc, w, new_bad) - llf(sc, w, old_bad));
+                        self.delta[e as usize] += wgt * (llf(sc, w, new_bad) - llf(sc, w, old_bad));
                     }
                     continue;
                 }
@@ -584,6 +677,12 @@ impl Engine {
     fn compute_initial_delta(&mut self) {
         // Per set: g(c) = member paths containing c (all paths good).
         for s in 0..self.sets.len() as u32 {
+            // Sets with no flows this epoch contribute nothing; skipping
+            // them keeps rebinding cheap as the shared arena accumulates
+            // sets across epochs.
+            if self.set_flows.get(s).is_empty() {
+                continue;
+            }
             // Count paths per comp.
             for &p in &self.sets[s as usize] {
                 for &c in &self.path_comps[p as usize] {
@@ -592,10 +691,7 @@ impl Engine {
             }
             let comps = &self.set_comps[s as usize];
             // Distinct g values of this set.
-            let mut gs: Vec<u32> = comps
-                .iter()
-                .map(|&c| self.scratch_g[c as usize])
-                .collect();
+            let mut gs: Vec<u32> = comps.iter().map(|&c| self.scratch_g[c as usize]).collect();
             gs.sort_unstable();
             gs.dedup();
             // Σ_flows weight · LLF(g) per distinct g.
@@ -655,7 +751,11 @@ impl Engine {
         for &fi in self.comp_extra_flows.get(c) {
             let f = &self.flows[fi as usize];
             let old_fail = f.extra_fail;
-            let new_fail = if flipping_on { old_fail + 1 } else { old_fail - 1 };
+            let new_fail = if flipping_on {
+                old_fail + 1
+            } else {
+                old_fail - 1
+            };
             let sb = self.set_bad[f.set as usize];
             let bad_old = if old_fail > 0 { f.w } else { sb };
             let bad_new = if new_fail > 0 { f.w } else { sb };
@@ -679,11 +779,7 @@ impl Engine {
             } else {
                 self.sets[f.set as usize]
                     .iter()
-                    .filter(|&&p| {
-                        self.path_comps[p as usize]
-                            .iter()
-                            .any(|c| in_h.contains(c))
-                    })
+                    .filter(|&&p| self.path_comps[p as usize].iter().any(|c| in_h.contains(c)))
                     .count() as u32
             };
             ll += f.weight * llf(f.score, f.w, bad);
@@ -968,9 +1064,106 @@ mod tests {
             flows: Vec::new(),
             mode: AnalysisMode::PerPacket,
         };
-        let engine = Engine::new(&topo, &obs, HyperParams::default());
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
         assert!(engine.delta().iter().all(|&d| d == 0.0));
         assert_eq!(engine.log_likelihood(), 0.0);
+        // The inverted indexes must be usable even with an empty arena:
+        // flips and single-neighbor evaluation walk them unconditionally.
+        for c in 0..engine.n_comps() as u32 {
+            assert_eq!(engine.delta_single(c), 0.0);
+        }
+        engine.flip(0);
+        engine.flip_ll_only(1);
+        assert_eq!(engine.log_likelihood(), 0.0);
+    }
+
+    /// A rebound engine must be indistinguishable from one built fresh on
+    /// the same (lineage-extending) observation set.
+    #[test]
+    fn rebind_matches_fresh_build() {
+        use flock_telemetry::Assembler;
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts().to_vec();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut asm = Assembler::new();
+
+        let epoch_flows = |rng: &mut StdRng, n: usize| -> Vec<MonitoredFlow> {
+            (0..n)
+                .map(|i| {
+                    let s = hosts[rng.random_range(0..hosts.len())];
+                    let mut d = hosts[rng.random_range(0..hosts.len())];
+                    while d == s {
+                        d = hosts[rng.random_range(0..hosts.len())];
+                    }
+                    let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+                    let pick = rng.random_range(0..paths.len());
+                    let mut tp = vec![topo.host_uplink(s)];
+                    tp.extend_from_slice(&paths[pick].links);
+                    tp.push(topo.host_downlink(d));
+                    let sent = rng.random_range(10..300u64);
+                    let bad = rng.random_range(0..=sent.min(5));
+                    MonitoredFlow {
+                        key: FlowKey::tcp(s, d, 1000 + i as u16, 80),
+                        stats: FlowStats {
+                            packets: sent,
+                            retransmissions: bad,
+                            bytes: sent * 1500,
+                            rtt_sum_us: 0,
+                            rtt_count: 0,
+                            rtt_max_us: 0,
+                        },
+                        class: TrafficClass::Passive,
+                        true_path: tp,
+                    }
+                })
+                .collect()
+        };
+
+        let kinds = [InputKind::A2, InputKind::P];
+        let f1 = epoch_flows(&mut rng, 50);
+        let obs1 = asm.assemble(&topo, &router, &f1, &kinds, AnalysisMode::PerPacket);
+        let mut warm = Engine::new(&topo, &obs1, HyperParams::default());
+        // Disturb the hypothesis so rebind has real state to clear.
+        warm.flip(3);
+        warm.flip(warm.n_comps() as u32 / 2);
+        asm.recycle(obs1);
+
+        let f2 = epoch_flows(&mut rng, 70);
+        let obs2 = asm.assemble(&topo, &router, &f2, &kinds, AnalysisMode::PerPacket);
+        warm.rebind(&topo, &obs2);
+        let fresh = Engine::new(&topo, &obs2, HyperParams::default());
+
+        assert_eq!(warm.n_flows(), fresh.n_flows());
+        assert!(warm.hypothesis().is_empty());
+        assert!((warm.log_likelihood() - fresh.log_likelihood()).abs() < 1e-12);
+        for (i, (a, b)) in warm.delta().iter().zip(fresh.delta()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "delta[{i}]: rebound {a} vs fresh {b}"
+            );
+        }
+        // And the JLE invariant still holds after flips on the rebound
+        // engine.
+        let c = warm.n_comps() as u32 / 3;
+        warm.flip(c);
+        let h = warm.hypothesis().to_vec();
+        let base = warm.ll_of(&h);
+        assert!((base - warm.log_likelihood()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn filtered_engine_sees_only_selected_flows() {
+        let (topo, obs) = small_obs(6);
+        let all = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_| true));
+        let full = Engine::new(&topo, &obs, HyperParams::default());
+        assert_eq!(all.n_flows(), full.n_flows());
+        for (a, b) in all.delta().iter().zip(full.delta()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let none = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_| false));
+        assert_eq!(none.n_flows(), 0);
+        assert!(none.delta().iter().all(|&d| d == 0.0));
     }
 
     #[test]

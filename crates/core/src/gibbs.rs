@@ -37,6 +37,11 @@ pub struct GibbsSampler {
     pub threshold: f64,
     /// RNG seed (sampling is deterministic given the seed).
     pub seed: u64,
+    /// Initialize the chain at the greedy MAP estimate instead of the
+    /// empty hypothesis. The conditionals of this PGM are extremely sharp
+    /// (log-odds of hundreds), so a cold chain freezes in the first mode
+    /// it stumbles into; MAP initialization is the standard remedy.
+    pub init_from_map: bool,
 }
 
 impl Default for GibbsSampler {
@@ -47,6 +52,7 @@ impl Default for GibbsSampler {
             burn_in: 20,
             threshold: 0.5,
             seed: 0x5eed,
+            init_from_map: true,
         }
     }
 }
@@ -75,6 +81,12 @@ impl Localizer for GibbsSampler {
         let mut order: Vec<CompIdx> = (0..n as CompIdx).collect();
         let mut on_counts = vec![0u32; n];
         let mut scanned = 0u64;
+
+        if self.init_from_map {
+            let greedy = crate::greedy::FlockGreedy::new(self.params);
+            let (_, greedy_scanned) = greedy.search(&mut engine);
+            scanned += greedy_scanned;
+        }
 
         for sweep in 0..self.sweeps {
             order.shuffle(&mut rng);

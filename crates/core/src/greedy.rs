@@ -63,6 +63,69 @@ impl FlockGreedy {
         }
     }
 
+    /// Warm-start search: seed the engine's hypothesis with `warm` (a
+    /// previous epoch's verdict), then greedily apply the best
+    /// **add-or-remove** move until no move improves the posterior.
+    ///
+    /// Unlike [`FlockGreedy::search`], removals are legal moves: a seeded
+    /// component whose evidence disappeared (a healed fault, or a stale
+    /// guess) is dropped by the search rather than lingering. Every move
+    /// strictly increases the posterior, which is bounded, so the search
+    /// cannot oscillate. With an empty seed on fresh evidence the result
+    /// coincides with cold-start greedy whenever cold greedy's result is
+    /// a local optimum of the add/remove neighborhood.
+    ///
+    /// Returns the final hypothesis ordered by confidence — for each kept
+    /// component, the posterior loss its removal would cause — plus the
+    /// hypotheses-scanned count.
+    pub fn search_warm(&self, engine: &mut Engine, warm: &[CompIdx]) -> (Vec<(CompIdx, f64)>, u64) {
+        let n = engine.n_comps() as u64;
+        let mut scanned = n; // initial Δ computation evaluates n neighbors
+        for &c in warm {
+            if !engine.in_hypothesis(c) {
+                if self.use_jle {
+                    engine.flip(c);
+                } else {
+                    engine.flip_ll_only(c);
+                }
+            }
+        }
+        for _ in 0..self.max_iterations {
+            let best = if self.use_jle {
+                argmax_move(engine)
+            } else {
+                argmax_move_no_jle(engine)
+            };
+            scanned += n;
+            let Some((c, gain)) = best else { break };
+            if gain <= 0.0 {
+                break;
+            }
+            if self.use_jle {
+                engine.flip(c);
+            } else {
+                engine.flip_ll_only(c);
+            }
+        }
+        // Confidence of each kept component: the posterior cost of
+        // removing it (non-negative at a local optimum).
+        let mut picked: Vec<(CompIdx, f64)> = engine
+            .hypothesis()
+            .to_vec()
+            .into_iter()
+            .map(|c| {
+                let removal_gain = if self.use_jle {
+                    engine.delta()[c as usize] - engine.prior_logodds(c)
+                } else {
+                    engine.delta_single(c) - engine.prior_logodds(c)
+                };
+                (c, -removal_gain)
+            })
+            .collect();
+        picked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        (picked, scanned)
+    }
+
     /// Run the greedy search on an already-built engine; returns the
     /// selected components with their gains, plus the hypotheses-scanned
     /// count. Exposed so callers holding an engine (calibration sweeps)
@@ -103,7 +166,42 @@ fn argmax_addable(engine: &Engine) -> Option<(CompIdx, f64)> {
             continue;
         }
         let gain = delta[c as usize] + engine.prior_logodds(c);
-        if best.map_or(true, |(_, g)| gain > g) {
+        if best.is_none_or(|(_, g)| gain > g) {
+            best = Some((c, gain));
+        }
+    }
+    best
+}
+
+/// Best add-or-remove move under the current Δ array, with its
+/// prior-inclusive posterior gain (adding pays the prior, removing
+/// reclaims it).
+fn argmax_move(engine: &Engine) -> Option<(CompIdx, f64)> {
+    let delta = engine.delta();
+    let mut best: Option<(CompIdx, f64)> = None;
+    for c in 0..engine.n_comps() as CompIdx {
+        let gain = if engine.in_hypothesis(c) {
+            delta[c as usize] - engine.prior_logodds(c)
+        } else {
+            delta[c as usize] + engine.prior_logodds(c)
+        };
+        if best.is_none_or(|(_, g)| gain > g) {
+            best = Some((c, gain));
+        }
+    }
+    best
+}
+
+/// Same move selection evaluated per candidate from state (no Δ array).
+fn argmax_move_no_jle(engine: &Engine) -> Option<(CompIdx, f64)> {
+    let mut best: Option<(CompIdx, f64)> = None;
+    for c in 0..engine.n_comps() as CompIdx {
+        let gain = if engine.in_hypothesis(c) {
+            engine.delta_single(c) - engine.prior_logodds(c)
+        } else {
+            engine.delta_single(c) + engine.prior_logodds(c)
+        };
+        if best.is_none_or(|(_, g)| gain > g) {
             best = Some((c, gain));
         }
     }
@@ -118,7 +216,7 @@ fn argmax_addable_no_jle(engine: &Engine) -> Option<(CompIdx, f64)> {
             continue;
         }
         let gain = engine.delta_single(c) + engine.prior_logodds(c);
-        if best.map_or(true, |(_, g)| gain > g) {
+        if best.is_none_or(|(_, g)| gain > g) {
             best = Some((c, gain));
         }
     }
@@ -287,6 +385,84 @@ mod tests {
         let without = FlockGreedy::without_jle(HyperParams::default()).localize(&topo, &obs);
         assert_eq!(with.predicted, without.predicted);
         assert!((with.log_likelihood - without.log_likelihood).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_search_from_correct_seed_matches_cold() {
+        let topo = three_tier(ClosParams::tiny());
+        let fabric = topo.fabric_links();
+        let bad = vec![fabric[4], fabric[17]];
+        let obs = telemetry_with_failures(&topo, &bad, 800, 21);
+        let flock = FlockGreedy::default();
+
+        let mut cold_engine = Engine::new(&topo, &obs, flock.params);
+        let (cold, _) = flock.search(&mut cold_engine);
+        let mut cold_set: Vec<_> = cold.iter().map(|(c, _)| *c).collect();
+        cold_set.sort_unstable();
+
+        // Seed with the (correct) cold answer: warm search keeps it.
+        let mut warm_engine = Engine::new(&topo, &obs, flock.params);
+        let (warm, _) = flock.search_warm(&mut warm_engine, &cold_set);
+        let mut warm_set: Vec<_> = warm.iter().map(|(c, _)| *c).collect();
+        warm_set.sort_unstable();
+        assert_eq!(warm_set, cold_set);
+        assert!(
+            warm.iter().all(|&(_, conf)| conf >= 0.0),
+            "confidences are non-negative at a local optimum: {warm:?}"
+        );
+        assert!(
+            (warm_engine.log_likelihood() - cold_engine.log_likelihood()).abs() < 1e-7,
+            "same optimum reached"
+        );
+    }
+
+    #[test]
+    fn warm_search_drops_healed_component() {
+        let topo = three_tier(ClosParams::tiny());
+        let fabric = topo.fabric_links();
+        let still_bad = fabric[4];
+        let healed = fabric[17];
+        // Evidence only implicates `still_bad` now.
+        let obs = telemetry_with_failures(&topo, &[still_bad], 800, 22);
+        let flock = FlockGreedy::default();
+        let mut engine = Engine::new(&topo, &obs, flock.params);
+        let seed = [
+            engine
+                .space()
+                .comp_of(flock_topology::Component::Link(still_bad))
+                .unwrap(),
+            engine
+                .space()
+                .comp_of(flock_topology::Component::Link(healed))
+                .unwrap(),
+        ];
+        let (picked, _) = flock.search_warm(&mut engine, &seed);
+        let comps: Vec<Component> = picked
+            .iter()
+            .map(|(c, _)| engine.space().component(*c))
+            .collect();
+        assert_eq!(
+            comps,
+            vec![Component::Link(still_bad)],
+            "the healed link must be dropped, the active one kept"
+        );
+    }
+
+    #[test]
+    fn warm_search_from_empty_seed_matches_cold() {
+        let topo = three_tier(ClosParams::tiny());
+        let bad = topo.fabric_links()[7];
+        let obs = telemetry_with_failures(&topo, &[bad], 400, 23);
+        let flock = FlockGreedy::default();
+        let mut e1 = Engine::new(&topo, &obs, flock.params);
+        let (cold, _) = flock.search(&mut e1);
+        let mut e2 = Engine::new(&topo, &obs, flock.params);
+        let (warm, _) = flock.search_warm(&mut e2, &[]);
+        let mut a: Vec<_> = cold.iter().map(|(c, _)| *c).collect();
+        let mut b: Vec<_> = warm.iter().map(|(c, _)| *c).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

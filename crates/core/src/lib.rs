@@ -50,7 +50,7 @@ pub mod params;
 pub mod sherlock;
 pub mod space;
 
-pub use engine::Engine;
+pub use engine::{Engine, FlowFilter};
 pub use gibbs::GibbsSampler;
 pub use greedy::FlockGreedy;
 pub use likelihood::{flow_score, llf};
@@ -58,4 +58,4 @@ pub use localizer::{LocalizationResult, Localizer};
 pub use metrics::{evaluate, fscore, MetricsAccumulator, PrecisionRecall};
 pub use params::HyperParams;
 pub use sherlock::SherlockFerret;
-pub use space::ComponentSpace;
+pub use space::{CompIdx, ComponentSpace};

@@ -29,8 +29,7 @@ pub fn flow_score(params: &HyperParams, sent: u64, bad: u64) -> f64 {
     debug_assert!(bad <= sent);
     let r = bad as f64;
     let t = sent as f64;
-    r * (params.p_b / params.p_g).ln()
-        + (t - r) * ((1.0 - params.p_b) / (1.0 - params.p_g)).ln()
+    r * (params.p_b / params.p_g).ln() + (t - r) * ((1.0 - params.p_b) / (1.0 - params.p_g)).ln()
 }
 
 /// Normalized flow log-likelihood given `b` failed paths out of `w`.
@@ -63,8 +62,7 @@ mod tests {
 
     /// Direct (unstable) evaluation of Eq. 1, for cross-checking.
     fn llf_direct(p: &HyperParams, sent: u64, bad: u64, w: u32, b: u32) -> f64 {
-        let good_term =
-            p.p_g.powi(bad as i32) * (1.0 - p.p_g).powi((sent - bad) as i32);
+        let good_term = p.p_g.powi(bad as i32) * (1.0 - p.p_g).powi((sent - bad) as i32);
         let bad_term = p.p_b.powi(bad as i32) * (1.0 - p.p_b).powi((sent - bad) as i32);
         let num = b as f64 * bad_term + (w - b) as f64 * good_term;
         (num / (w as f64 * good_term)).ln()

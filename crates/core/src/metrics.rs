@@ -128,9 +128,7 @@ pub fn evaluate(topo: &Topology, predicted: &[Component], truth: &GroundTruth) -
     for l in &standalone_links {
         denom += 1.0;
         let link = topo.link(*l);
-        if pred_links.contains(l)
-            || pred_devs.contains(&link.src)
-            || pred_devs.contains(&link.dst)
+        if pred_links.contains(l) || pred_devs.contains(&link.src) || pred_devs.contains(&link.dst)
         {
             credit += 1.0;
         }
@@ -241,7 +239,11 @@ mod tests {
             failed_links: vec![ls[0]],
             failed_devices: vec![],
         };
-        let pr = evaluate(&t, &[Component::Link(ls[0]), Component::Link(ls[5])], &truth);
+        let pr = evaluate(
+            &t,
+            &[Component::Link(ls[0]), Component::Link(ls[5])],
+            &truth,
+        );
         assert_eq!(pr.precision, 0.5);
         assert_eq!(pr.recall, 1.0);
     }

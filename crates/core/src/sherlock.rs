@@ -84,7 +84,8 @@ impl Search<'_> {
         if self.use_jle && depth + 1 == self.k {
             // Deepest level: one Δ-array scan evaluates all siblings.
             for c in start..n {
-                let cand = posterior + self.engine.delta()[c as usize] + self.engine.prior_logodds(c);
+                let cand =
+                    posterior + self.engine.delta()[c as usize] + self.engine.prior_logodds(c);
                 self.scanned += 1;
                 if cand > self.best_posterior {
                     self.best_posterior = cand;
@@ -181,11 +182,7 @@ mod tests {
     /// Pick `k` fabric links with pairwise-disjoint endpoint devices
     /// (several failures on one device make the MLE correctly prefer the
     /// device hypothesis — a different regime than this test targets).
-    fn disjoint_links(
-        topo: &Topology,
-        k: usize,
-        rng: &mut StdRng,
-    ) -> Vec<flock_topology::LinkId> {
+    fn disjoint_links(topo: &Topology, k: usize, rng: &mut StdRng) -> Vec<flock_topology::LinkId> {
         let fabric = topo.fabric_links();
         let mut bad: Vec<flock_topology::LinkId> = Vec::new();
         let mut guard = 0;
@@ -281,8 +278,8 @@ mod tests {
             let k = rng.random_range(1..=2usize);
             let bad = disjoint_links(&topo, k, &mut rng);
             let obs = telemetry(&topo, &bad, 600, seed * 7 + 1, 6);
-            let exhaustive = SherlockFerret::with_jle(HyperParams::default(), 2)
-                .localize(&topo, &obs);
+            let exhaustive =
+                SherlockFerret::with_jle(HyperParams::default(), 2).localize(&topo, &obs);
             let greedy = FlockGreedy::default().localize(&topo, &obs);
             let mut e = exhaustive.predicted.clone();
             let mut g = greedy.predicted.clone();

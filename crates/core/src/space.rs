@@ -72,6 +72,18 @@ impl ComponentSpace {
         c < self.n_devices
     }
 
+    /// Dense index of an arbitrary component (`None` for a device id that
+    /// is not a switch of this topology). The inverse of
+    /// [`ComponentSpace::component`]; used to seed warm-start inference
+    /// from a previous epoch's predictions.
+    #[inline]
+    pub fn comp_of(&self, c: Component) -> Option<CompIdx> {
+        match c {
+            Component::Link(l) => Some(self.link_comp(l)),
+            Component::Device(n) => self.device_comp(n),
+        }
+    }
+
     /// The component behind a dense index.
     #[inline]
     pub fn component(&self, c: CompIdx) -> Component {

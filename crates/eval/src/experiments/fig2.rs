@@ -9,7 +9,9 @@
 //! Figs. 2a/2b.
 
 use crate::report::{f3, Table};
-use crate::scenario::{device_failure_trace, silent_drop_trace, sim_topology, ExpOpts, TraceBundle, Workload};
+use crate::scenario::{
+    device_failure_trace, silent_drop_trace, sim_topology, ExpOpts, TraceBundle, Workload,
+};
 use crate::schemes::defaults;
 use flock_core::fscore;
 use flock_netsim::traffic::TrafficPattern;
@@ -57,9 +59,8 @@ pub fn run_silent_drops(opts: &ExpOpts, big: bool) -> String {
     let train = silent_test_set(&topo, n_train, flows, 9000);
 
     let fig = if big { "Fig 2b" } else { "Fig 2a" };
-    let mut out = format!(
-        "# {fig}: silent packet drops, {flows} passive flows, {n_test} test traces\n\n"
-    );
+    let mut out =
+        format!("# {fig}: silent packet drops, {flows} passive flows, {n_test} test traces\n\n");
 
     let mut chosen_tbl = Table::new(&["scheme", "precision", "recall", "fscore", "params"]);
     let mut curves = String::new();

@@ -57,7 +57,11 @@ pub fn run(opts: &ExpOpts, skewed: bool) -> String {
         .map(|s| s.calibrated(&train, opts.quick, opts.threads))
         .collect();
 
-    let name = if skewed { "Fig 3b (skewed)" } else { "Fig 3a (uniform)" };
+    let name = if skewed {
+        "Fig 3b (skewed)"
+    } else {
+        "Fig 3a (uniform)"
+    };
     let mut out = format!("# {name}: Fscore vs drop rate, {traces_per_point} traces/point\n\n");
     let mut header: Vec<&str> = vec!["drop rate %"];
     let labels: Vec<String> = schemes.iter().map(|s| s.label.clone()).collect();

@@ -7,7 +7,9 @@
 //! results are reported, matching the solid vs. hollow markers.
 
 use crate::report::{f3, Table};
-use crate::scenario::{testbed_flap_trace, testbed_topology, testbed_wred_trace, ExpOpts, TraceBundle};
+use crate::scenario::{
+    testbed_flap_trace, testbed_topology, testbed_wred_trace, ExpOpts, TraceBundle,
+};
 use crate::schemes::{defaults, SchemeUnderTest};
 use flock_core::fscore;
 use flock_telemetry::input::AnalysisMode;

@@ -109,7 +109,12 @@ pub fn run_passive_hard(opts: &ExpOpts) -> String {
     let mut out = String::from(
         "# Fig 5c: Flock (P) on a hard passive-only scenario (single failed link)\n\n",
     );
-    let mut tbl = Table::new(&["% omitted", "precision", "recall", "theoretical max precision"]);
+    let mut tbl = Table::new(&[
+        "% omitted",
+        "precision",
+        "recall",
+        "theoretical max precision",
+    ]);
     for (fi, frac) in fractions.iter().enumerate() {
         let topo = Arc::new(degrade(&base, *frac, 70 + fi as u64));
         // Theoretical max precision from the equivalence classes of the

@@ -98,7 +98,10 @@ pub fn run() -> String {
     };
 
     let mut out = String::from("# Fig 6: worked example (reconstruction)\n\n");
-    out.push_str(&format!("True failed link: {}\n\n", name_of(&Component::Link(truth))));
+    out.push_str(&format!(
+        "True failed link: {}\n\n",
+        name_of(&Component::Link(truth))
+    ));
     let mut tbl = Table::new(&["scheme", "predicted failed links"]);
 
     let seven = ZeroZeroSeven::new(0.5).localize(&topo, &obs);

@@ -10,9 +10,7 @@
 
 use crate::report::Table;
 use crate::scenario::ExpOpts;
-use flock_telemetry::{
-    AgentConfig, AgentCore, Collector, FlowKey, FlowSample, TrafficClass,
-};
+use flock_telemetry::{AgentConfig, AgentCore, Collector, FlowKey, FlowSample, TrafficClass};
 use flock_topology::NodeId;
 use std::io::Write;
 use std::net::TcpStream;
@@ -40,12 +38,7 @@ pub fn run(opts: &ExpOpts) -> String {
                         });
                         for i in 0..100u32 {
                             agent.observe(FlowSample {
-                                key: FlowKey::tcp(
-                                    NodeId(i),
-                                    NodeId(9999),
-                                    (c % 60000) as u16,
-                                    80,
-                                ),
+                                key: FlowKey::tcp(NodeId(i), NodeId(9999), (c % 60000) as u16, 80),
                                 packets: 100,
                                 retransmissions: 0,
                                 bytes: 150_000,

@@ -64,12 +64,12 @@ pub fn run_priors(opts: &ExpOpts) -> String {
     let ts = traces(opts);
     let mut out = String::from("# Fig 8b: effect of the prior strength — input A1+A2+P\n\n");
     let mut tbl = Table::new(&["-ln(rho)", "precision", "recall"]);
-    for neg_ln_rho in [5.0, 10.0, 15.0, 20.0] {
+    for neg_ln_rho in [5.0f64, 10.0, 15.0, 20.0] {
         let scheme = SchemeUnderTest::new(
             "Flock",
             &[A1, A2, P],
             SchemeConfig::Flock(HyperParams {
-                rho_link: (-neg_ln_rho as f64).exp(),
+                rho_link: (-neg_ln_rho).exp(),
                 ..Default::default()
             }),
         );

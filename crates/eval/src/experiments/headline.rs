@@ -1,6 +1,6 @@
 //! The §1/§7.8 headline experiment: Flock's inference on a Clos with
 //! ~88K links and ~9.5M flows — "scanning ~3.5M hypotheses in 17 sec,
-//! > 10⁴× faster than Sherlock", with Sherlock's runtime extrapolated
+//! over 10⁴× faster than Sherlock", with Sherlock's runtime extrapolated
 //! from a partial run exactly as the paper does.
 
 use crate::report::{dur, Table};
@@ -66,7 +66,12 @@ pub fn run(opts: &ExpOpts, flows_override: Option<usize>) -> String {
         obs.flow_count(),
     ));
 
-    let mut tbl = Table::new(&["scheme", "runtime", "hypotheses scanned", "found/true failures"]);
+    let mut tbl = Table::new(&[
+        "scheme",
+        "runtime",
+        "hypotheses scanned",
+        "found/true failures",
+    ]);
 
     let flock = FlockGreedy::default();
     let r = flock.localize(&topo, &obs);

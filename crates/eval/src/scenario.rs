@@ -127,7 +127,12 @@ pub fn run_scenario(
         &mut rng,
     );
     let mut flows = simulate_flows(topo, &router, scenario, &demands, &cfg, &mut rng);
-    let specs = plan_a1_probes(topo, &router, workload.probe_packets, Some(workload.probe_budget));
+    let specs = plan_a1_probes(
+        topo,
+        &router,
+        workload.probe_packets,
+        Some(workload.probe_budget),
+    );
     flows.extend(run_probes(scenario, &specs, &cfg, &mut rng));
     TraceBundle {
         topo: Arc::clone(topo),
@@ -203,7 +208,14 @@ pub fn testbed_wred_trace(topo: &Arc<Topology>, flows: usize, seed: u64) -> Trac
         &TrafficConfig::paper(flows, TrafficPattern::Uniform),
         &mut rng,
     );
-    let telemetry = simulate_des(topo, &router, &DesConfig::default(), &faults, &demands, &mut rng);
+    let telemetry = simulate_des(
+        topo,
+        &router,
+        &DesConfig::default(),
+        &faults,
+        &demands,
+        &mut rng,
+    );
     // A2-style path tracing is available on the testbed; A1 probing is not
     // (no IP-in-IP switch support, §6.3), so no probe records here.
     TraceBundle {

@@ -2,7 +2,9 @@
 //! helpers to run them over traces.
 
 use crate::scenario::TraceBundle;
-use flock_calibrate::{evaluate_grid, select, FlockGrid, NetBouncerGrid, SchemeConfig, SevenGrid, TrainingTrace};
+use flock_calibrate::{
+    evaluate_grid, select, FlockGrid, NetBouncerGrid, SchemeConfig, SevenGrid, TrainingTrace,
+};
 use flock_core::{evaluate, MetricsAccumulator, PrecisionRecall};
 use flock_telemetry::input::{AnalysisMode, InputKind};
 use std::sync::Arc;
@@ -102,7 +104,10 @@ fn grid_for(config: &SchemeConfig, quick: bool) -> Vec<SchemeConfig> {
             }
             g.points()
         }
-        SchemeConfig::NetBouncer { device_flow_threshold, .. } => {
+        SchemeConfig::NetBouncer {
+            device_flow_threshold,
+            ..
+        } => {
             let mut g = NetBouncerGrid::default();
             if quick {
                 g.lambda = vec![0.5, 5.0];
@@ -142,7 +147,13 @@ pub mod defaults {
 
     /// 007 with a default vote threshold.
     pub fn seven(label: &str, kinds: &[InputKind]) -> SchemeUnderTest {
-        SchemeUnderTest::new(label, kinds, SchemeConfig::Seven { vote_threshold: 2.0 })
+        SchemeUnderTest::new(
+            label,
+            kinds,
+            SchemeConfig::Seven {
+                vote_threshold: 2.0,
+            },
+        )
     }
 
     /// The full Fig. 2 scheme×input panel.
@@ -174,8 +185,12 @@ mod tests {
             threads: 2,
         };
         let topo = sim_topology(&opts);
-        let traces =
-            vec![silent_drop_trace(&topo, 1, &Workload::with_flows(800, TrafficPattern::Uniform), 7)];
+        let traces = vec![silent_drop_trace(
+            &topo,
+            1,
+            &Workload::with_flows(800, TrafficPattern::Uniform),
+            7,
+        )];
         for s in defaults::figure2_panel() {
             let pr = s.evaluate(&traces);
             assert!((0.0..=1.0).contains(&pr.precision), "{}", s.label);

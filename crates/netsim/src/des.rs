@@ -114,8 +114,8 @@ struct Packet {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    Depart(u32),   // link id: head-of-line packet finished serialization
-    Arrive,        // packet reaches a node
+    Depart(u32), // link id: head-of-line packet finished serialization
+    Arrive,      // packet reaches a node
     FlowStart(u32),
     Rto(u32, u32), // flow id, epoch
 }
@@ -225,7 +225,11 @@ impl<R: Rng + ?Sized> Sim<'_, R> {
                 return; // misconfigured WRED drop
             }
         }
-        let tx = if pkt.is_ack { self.ack_tx_ns } else { self.tx_ns };
+        let tx = if pkt.is_ack {
+            self.ack_tx_ns
+        } else {
+            self.tx_ns
+        };
         ls.queue.push_back(pkt);
         if !ls.busy {
             ls.busy = true;
@@ -245,7 +249,11 @@ impl<R: Rng + ?Sized> Sim<'_, R> {
         let silent = ls.silent_drop;
         let flap = ls.flap;
         if let Some(next) = ls.queue.front() {
-            let tx = if next.is_ack { self.ack_tx_ns } else { self.tx_ns };
+            let tx = if next.is_ack {
+                self.ack_tx_ns
+            } else {
+                self.tx_ns
+            };
             let at = Self::service_completion(now, tx, flap);
             self.push(at, EventKind::Depart(link_idx as u32), None, 0);
         } else {
@@ -257,7 +265,12 @@ impl<R: Rng + ?Sized> Sim<'_, R> {
             return;
         }
         let dst = self.topo.link(LinkId(link_idx as u32)).dst.0;
-        self.push(now + self.cfg.link_delay_ns, EventKind::Arrive, Some(pkt), dst);
+        self.push(
+            now + self.cfg.link_delay_ns,
+            EventKind::Arrive,
+            Some(pkt),
+            dst,
+        );
     }
 
     /// Send whatever the window allows (plus a pending retransmit).
@@ -583,7 +596,14 @@ mod tests {
             ..Default::default()
         };
         let ds = demands(&topo, 80, 80, 4);
-        let flows = simulate_des(&topo, &router, &DesConfig::default(), &faults, &ds, &mut rng);
+        let flows = simulate_des(
+            &topo,
+            &router,
+            &DesConfig::default(),
+            &faults,
+            &ds,
+            &mut rng,
+        );
         let (mut crossing_retx, mut crossing) = (0u64, 0usize);
         let mut clean_retx = 0u64;
         for f in &flows {
@@ -619,7 +639,14 @@ mod tests {
             ..Default::default()
         };
         let ds = demands(&topo, 150, 150, 6);
-        let flows = simulate_des(&topo, &router, &DesConfig::default(), &faults, &ds, &mut rng);
+        let flows = simulate_des(
+            &topo,
+            &router,
+            &DesConfig::default(),
+            &faults,
+            &ds,
+            &mut rng,
+        );
         let crossing_retx: u64 = flows
             .iter()
             .filter(|f| f.true_path.contains(&bad))
@@ -653,13 +680,14 @@ mod tests {
         let flows = simulate_des(&topo, &router, &cfg, &faults, &ds, &mut rng);
         let mut spiked = 0;
         for f in &flows {
-            if f.true_path.contains(&flapped) {
-                if f.stats.rtt_max_us > 10_000 {
-                    spiked += 1;
-                }
+            if f.true_path.contains(&flapped) && f.stats.rtt_max_us > 10_000 {
+                spiked += 1;
             }
         }
-        assert!(spiked > 0, "flows over the flapping link must see RTT spikes");
+        assert!(
+            spiked > 0,
+            "flows over the flapping link must see RTT spikes"
+        );
     }
 
     #[test]

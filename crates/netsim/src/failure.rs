@@ -59,12 +59,8 @@ impl FailureScenario {
     /// Maximum drop rate over links *not* in the ground truth — the noise
     /// floor used in the paper's SNR metric (§7.3).
     pub fn noise_floor(&self) -> f64 {
-        let failed: std::collections::HashSet<usize> = self
-            .truth
-            .failed_links
-            .iter()
-            .map(|l| l.idx())
-            .collect();
+        let failed: std::collections::HashSet<usize> =
+            self.truth.failed_links.iter().map(|l| l.idx()).collect();
         self.drop_rate
             .iter()
             .enumerate()

@@ -181,7 +181,14 @@ mod tests {
             &TrafficConfig::paper(200, TrafficPattern::Uniform),
             &mut rng,
         );
-        let flows = simulate_flows(&topo, &router, &sc, &demands, &FlowSimConfig::default(), &mut rng);
+        let flows = simulate_flows(
+            &topo,
+            &router,
+            &sc,
+            &demands,
+            &FlowSimConfig::default(),
+            &mut rng,
+        );
         assert_eq!(flows.len(), 200);
         assert!(flows.iter().all(|f| f.stats.retransmissions == 0));
     }
@@ -198,7 +205,14 @@ mod tests {
             &TrafficConfig::paper(3000, TrafficPattern::Uniform),
             &mut rng,
         );
-        let flows = simulate_flows(&topo, &router, &sc, &demands, &FlowSimConfig::default(), &mut rng);
+        let flows = simulate_flows(
+            &topo,
+            &router,
+            &sc,
+            &demands,
+            &FlowSimConfig::default(),
+            &mut rng,
+        );
         let (mut crossing_pkts, mut crossing_drops) = (0u64, 0u64);
         let (mut clean_drops, mut clean_pkts) = (0u64, 0u64);
         for f in &flows {
@@ -230,7 +244,14 @@ mod tests {
             &TrafficConfig::paper(100, TrafficPattern::Uniform),
             &mut rng,
         );
-        let flows = simulate_flows(&topo, &router, &sc, &demands, &FlowSimConfig::default(), &mut rng);
+        let flows = simulate_flows(
+            &topo,
+            &router,
+            &sc,
+            &demands,
+            &FlowSimConfig::default(),
+            &mut rng,
+        );
         for f in &flows {
             let mut at = f.key.src;
             for l in &f.true_path {
@@ -253,7 +274,14 @@ mod tests {
             &TrafficConfig::paper(2000, TrafficPattern::Uniform),
             &mut rng,
         );
-        let flows = simulate_flows(&topo, &router, &sc, &demands, &FlowSimConfig::default(), &mut rng);
+        let flows = simulate_flows(
+            &topo,
+            &router,
+            &sc,
+            &demands,
+            &FlowSimConfig::default(),
+            &mut rng,
+        );
         for f in &flows {
             if f.true_path.contains(&flapped) {
                 assert!(f.stats.rtt_max_us >= 100_000);
@@ -302,7 +330,14 @@ mod tests {
                 packets: 10,
             })
             .collect();
-        let flows = simulate_flows(&topo, &router, &sc, &demands, &FlowSimConfig::default(), &mut rng);
+        let flows = simulate_flows(
+            &topo,
+            &router,
+            &sc,
+            &demands,
+            &FlowSimConfig::default(),
+            &mut rng,
+        );
         let distinct: std::collections::HashSet<&[LinkId]> =
             flows.iter().map(|f| f.true_path.as_slice()).collect();
         assert_eq!(distinct.len(), 4, "tiny Clos has 4 inter-pod ECMP paths");

@@ -22,11 +22,13 @@
 
 pub mod des;
 pub mod dist;
+pub mod dynamic;
 pub mod failure;
 pub mod flowsim;
 pub mod traffic;
 
 pub use des::{simulate_des, DesConfig, DesFaults, Flap, WredParams};
+pub use dynamic::{DynamicScenario, FaultEvent};
 pub use failure::{FailureScenario, LatencyFault};
 pub use flowsim::{run_probes, simulate_flows, FlowSimConfig};
 pub use traffic::{FlowDemand, TrafficConfig, TrafficPattern};

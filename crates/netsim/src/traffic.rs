@@ -103,8 +103,8 @@ pub fn generate_demands<R: Rng + ?Sized>(
             // Deterministic hot-rack choice given the rng stream.
             use rand::seq::SliceRandom;
             leaves.shuffle(rng);
-            let n_hot = ((leaves.len() as f64 * hot_rack_fraction).ceil() as usize)
-                .clamp(1, leaves.len());
+            let n_hot =
+                ((leaves.len() as f64 * hot_rack_fraction).ceil() as usize).clamp(1, leaves.len());
             let hot_leaves: std::collections::HashSet<NodeId> =
                 leaves.into_iter().take(n_hot).collect();
             hosts
@@ -190,7 +190,11 @@ mod tests {
     fn uniform_demands_have_distinct_endpoints() {
         let t = three_tier(ClosParams::tiny());
         let mut rng = StdRng::seed_from_u64(1);
-        let demands = generate_demands(&t, &TrafficConfig::paper(500, TrafficPattern::Uniform), &mut rng);
+        let demands = generate_demands(
+            &t,
+            &TrafficConfig::paper(500, TrafficPattern::Uniform),
+            &mut rng,
+        );
         assert_eq!(demands.len(), 500);
         for d in &demands {
             assert_ne!(d.src, d.dst);

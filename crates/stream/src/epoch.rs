@@ -1,0 +1,289 @@
+//! Epoch windowing of the collector's record stream.
+//!
+//! Agents stamp every export message with `export_time_ms`; the
+//! [`EpochManager`] assigns each drained [`StampedRecord`] to the
+//! fixed-size window(s) covering its stamp and closes windows as the
+//! caller's watermark advances. Tumbling windows (the default, the
+//! paper's 30 s cadence) partition the stream losslessly: every record
+//! lands in exactly one epoch. Sliding windows (stride < length) trade
+//! duplication for smoother time resolution; a record then belongs to
+//! every window overlapping its stamp.
+//!
+//! Records arriving for an already-closed window ("late" records, e.g. a
+//! stalled agent connection) are counted and dropped rather than
+//! reopening history — the localization loop is a monitoring system, not
+//! an exactly-once log.
+
+use flock_telemetry::StampedRecord;
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+
+/// Epoch windowing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Window length in milliseconds.
+    pub epoch_ms: u64,
+    /// Window stride in milliseconds; `None` means tumbling
+    /// (stride = length).
+    pub slide_ms: Option<u64>,
+}
+
+impl EpochConfig {
+    /// Tumbling windows of `epoch_ms` (each record in exactly one epoch).
+    pub fn tumbling(epoch_ms: u64) -> Self {
+        assert!(epoch_ms > 0, "epoch length must be positive");
+        EpochConfig {
+            epoch_ms,
+            slide_ms: None,
+        }
+    }
+
+    /// Sliding windows: length `epoch_ms`, advancing by `slide_ms`.
+    pub fn sliding(epoch_ms: u64, slide_ms: u64) -> Self {
+        assert!(epoch_ms > 0 && slide_ms > 0, "lengths must be positive");
+        assert!(
+            slide_ms <= epoch_ms,
+            "stride beyond the window length would drop records"
+        );
+        EpochConfig {
+            epoch_ms,
+            slide_ms: Some(slide_ms),
+        }
+    }
+
+    /// The window stride.
+    #[inline]
+    pub fn stride(&self) -> u64 {
+        self.slide_ms.unwrap_or(self.epoch_ms)
+    }
+
+    /// Start timestamp of window `index`.
+    #[inline]
+    pub fn window_start(&self, index: u64) -> u64 {
+        index * self.stride()
+    }
+
+    /// End timestamp (exclusive) of window `index`.
+    #[inline]
+    pub fn window_end(&self, index: u64) -> u64 {
+        self.window_start(index) + self.epoch_ms
+    }
+
+    /// Indices of every window containing timestamp `ts` (window `k`
+    /// covers `[k·stride, k·stride + epoch_ms)`).
+    pub fn windows_of(&self, ts: u64) -> RangeInclusive<u64> {
+        let stride = self.stride();
+        let hi = ts / stride;
+        let lo = if ts < self.epoch_ms {
+            0
+        } else {
+            (ts - self.epoch_ms) / stride + 1
+        };
+        lo..=hi
+    }
+}
+
+/// One closed window of stamped records, ready for localization.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Window index (monotone per manager).
+    pub index: u64,
+    /// Window start timestamp (ms, inclusive).
+    pub start_ms: u64,
+    /// Window end timestamp (ms, exclusive).
+    pub end_ms: u64,
+    /// The records whose export stamp falls inside the window.
+    pub records: Vec<StampedRecord>,
+}
+
+/// Assigns drained records to windows and closes them against a
+/// watermark.
+#[derive(Debug)]
+pub struct EpochManager {
+    config: EpochConfig,
+    open: BTreeMap<u64, Vec<StampedRecord>>,
+    /// Windows with index below this are closed; late arrivals for them
+    /// are dropped (and counted).
+    closed_below: u64,
+    late_records: u64,
+}
+
+impl EpochManager {
+    /// A manager with no open windows.
+    pub fn new(config: EpochConfig) -> Self {
+        EpochManager {
+            config,
+            open: BTreeMap::new(),
+            closed_below: 0,
+            late_records: 0,
+        }
+    }
+
+    /// The windowing configuration.
+    pub fn config(&self) -> EpochConfig {
+        self.config
+    }
+
+    /// Assign one record to its window(s). The record is moved into its
+    /// last covering window (the only one, for tumbling epochs — the hot
+    /// path is clone-free) and cloned only for the extra windows a
+    /// sliding configuration adds.
+    pub fn push(&mut self, rec: StampedRecord) {
+        let mut windows = self
+            .config
+            .windows_of(rec.export_ms)
+            .filter(|&w| w >= self.closed_below);
+        let Some(mut current) = windows.next() else {
+            self.late_records += 1;
+            return;
+        };
+        for next in windows {
+            self.open.entry(current).or_default().push(rec.clone());
+            current = next;
+        }
+        self.open.entry(current).or_default().push(rec);
+    }
+
+    /// Assign a batch of records (the typical `drain_stamped` hand-off).
+    pub fn extend(&mut self, recs: impl IntoIterator<Item = StampedRecord>) {
+        for r in recs {
+            self.push(r);
+        }
+    }
+
+    /// Close and return every window that ends at or before
+    /// `watermark_ms`, in index order. Only windows that received at
+    /// least one record are emitted.
+    pub fn close_ready(&mut self, watermark_ms: u64) -> Vec<Epoch> {
+        let mut out = Vec::new();
+        while let Some((&w, _)) = self.open.iter().next() {
+            if self.config.window_end(w) > watermark_ms {
+                break;
+            }
+            let records = self.open.remove(&w).expect("peeked key exists");
+            self.closed_below = self.closed_below.max(w + 1);
+            out.push(Epoch {
+                index: w,
+                start_ms: self.config.window_start(w),
+                end_ms: self.config.window_end(w),
+                records,
+            });
+        }
+        // Even with no emittable window, advance the late horizon so a
+        // subsequent push for long-gone windows counts as late.
+        if let Some(stride_windows) = watermark_ms.checked_sub(self.config.epoch_ms) {
+            let horizon = stride_windows / self.config.stride() + 1;
+            self.closed_below = self.closed_below.max(horizon);
+        }
+        out
+    }
+
+    /// Close every open window regardless of watermark (end of run).
+    pub fn flush(&mut self) -> Vec<Epoch> {
+        let open = std::mem::take(&mut self.open);
+        let mut out = Vec::with_capacity(open.len());
+        for (w, records) in open {
+            self.closed_below = self.closed_below.max(w + 1);
+            out.push(Epoch {
+                index: w,
+                start_ms: self.config.window_start(w),
+                end_ms: self.config.window_end(w),
+                records,
+            });
+        }
+        out
+    }
+
+    /// Number of currently open (buffering) windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Records dropped because every window covering their stamp had
+    /// already closed.
+    pub fn late_records(&self) -> u64 {
+        self.late_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_telemetry::{FlowKey, FlowRecord, FlowStats, TrafficClass};
+    use flock_topology::NodeId;
+
+    fn rec(ts: u64) -> StampedRecord {
+        StampedRecord {
+            agent_id: 1,
+            export_ms: ts,
+            record: FlowRecord {
+                key: FlowKey::tcp(NodeId(1), NodeId(2), ts as u16, 80),
+                stats: FlowStats::default(),
+                class: TrafficClass::Passive,
+                path: None,
+            },
+        }
+    }
+
+    #[test]
+    fn tumbling_assigns_each_record_once() {
+        let cfg = EpochConfig::tumbling(100);
+        for ts in [0, 1, 99, 100, 101, 250, 999] {
+            let ws: Vec<u64> = cfg.windows_of(ts).collect();
+            assert_eq!(ws, vec![ts / 100], "ts {ts}");
+        }
+    }
+
+    #[test]
+    fn sliding_covers_overlapping_windows() {
+        let cfg = EpochConfig::sliding(100, 50);
+        // ts 120 is inside windows starting at 50 and 100 → indices 1, 2.
+        assert_eq!(cfg.windows_of(120).collect::<Vec<_>>(), vec![1, 2]);
+        // Interior records belong to exactly len/stride windows.
+        for ts in 100..1000u64 {
+            assert_eq!(cfg.windows_of(ts).count(), 2, "ts {ts}");
+        }
+        // Stream-start boundary: ts < len has fewer covering windows.
+        assert_eq!(cfg.windows_of(20).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn close_ready_respects_watermark() {
+        let mut m = EpochManager::new(EpochConfig::tumbling(100));
+        m.extend([rec(10), rec(150), rec(210)]);
+        assert_eq!(m.open_windows(), 3);
+        let closed = m.close_ready(200);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].index, 0);
+        assert_eq!((closed[0].start_ms, closed[0].end_ms), (0, 100));
+        assert_eq!(closed[1].index, 1);
+        assert_eq!(m.open_windows(), 1);
+        // Window 2 still open until the watermark passes 300.
+        assert!(m.close_ready(299).is_empty());
+        let rest = m.close_ready(300);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].index, 2);
+    }
+
+    #[test]
+    fn late_records_are_counted_and_dropped() {
+        let mut m = EpochManager::new(EpochConfig::tumbling(100));
+        m.push(rec(50));
+        let _ = m.close_ready(200);
+        assert_eq!(m.late_records(), 0);
+        m.push(rec(60)); // window 0 is long closed
+        assert_eq!(m.late_records(), 1);
+        assert_eq!(m.open_windows(), 0);
+    }
+
+    #[test]
+    fn flush_closes_everything() {
+        let mut m = EpochManager::new(EpochConfig::sliding(100, 50));
+        m.extend([rec(120), rec(500)]);
+        let all = m.flush();
+        assert!(all.len() >= 3, "120 covers two windows, 500 two more");
+        assert_eq!(m.open_windows(), 0);
+        let total: usize = all.iter().map(|e| e.records.len()).sum();
+        assert_eq!(total, 4, "each record duplicated into 2 windows");
+    }
+}

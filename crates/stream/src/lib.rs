@@ -1,0 +1,40 @@
+//! `flock-stream` — the online, epoch-based localization pipeline.
+//!
+//! The paper's deployment model (§5.1, Fig. 7) is a continuously running
+//! service: end-host agents export flow records to a central collector
+//! and the inference engine drains the store every ~30 s, localizing
+//! faults as they appear and heal. The sibling crates provide one-shot
+//! offline localization over a pre-assembled
+//! [`ObservationSet`](flock_telemetry::ObservationSet); this crate turns
+//! that into the online loop:
+//!
+//! * [`epoch`] — windows the collector's stamped record stream into
+//!   fixed (tumbling) or sliding epochs against a caller-driven
+//!   watermark;
+//! * [`shard`] — partitions blame ownership over the component space
+//!   (per pod + spine) so per-epoch inference can run shard-parallel on
+//!   a thread pool;
+//! * [`pipeline`] — the driver: per epoch it assembles observations
+//!   against a persistent arena ([`flock_telemetry::Assembler`]),
+//!   **warm-starts** each shard's engine from the previous epoch
+//!   ([`flock_core::Engine::rebind_filtered`] +
+//!   [`flock_core::FlockGreedy::search_warm`], with removal moves so
+//!   healed faults are dropped), and merges shard verdicts into one
+//!   [`flock_core::LocalizationResult`] per epoch.
+//!
+//! The end-to-end wiring (agents → TCP collector → stream →
+//! per-epoch verdicts) is demonstrated by the `flock_daemon` example and
+//! exercised under failure churn by the `stream_pipeline` integration
+//! test; `flock-bench`'s `stream_epoch` bench measures the warm-start
+//! speedup on an unchanged-fault steady state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod pipeline;
+pub mod shard;
+
+pub use epoch::{Epoch, EpochConfig, EpochManager};
+pub use pipeline::{reconstruct, EpochReport, ShardOutcome, StreamConfig, StreamPipeline};
+pub use shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};

@@ -1,0 +1,332 @@
+//! The online localization pipeline: epochs in, per-epoch verdicts out.
+//!
+//! [`StreamPipeline`] owns the continuously-running state of §5.1's
+//! deployment loop between collector and operator:
+//!
+//! 1. drained [`StampedRecord`]s are windowed by an
+//!    [`EpochManager`](crate::epoch::EpochManager);
+//! 2. each closed epoch's records are reconstructed into
+//!    [`MonitoredFlow`]s and assembled into an [`ObservationSet`] against
+//!    a *persistent* [`Assembler`] arena (append-only interning);
+//! 3. one engine per shard localizes the epoch, **warm-started** from the
+//!    shard's previous verdict: the engine is
+//!    [rebound](flock_core::Engine::rebind_filtered) instead of rebuilt
+//!    (reusing all arena-derived structure) and the greedy search is
+//!    seeded with the previous hypothesis, with removals enabled so heals
+//!    are detected ([`FlockGreedy::search_warm`]);
+//! 4. shard verdicts are merged under blame ownership into one
+//!    [`LocalizationResult`] per epoch.
+
+use crate::epoch::{Epoch, EpochConfig, EpochManager};
+use crate::shard::{SetTouchIndex, Shard, ShardPlan};
+use flock_core::{CompIdx, Engine, FlockGreedy, HyperParams, LocalizationResult};
+use flock_telemetry::{
+    AnalysisMode, Assembler, FlowRecord, InputKind, MonitoredFlow, ObservationSet, StampedRecord,
+};
+use flock_topology::{Component, Router, Topology};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Epoch windowing.
+    pub epoch: EpochConfig,
+    /// Telemetry kinds assembled per epoch (§6.2 selection rules).
+    pub kinds: Vec<InputKind>,
+    /// Metric analysis mode.
+    pub mode: AnalysisMode,
+    /// Inference hyperparameters.
+    pub params: HyperParams,
+    /// Warm-start inference from the previous epoch's hypothesis
+    /// (`false` = rebuild engines and search from scratch every epoch,
+    /// the offline behavior).
+    pub warm_start: bool,
+    /// Partition the component space by pod and run shards on separate
+    /// threads (`false` = one shard owning everything).
+    pub shard_by_pod: bool,
+}
+
+impl StreamConfig {
+    /// The paper-shaped default: 30 s tumbling epochs, A2+P telemetry,
+    /// per-packet analysis, warm start on, sharding off.
+    pub fn paper_default() -> Self {
+        StreamConfig {
+            epoch: EpochConfig::tumbling(30_000),
+            kinds: vec![InputKind::A2, InputKind::P],
+            mode: AnalysisMode::PerPacket,
+            params: HyperParams::default(),
+            warm_start: true,
+            shard_by_pod: false,
+        }
+    }
+}
+
+/// Per-shard outcome inside an [`EpochReport`].
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard label (`pod3`, `spine`, `all`).
+    pub label: String,
+    /// Components the shard blamed *and owns* (what the merge kept).
+    pub kept: usize,
+    /// Flows the shard's engine saw this epoch.
+    pub flows: usize,
+    /// Whether the engine was warm-rebound (vs built from scratch).
+    pub warm: bool,
+    /// Hypotheses scanned by the shard's search.
+    pub hypotheses_scanned: u64,
+    /// Final normalized log-likelihood of the shard's hypothesis over the
+    /// shard-relevant observations.
+    pub log_likelihood: f64,
+}
+
+/// One epoch's merged verdict.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Window index.
+    pub epoch_index: u64,
+    /// Window start (ms, inclusive).
+    pub start_ms: u64,
+    /// Window end (ms, exclusive).
+    pub end_ms: u64,
+    /// Records the window received.
+    pub records: usize,
+    /// Aggregated observations after assembly.
+    pub observations: usize,
+    /// The merged localization verdict.
+    pub result: LocalizationResult,
+    /// Per-shard accounting.
+    pub shards: Vec<ShardOutcome>,
+}
+
+/// Per-shard persistent inference state.
+struct ShardState {
+    engine: Option<Engine>,
+    /// Previous epoch's (shard-local) hypothesis, the warm seed.
+    prev: Vec<CompIdx>,
+}
+
+/// Rebuild [`MonitoredFlow`]s from wire records (paths are known only
+/// where agents traced or INT-stamped them). Takes records by value so
+/// the per-epoch hot path moves path vectors instead of cloning them.
+pub fn reconstruct(records: impl IntoIterator<Item = FlowRecord>) -> Vec<MonitoredFlow> {
+    records
+        .into_iter()
+        .map(|r| MonitoredFlow {
+            key: r.key,
+            stats: r.stats,
+            class: r.class,
+            true_path: r.path.unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// The continuously-running localization pipeline over one topology.
+pub struct StreamPipeline<'t> {
+    topo: &'t Topology,
+    router: Router<'t>,
+    cfg: StreamConfig,
+    manager: EpochManager,
+    assembler: Assembler,
+    plan: ShardPlan,
+    shards: Vec<ShardState>,
+    touch: SetTouchIndex,
+}
+
+impl<'t> StreamPipeline<'t> {
+    /// Build a pipeline over `topo`.
+    pub fn new(topo: &'t Topology, cfg: StreamConfig) -> Self {
+        let plan = if cfg.shard_by_pod {
+            ShardPlan::by_pod(topo)
+        } else {
+            ShardPlan::single(topo)
+        };
+        let shards = plan
+            .shards
+            .iter()
+            .map(|_| ShardState {
+                engine: None,
+                prev: Vec::new(),
+            })
+            .collect();
+        StreamPipeline {
+            topo,
+            router: Router::new(topo),
+            manager: EpochManager::new(cfg.epoch),
+            cfg,
+            assembler: Assembler::new(),
+            plan,
+            shards,
+            touch: SetTouchIndex::new(),
+        }
+    }
+
+    /// The shard plan in use.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Records dropped as late by the windowing layer.
+    pub fn late_records(&self) -> u64 {
+        self.manager.late_records()
+    }
+
+    /// Feed drained collector records into the windowing layer.
+    pub fn ingest(&mut self, recs: impl IntoIterator<Item = StampedRecord>) {
+        self.manager.extend(recs);
+    }
+
+    /// Close every window ending at or before `watermark_ms` and localize
+    /// each, in order.
+    pub fn poll(&mut self, watermark_ms: u64) -> Vec<EpochReport> {
+        let epochs = self.manager.close_ready(watermark_ms);
+        epochs.into_iter().map(|e| self.run_epoch(e)).collect()
+    }
+
+    /// Close and localize everything still buffered (end of run).
+    pub fn drain(&mut self) -> Vec<EpochReport> {
+        let epochs = self.manager.flush();
+        epochs.into_iter().map(|e| self.run_epoch(e)).collect()
+    }
+
+    /// Localize one closed epoch.
+    fn run_epoch(&mut self, epoch: Epoch) -> EpochReport {
+        let monitored = reconstruct(epoch.records.into_iter().map(|s| s.record));
+        self.run_flows(epoch.index, epoch.start_ms, epoch.end_ms, &monitored)
+    }
+
+    /// Localize one epoch's worth of already-reconstructed flows. Public
+    /// so tests and benches can drive the inference loop without sockets.
+    pub fn run_flows(
+        &mut self,
+        epoch_index: u64,
+        start_ms: u64,
+        end_ms: u64,
+        monitored: &[MonitoredFlow],
+    ) -> EpochReport {
+        let started = Instant::now();
+        let obs = self.assembler.assemble(
+            self.topo,
+            &self.router,
+            monitored,
+            &self.cfg.kinds,
+            self.cfg.mode,
+        );
+        self.touch.extend(self.topo, &obs);
+
+        // Run every shard, one thread each (shard counts are small: pods
+        // + spine). Each thread owns its shard's state mutably; shared
+        // inputs are borrowed immutably.
+        let topo = self.topo;
+        let cfg = &self.cfg;
+        let touch = &self.touch;
+        let obs_ref = &obs;
+        let outcomes: Vec<(Vec<(Component, f64)>, ShardOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .plan
+                .shards
+                .iter()
+                .zip(self.shards.iter_mut())
+                .map(|(shard, state)| {
+                    scope.spawn(move || run_shard(topo, cfg, shard, state, obs_ref, touch))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked"))
+                .collect()
+        });
+
+        // Merge under blame ownership: max score wins on overlap.
+        let mut merged: HashMap<Component, f64> = HashMap::new();
+        let mut scanned = 0u64;
+        let mut log_likelihood = 0.0f64;
+        let mut shard_outcomes = Vec::with_capacity(outcomes.len());
+        for (kept, outcome) in outcomes {
+            scanned += outcome.hypotheses_scanned;
+            // Sum of shard-local normalized LLs. With one shard this is
+            // the engine's LL exactly; with several it sums over the
+            // shard-filtered flow subsets (flows relevant to multiple
+            // shards contribute once per shard), so it is comparable
+            // across epochs of the same plan, not across plans.
+            log_likelihood += outcome.log_likelihood;
+            for (comp, score) in kept {
+                let e = merged.entry(comp).or_insert(f64::NEG_INFINITY);
+                if score > *e {
+                    *e = score;
+                }
+            }
+            shard_outcomes.push(outcome);
+        }
+        let mut predicted: Vec<(Component, f64)> = merged.into_iter().collect();
+        predicted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let observations = obs.flows.len();
+        self.assembler.recycle(obs);
+
+        EpochReport {
+            epoch_index,
+            start_ms,
+            end_ms,
+            records: monitored.len(),
+            observations,
+            result: LocalizationResult {
+                scores: predicted.iter().map(|(_, s)| *s).collect(),
+                predicted: predicted.into_iter().map(|(c, _)| c).collect(),
+                log_likelihood,
+                hypotheses_scanned: scanned,
+                iterations: shard_outcomes.len() as u64,
+                runtime: started.elapsed(),
+            },
+            shards: shard_outcomes,
+        }
+    }
+}
+
+/// Localize one epoch on one shard: rebind or build the engine over the
+/// shard-relevant observations, search warm from the previous verdict,
+/// and return the owned predictions.
+fn run_shard(
+    topo: &Topology,
+    cfg: &StreamConfig,
+    shard: &Shard,
+    state: &mut ShardState,
+    obs: &ObservationSet,
+    touch: &SetTouchIndex,
+) -> (Vec<(Component, f64)>, ShardOutcome) {
+    let filter = |o: &flock_telemetry::FlowObs| {
+        let (set_touch, prefix_touch) = touch.flow_touch(topo, o);
+        shard.relevant(set_touch, prefix_touch)
+    };
+
+    let warm = cfg.warm_start && state.engine.is_some();
+    match &mut state.engine {
+        Some(engine) if cfg.warm_start => engine.rebind_filtered(topo, obs, Some(&filter)),
+        slot => *slot = Some(Engine::new_filtered(topo, obs, cfg.params, Some(&filter))),
+    }
+    let engine = state.engine.as_mut().expect("engine just installed");
+
+    let greedy = FlockGreedy::new(cfg.params);
+    let seed = if cfg.warm_start {
+        std::mem::take(&mut state.prev)
+    } else {
+        Vec::new()
+    };
+    let (picked, scanned) = greedy.search_warm(engine, &seed);
+    state.prev = picked.iter().map(|(c, _)| *c).collect();
+
+    let kept: Vec<(Component, f64)> = picked
+        .iter()
+        .filter(|(c, _)| shard.owns(*c))
+        .map(|(c, score)| (engine.space().component(*c), *score))
+        .collect();
+    let outcome = ShardOutcome {
+        label: shard.label.clone(),
+        kept: kept.len(),
+        flows: engine.n_flows(),
+        warm,
+        hypotheses_scanned: scanned,
+        log_likelihood: engine.log_likelihood(),
+    };
+    (kept, outcome)
+}

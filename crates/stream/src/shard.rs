@@ -1,0 +1,290 @@
+//! Component-space sharding for the per-epoch executor.
+//!
+//! A [`ShardPlan`] partitions blame *ownership* over the component space:
+//! each shard may blame only the components it owns, so merged results
+//! never double-report. Ownership overlaps at pod boundaries (an
+//! agg–spine link belongs to its pod shard; its spine endpoint to the
+//! spine shard) — the merge deduplicates by component.
+//!
+//! Each shard localizes over the subset of observations that can
+//! implicate its components: for a pod shard, every flow whose possible
+//! paths (or host attachment links) touch the pod; for the spine shard,
+//! every flow that can cross a spine (i.e. inter-pod traffic). Pod-local
+//! faults are therefore diagnosed from a fraction of the epoch's
+//! evidence, and the per-pod engines run on separate threads. The spine
+//! shard necessarily sees most inter-pod traffic — spine evidence is
+//! global by nature — which bounds the achievable speedup; the plan
+//! exists to cut pod-fault latency and to parallelize, not to shrink
+//! spine work.
+
+use flock_core::{ComponentSpace, Engine};
+use flock_telemetry::{FlowObs, ObservationSet};
+use flock_topology::{NodeRole, Topology};
+
+/// What a shard is responsible for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardKind {
+    /// Everything (the single-shard plan).
+    All,
+    /// One pod's leaves, aggs, hosts, and incident links.
+    Pod(u16),
+    /// The spine tier and its incident links.
+    Spine,
+}
+
+/// One blame-ownership shard.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Display label (`pod3`, `spine`, `all`).
+    pub label: String,
+    /// The region this shard covers.
+    pub kind: ShardKind,
+    /// `owned[c]` — whether dense component `c` may be blamed by this
+    /// shard.
+    pub owned: Vec<bool>,
+}
+
+impl Shard {
+    /// Whether this shard owns dense component index `c`.
+    #[inline]
+    pub fn owns(&self, c: u32) -> bool {
+        self.owned[c as usize]
+    }
+
+    /// Whether a flow observation is relevant to this shard, given the
+    /// pod/spine touch signature of its path set (see
+    /// [`SetTouchIndex`]).
+    pub fn relevant(&self, touch: SetTouch, prefix_touch: SetTouch) -> bool {
+        let t = SetTouch {
+            pods: touch.pods | prefix_touch.pods,
+            spine: touch.spine || prefix_touch.spine,
+        };
+        match self.kind {
+            ShardKind::All => true,
+            ShardKind::Pod(p) => t.pods & (1u128 << (p % 128)) != 0,
+            ShardKind::Spine => t.spine,
+        }
+    }
+}
+
+/// Which pods (bitmask) and whether the spine tier a path set touches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetTouch {
+    /// Bit `p` set iff some link endpoint lies in pod `p` (mod 128).
+    pub pods: u128,
+    /// Whether some link endpoint is a spine switch.
+    pub spine: bool,
+}
+
+/// Per-set touch signatures, extended lazily as the shared arena grows.
+#[derive(Debug, Default)]
+pub struct SetTouchIndex {
+    sets: Vec<SetTouch>,
+}
+
+impl SetTouchIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extend the index to cover every set interned in `obs`'s arena
+    /// (append-only, mirroring the arena lineage).
+    pub fn extend(&mut self, topo: &Topology, obs: &ObservationSet) {
+        for sid in self.sets.len()..obs.arena.set_count() {
+            let mut touch = SetTouch::default();
+            for pid in obs.arena.set(flock_telemetry::PathSetId(sid as u32)) {
+                for &l in obs.arena.path(*pid) {
+                    let link = topo.link(l);
+                    for end in [link.src, link.dst] {
+                        let node = topo.node(end);
+                        if node.role == NodeRole::Spine {
+                            touch.spine = true;
+                        } else if node.pod != u16::MAX {
+                            touch.pods |= 1u128 << (node.pod % 128);
+                        }
+                    }
+                }
+            }
+            self.sets.push(touch);
+        }
+    }
+
+    /// Touch signature of a flow: its path set plus its host-attachment
+    /// prefix links.
+    pub fn flow_touch(&self, topo: &Topology, o: &FlowObs) -> (SetTouch, SetTouch) {
+        let set = self.sets[o.set.0 as usize];
+        let mut prefix = SetTouch::default();
+        for l in o.prefix.iter().flatten() {
+            let link = topo.link(*l);
+            for end in [link.src, link.dst] {
+                let node = topo.node(end);
+                if node.role == NodeRole::Spine {
+                    prefix.spine = true;
+                } else if node.pod != u16::MAX {
+                    prefix.pods |= 1u128 << (node.pod % 128);
+                }
+            }
+        }
+        (set, prefix)
+    }
+}
+
+/// A blame-ownership partition of the component space.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The shards, in execution order.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// One shard owning every component (no sharding).
+    pub fn single(topo: &Topology) -> Self {
+        let space = ComponentSpace::new(topo);
+        ShardPlan {
+            shards: vec![Shard {
+                label: "all".into(),
+                kind: ShardKind::All,
+                owned: vec![true; space.n_comps()],
+            }],
+        }
+    }
+
+    /// One shard per pod plus a spine shard.
+    ///
+    /// Ownership: a pod shard owns the pod's switch devices and every
+    /// link with an endpoint in the pod; the spine shard owns spine
+    /// devices and spine-incident links. Agg–spine links are owned by
+    /// both their pod and the spine shard — the result merge
+    /// deduplicates.
+    pub fn by_pod(topo: &Topology) -> Self {
+        let space = ComponentSpace::new(topo);
+        let n = space.n_comps();
+        let mut pods: Vec<u16> = topo
+            .nodes()
+            .map(|(_, node)| node.pod)
+            .filter(|&p| p != u16::MAX)
+            .collect();
+        pods.sort_unstable();
+        pods.dedup();
+
+        let mut shards: Vec<Shard> = pods
+            .iter()
+            .map(|&p| Shard {
+                label: format!("pod{p}"),
+                kind: ShardKind::Pod(p),
+                owned: vec![false; n],
+            })
+            .collect();
+        shards.push(Shard {
+            label: "spine".into(),
+            kind: ShardKind::Spine,
+            owned: vec![false; n],
+        });
+        let spine_at = shards.len() - 1;
+        let pod_at = |p: u16| pods.binary_search(&p).expect("pod listed");
+
+        for c in 0..n as u32 {
+            match space.component(c) {
+                flock_topology::Component::Device(node) => {
+                    let nd = topo.node(node);
+                    if nd.role == NodeRole::Spine {
+                        shards[spine_at].owned[c as usize] = true;
+                    } else if nd.pod != u16::MAX {
+                        shards[pod_at(nd.pod)].owned[c as usize] = true;
+                    }
+                }
+                flock_topology::Component::Link(l) => {
+                    let link = topo.link(l);
+                    for end in [link.src, link.dst] {
+                        let nd = topo.node(end);
+                        if nd.role == NodeRole::Spine {
+                            shards[spine_at].owned[c as usize] = true;
+                        } else if nd.pod != u16::MAX {
+                            shards[pod_at(nd.pod)].owned[c as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        ShardPlan { shards }
+    }
+
+    /// Sanity check: every component is owned by at least one shard.
+    pub fn covers(&self, engine_comps: usize) -> bool {
+        (0..engine_comps).all(|c| self.shards.iter().any(|s| s.owned[c]))
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan has no shards (never true for the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+/// Convenience: the dense component count a plan was built for must
+/// match the engine's.
+pub fn assert_plan_matches(plan: &ShardPlan, engine: &Engine) {
+    for s in &plan.shards {
+        assert_eq!(
+            s.owned.len(),
+            engine.n_comps(),
+            "shard plan built for a different topology"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_topology::clos::{three_tier, ClosParams};
+
+    #[test]
+    fn by_pod_covers_every_component() {
+        let topo = three_tier(ClosParams::tiny());
+        let plan = ShardPlan::by_pod(&topo);
+        let space = ComponentSpace::new(&topo);
+        assert_eq!(plan.len(), 3, "2 pods + spine");
+        assert!(plan.covers(space.n_comps()));
+    }
+
+    #[test]
+    fn pod_shards_do_not_own_foreign_pods() {
+        let topo = three_tier(ClosParams::tiny());
+        let plan = ShardPlan::by_pod(&topo);
+        let space = ComponentSpace::new(&topo);
+        for shard in &plan.shards {
+            let ShardKind::Pod(p) = shard.kind else {
+                continue;
+            };
+            for c in 0..space.n_comps() as u32 {
+                if !shard.owns(c) {
+                    continue;
+                }
+                // Every owned component touches pod p.
+                let touches = match space.component(c) {
+                    flock_topology::Component::Device(n) => topo.node(n).pod == p,
+                    flock_topology::Component::Link(l) => {
+                        let link = topo.link(l);
+                        topo.node(link.src).pod == p || topo.node(link.dst).pod == p
+                    }
+                };
+                assert!(touches, "comp {c} owned by pod{p} but outside it");
+            }
+        }
+    }
+
+    #[test]
+    fn single_plan_owns_all() {
+        let topo = three_tier(ClosParams::tiny());
+        let plan = ShardPlan::single(&topo);
+        let space = ComponentSpace::new(&topo);
+        assert_eq!(plan.len(), 1);
+        assert!(plan.covers(space.n_comps()));
+        assert!(!plan.is_empty());
+    }
+}

@@ -168,7 +168,11 @@ impl AgentCore {
 
     /// Encode `records` into wire messages (chunked), advancing the
     /// sequence counter.
-    pub fn encode_export(&mut self, export_time_ms: u64, records: &[FlowRecord]) -> Vec<bytes::Bytes> {
+    pub fn encode_export(
+        &mut self,
+        export_time_ms: u64,
+        records: &[FlowRecord],
+    ) -> Vec<bytes::Bytes> {
         let mut msgs = Vec::new();
         for chunk in records.chunks(self.cfg.max_records_per_message.max(1)) {
             msgs.push(encode_message(

@@ -17,6 +17,21 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// A flow record together with the export-message metadata the online
+/// pipeline windows on: which agent sent it and the agent's export
+/// timestamp (milliseconds, agent-chosen epoch). The offline path
+/// ([`Collector::drain`]) discards the stamp; the streaming path
+/// ([`Collector::drain_stamped`]) preserves it for epoch assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedRecord {
+    /// Agent that exported the record.
+    pub agent_id: u32,
+    /// `export_time_ms` of the carrying export message.
+    pub export_ms: u64,
+    /// The flow record itself.
+    pub record: FlowRecord,
+}
+
 /// Monotonic counters describing collector activity.
 #[derive(Debug, Default)]
 pub struct CollectorStats {
@@ -50,7 +65,7 @@ impl CollectorStats {
 /// stops the accept loop and joins the reader threads.
 pub struct Collector {
     addr: SocketAddr,
-    store: Arc<Mutex<Vec<FlowRecord>>>,
+    store: Arc<Mutex<Vec<StampedRecord>>>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
@@ -63,7 +78,7 @@ impl Collector {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let store: Arc<Mutex<Vec<FlowRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let store: Arc<Mutex<Vec<StampedRecord>>> = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(CollectorStats::default());
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -91,8 +106,14 @@ impl Collector {
         self.addr
     }
 
-    /// Drain all records received so far.
+    /// Drain all records received so far, discarding export stamps.
     pub fn drain(&self) -> Vec<FlowRecord> {
+        self.drain_stamped().into_iter().map(|s| s.record).collect()
+    }
+
+    /// Drain all records received so far with their agent/export stamps —
+    /// the entry point of the epoch-windowing stream layer.
+    pub fn drain_stamped(&self) -> Vec<StampedRecord> {
         std::mem::take(&mut *self.store.lock())
     }
 
@@ -127,7 +148,7 @@ impl Drop for Collector {
 
 fn accept_loop(
     listener: TcpListener,
-    store: Arc<Mutex<Vec<FlowRecord>>>,
+    store: Arc<Mutex<Vec<StampedRecord>>>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
 ) {
@@ -165,7 +186,7 @@ fn accept_loop(
 
 fn reader_loop(
     mut stream: TcpStream,
-    store: Arc<Mutex<Vec<FlowRecord>>>,
+    store: Arc<Mutex<Vec<StampedRecord>>>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
 ) {
@@ -188,7 +209,14 @@ fn reader_loop(
                             stats
                                 .records
                                 .fetch_add(msg.records.len() as u64, Ordering::Relaxed);
-                            store.lock().extend(msg.records);
+                            let (agent_id, export_ms) = (msg.agent_id, msg.export_time_ms);
+                            store.lock().extend(msg.records.into_iter().map(|record| {
+                                StampedRecord {
+                                    agent_id,
+                                    export_ms,
+                                    record,
+                                }
+                            }));
                         }
                         Ok(None) => break,
                         Err(_) => {
@@ -268,6 +296,37 @@ mod tests {
         assert_eq!(recs, 10);
         assert!(bytes > 0);
         assert_eq!(errs, 0);
+    }
+
+    #[test]
+    fn drain_stamped_preserves_export_metadata() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let mut agent = AgentCore::new(AgentConfig {
+            agent_id: 42,
+            ..Default::default()
+        });
+        agent.observe(FlowSample {
+            key: FlowKey::tcp(NodeId(1), NodeId(2), 4000, 80),
+            packets: 5,
+            retransmissions: 0,
+            bytes: 500,
+            rtt_us: None,
+            path: None,
+            class: TrafficClass::Passive,
+        });
+        let records = agent.export();
+        let msgs = agent.encode_export(90_500, &records);
+        let mut exporter = Exporter::connect(collector.local_addr()).unwrap();
+        for m in &msgs {
+            exporter.send(m).unwrap();
+        }
+        exporter.finish().unwrap();
+        assert!(wait_for(|| collector.pending() == 1, 2000));
+        let stamped = collector.drain_stamped();
+        assert_eq!(stamped.len(), 1);
+        assert_eq!(stamped[0].agent_id, 42);
+        assert_eq!(stamped[0].export_ms, 90_500);
+        assert_eq!(stamped[0].record.key.src, NodeId(1));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub struct PathId(pub u32);
 pub struct PathSetId(pub u32);
 
 /// Interning arena for fabric paths and path sets.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PathArena {
     paths: Vec<Vec<LinkId>>,
     sets: Vec<Vec<PathId>>,
@@ -41,12 +41,37 @@ pub struct PathArena {
     path_lookup: HashMap<Vec<LinkId>, PathId>,
     #[serde(skip)]
     set_lookup: HashMap<Vec<PathId>, PathSetId>,
+    /// Process-unique lineage token, stamped at creation and preserved by
+    /// `Clone` (a clone shares content, so ids interned against either
+    /// copy resolve identically). Lets holders of interned ids
+    /// ([`Assembler`]) verify an arena is the one they interned against.
+    #[serde(skip)]
+    lineage: u64,
+}
+
+impl Default for PathArena {
+    fn default() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_LINEAGE: AtomicU64 = AtomicU64::new(1);
+        PathArena {
+            paths: Vec::new(),
+            sets: Vec::new(),
+            path_lookup: HashMap::new(),
+            set_lookup: HashMap::new(),
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl PathArena {
     /// Create an empty arena.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The arena's process-unique lineage token.
+    pub fn lineage(&self) -> u64 {
+        self.lineage
     }
 
     /// Intern a fabric path (a link sequence; may be empty for same-ToR
@@ -219,71 +244,165 @@ pub fn assemble(
     kinds: &[InputKind],
     mode: AnalysisMode,
 ) -> ObservationSet {
-    let has = |k: InputKind| kinds.contains(&k);
-    let mut arena = PathArena::new();
-    let mut agg: HashMap<FlowObs, u32> = HashMap::new();
-    // Cache of ECMP path-set ids per (src_leaf, dst_leaf).
-    let mut ecmp_cache: HashMap<(flock_topology::NodeId, flock_topology::NodeId), PathSetId> =
-        HashMap::new();
+    Assembler::new().assemble(topo, router, flows, kinds, mode)
+}
 
-    for mf in flows {
-        let (sent, bad) = metrics(mf, mode);
-        if sent == 0 {
-            continue;
-        }
-        let obs = match mf.class {
-            TrafficClass::Probe => {
-                if !(has(InputKind::A1) || has(InputKind::Int)) {
-                    continue;
-                }
-                known_path_obs(topo, &mut arena, &mf.true_path, sent, bad)
-            }
-            TrafficClass::Passive => {
-                let known = has(InputKind::Int) || (has(InputKind::A2) && bad > 0);
-                if known {
-                    known_path_obs(topo, &mut arena, &mf.true_path, sent, bad)
-                } else if has(InputKind::P) {
-                    let src_leaf = topo.host_leaf(mf.key.src);
-                    let dst_leaf = topo.host_leaf(mf.key.dst);
-                    let set = *ecmp_cache.entry((src_leaf, dst_leaf)).or_insert_with(|| {
-                        let paths = router.paths(src_leaf, dst_leaf);
-                        let ids: Vec<PathId> = paths
-                            .iter()
-                            .map(|p| arena.intern_path_nodedup(&p.links))
-                            .collect();
-                        arena.intern_set(ids)
-                    });
-                    FlowObs {
-                        prefix: [
-                            Some(topo.host_uplink(mf.key.src)),
-                            Some(topo.host_downlink(mf.key.dst)),
-                        ],
-                        set,
-                        sent,
-                        bad,
-                        weight: 1,
-                    }
-                } else {
-                    continue;
-                }
-            }
-        };
-        *agg.entry(obs).or_insert(0) += 1;
+/// Reusable input assembler with a *persistent* path arena.
+///
+/// The one-shot [`assemble`] builds a fresh [`PathArena`] per call. The
+/// online pipeline instead assembles one [`ObservationSet`] per epoch over
+/// the **same** arena: interning is append-only, so a `PathId`/[`PathSetId`]
+/// handed out in epoch `k` denotes the identical path in every later
+/// epoch. That stability is what lets a warm inference engine keep its
+/// per-path/per-set structures across epochs instead of rebuilding them
+/// (see `flock_core::Engine::rebind`). The ECMP set cache persists for the
+/// same reason — per ToR pair, the set is interned exactly once, ever.
+///
+/// The arena physically moves into the returned `ObservationSet` (every
+/// consumer expects an owning set); hand the set back via
+/// [`Assembler::recycle`] once inference is done to keep the lineage.
+/// Assembling again *without* recycling is safe but forfeits the lineage:
+/// the assembler starts a fresh arena (and drops its set-id cache, which
+/// would otherwise refer into the departed arena).
+#[derive(Debug, Default)]
+pub struct Assembler {
+    arena: PathArena,
+    ecmp_cache: HashMap<(flock_topology::NodeId, flock_topology::NodeId), PathSetId>,
+    /// Whether the arena is currently out with an un-recycled
+    /// `ObservationSet` (the struct's `arena` is then a fresh default).
+    arena_out: bool,
+    /// Lineage token and path/set counts of the arena as last emitted,
+    /// used by [`Assembler::recycle`] to recognize its own lineage.
+    emitted_lineage: u64,
+    emitted_paths: usize,
+    emitted_sets: usize,
+}
+
+impl Assembler {
+    /// An assembler with an empty arena.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let mut out: Vec<FlowObs> = agg
-        .into_iter()
-        .map(|(mut obs, w)| {
-            obs.weight = w;
-            obs
-        })
-        .collect();
-    // Deterministic order independent of HashMap iteration.
-    out.sort_by_key(|o| (o.set.0, o.prefix, o.sent, o.bad));
-    ObservationSet {
-        arena,
-        flows: out,
-        mode,
+    /// Number of paths interned so far (across all epochs).
+    pub fn path_count(&self) -> usize {
+        self.arena.path_count()
+    }
+
+    /// Reclaim the arena from an observation set produced by the **last**
+    /// [`Assembler::assemble`] call on this assembler.
+    ///
+    /// The set is recognized by its arena's process-unique lineage token
+    /// plus size monotonicity (append-only interning means a legitimate
+    /// descendant has at least the emitted path/set counts). Handing back
+    /// a set from a different lineage replaces the arena wholesale and
+    /// drops the ECMP set cache, whose ids would otherwise dangle into
+    /// the departed arena.
+    pub fn recycle(&mut self, obs: ObservationSet) {
+        let ours = self.arena_out
+            && obs.arena.lineage() == self.emitted_lineage
+            && obs.arena.path_count() >= self.emitted_paths
+            && obs.arena.set_count() >= self.emitted_sets;
+        if !ours {
+            self.ecmp_cache.clear();
+        }
+        self.arena = obs.arena;
+        self.arena_out = false;
+    }
+
+    /// Assemble one observation set against the persistent arena. See
+    /// [`assemble`] for the §6.2 selection rules.
+    pub fn assemble(
+        &mut self,
+        topo: &Topology,
+        router: &Router<'_>,
+        flows: &[MonitoredFlow],
+        kinds: &[InputKind],
+        mode: AnalysisMode,
+    ) -> ObservationSet {
+        let has = |k: InputKind| kinds.contains(&k);
+        if self.arena_out {
+            // The previous set was never recycled: the cached set ids
+            // refer into an arena we no longer hold. Start clean.
+            self.ecmp_cache.clear();
+            self.arena = PathArena::new();
+        }
+        let arena = &mut self.arena;
+        let ecmp_cache = &mut self.ecmp_cache;
+        let mut agg: HashMap<FlowObs, u32> = HashMap::new();
+
+        for mf in flows {
+            let (sent, bad) = metrics(mf, mode);
+            if sent == 0 {
+                continue;
+            }
+            let obs = match mf.class {
+                TrafficClass::Probe => {
+                    // A probe whose path is unknown (possible for flows
+                    // reconstructed from wire records that carried no
+                    // attachment) carries no localizable evidence.
+                    if !(has(InputKind::A1) || has(InputKind::Int)) || mf.true_path.is_empty() {
+                        continue;
+                    }
+                    known_path_obs(topo, arena, &mf.true_path, sent, bad)
+                }
+                TrafficClass::Passive => {
+                    // "Known path" requires an actual recorded path: a
+                    // reconstructed flow whose record carried no path
+                    // attachment has an empty `true_path` and must fall
+                    // back to the ECMP path set (or be dropped), not be
+                    // modeled as a zero-component pinned path.
+                    let known = (has(InputKind::Int) || (has(InputKind::A2) && bad > 0))
+                        && !mf.true_path.is_empty();
+                    if known {
+                        known_path_obs(topo, arena, &mf.true_path, sent, bad)
+                    } else if has(InputKind::P) {
+                        let src_leaf = topo.host_leaf(mf.key.src);
+                        let dst_leaf = topo.host_leaf(mf.key.dst);
+                        let set = *ecmp_cache.entry((src_leaf, dst_leaf)).or_insert_with(|| {
+                            let paths = router.paths(src_leaf, dst_leaf);
+                            let ids: Vec<PathId> = paths
+                                .iter()
+                                .map(|p| arena.intern_path_nodedup(&p.links))
+                                .collect();
+                            arena.intern_set(ids)
+                        });
+                        FlowObs {
+                            prefix: [
+                                Some(topo.host_uplink(mf.key.src)),
+                                Some(topo.host_downlink(mf.key.dst)),
+                            ],
+                            set,
+                            sent,
+                            bad,
+                            weight: 1,
+                        }
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            *agg.entry(obs).or_insert(0) += 1;
+        }
+
+        let mut out: Vec<FlowObs> = agg
+            .into_iter()
+            .map(|(mut obs, w)| {
+                obs.weight = w;
+                obs
+            })
+            .collect();
+        // Deterministic order independent of HashMap iteration.
+        out.sort_by_key(|o| (o.set.0, o.prefix, o.sent, o.bad));
+        self.arena_out = true;
+        self.emitted_lineage = self.arena.lineage();
+        self.emitted_paths = self.arena.path_count();
+        self.emitted_sets = self.arena.set_count();
+        ObservationSet {
+            arena: std::mem::take(&mut self.arena),
+            flows: out,
+            mode,
+        }
     }
 }
 
@@ -392,7 +511,13 @@ mod tests {
         let hosts = topo.hosts();
         // Cross-pod flow: should carry the full ECMP set.
         let f = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 1);
-        let obs = assemble(&topo, &router, &[f], &[InputKind::P], AnalysisMode::PerPacket);
+        let obs = assemble(
+            &topo,
+            &router,
+            &[f],
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
         assert_eq!(obs.flows.len(), 1);
         let o = &obs.flows[0];
         assert!(!o.path_known(&obs.arena));
@@ -410,7 +535,13 @@ mod tests {
         let router = Router::new(&topo);
         let hosts = topo.hosts();
         let f = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 0);
-        let obs = assemble(&topo, &router, &[f], &[InputKind::Int], AnalysisMode::PerPacket);
+        let obs = assemble(
+            &topo,
+            &router,
+            &[f],
+            &[InputKind::Int],
+            AnalysisMode::PerPacket,
+        );
         assert_eq!(obs.flows.len(), 1);
         assert!(obs.flows[0].path_known(&obs.arena));
     }
@@ -506,7 +637,7 @@ mod tests {
         let obs = assemble(
             &topo,
             &router,
-            &[probe.clone()],
+            std::slice::from_ref(&probe),
             &[InputKind::P],
             AnalysisMode::PerPacket,
         );
@@ -519,6 +650,180 @@ mod tests {
             AnalysisMode::PerPacket,
         );
         assert_eq!(obs2.flows.len(), 1);
+    }
+
+    #[test]
+    fn assembler_arena_is_stable_across_epochs() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let mut asm = Assembler::new();
+
+        // Epoch 1: one passive flow.
+        let f1 = mk_passive(&topo, &router, hosts[0], hosts[11], 50, 0);
+        let obs1 = asm.assemble(
+            &topo,
+            &router,
+            &[f1],
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        let set1 = obs1.flows[0].set;
+        let paths1: Vec<Vec<LinkId>> = obs1
+            .arena
+            .set(set1)
+            .iter()
+            .map(|p| obs1.arena.path(*p).to_vec())
+            .collect();
+        let count1 = obs1.arena.path_count();
+        asm.recycle(obs1);
+
+        // Epoch 2: the same ToR pair plus a new (intra-pod) pair.
+        let f2 = mk_passive(&topo, &router, hosts[0], hosts[11], 70, 1);
+        let f3 = mk_passive(&topo, &router, hosts[1], hosts[4], 30, 0);
+        let obs2 = asm.assemble(
+            &topo,
+            &router,
+            &[f2, f3],
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        // The repeated pair reuses the interned set id and path contents.
+        let same: Vec<&FlowObs> = obs2.flows.iter().filter(|o| o.set == set1).collect();
+        assert_eq!(same.len(), 1, "same ToR pair must map to the same set id");
+        let paths2: Vec<Vec<LinkId>> = obs2
+            .arena
+            .set(set1)
+            .iter()
+            .map(|p| obs2.arena.path(*p).to_vec())
+            .collect();
+        assert_eq!(paths1, paths2, "interned path contents must be stable");
+        assert!(
+            obs2.arena.path_count() > count1,
+            "the new pair extends the arena"
+        );
+    }
+
+    #[test]
+    fn assemble_without_recycle_starts_a_fresh_lineage() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let mut asm = Assembler::new();
+        let f = mk_passive(&topo, &router, hosts[0], hosts[11], 50, 0);
+        let obs1 = asm.assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&f),
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        // obs1 deliberately NOT recycled: the cached set id must not leak
+        // into the next (fresh-arena) assembly.
+        let obs2 = asm.assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&f),
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs2.flows.len(), 1);
+        let set = obs2.flows[0].set;
+        assert!(
+            (set.0 as usize) < obs2.arena.set_count(),
+            "set id must refer into obs2's own arena"
+        );
+        assert_eq!(
+            obs2.arena.set(set).len(),
+            obs1.arena.set(obs1.flows[0].set).len()
+        );
+    }
+
+    #[test]
+    fn recycling_a_foreign_set_drops_the_cache() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        let mut asm = Assembler::new();
+        let f = mk_passive(&topo, &router, hosts[0], hosts[11], 50, 0);
+        let obs = asm.assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&f),
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        drop(obs);
+        // Hand back an empty, unrelated set: the assembler must not keep
+        // serving cached ids into it.
+        asm.recycle(ObservationSet {
+            arena: PathArena::new(),
+            flows: Vec::new(),
+            mode: AnalysisMode::PerPacket,
+        });
+        let obs2 = asm.assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&f),
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs2.flows.len(), 1);
+        assert!((obs2.flows[0].set.0 as usize) < obs2.arena.set_count());
+    }
+
+    #[test]
+    fn empty_reconstructed_path_falls_back_to_ecmp_set() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        // A flagged flow whose record carried no path attachment: under
+        // A2+P it must enter as a path-*set* observation, not a
+        // zero-component "known" path.
+        let mut f = mk_passive(&topo, &router, hosts[0], hosts[11], 100, 3);
+        f.true_path.clear();
+        let obs = assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&f),
+            &[InputKind::A2, InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs.flows.len(), 1);
+        assert!(
+            !obs.flows[0].path_known(&obs.arena),
+            "pathless flagged flow must use the ECMP set"
+        );
+        assert_eq!(obs.flows[0].bad, 3, "its drop evidence is preserved");
+
+        // Under Int alone (no P fallback) the flow is dropped, not faked.
+        let obs2 = assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&f),
+            &[InputKind::Int],
+            AnalysisMode::PerPacket,
+        );
+        assert!(obs2.flows.is_empty());
+
+        // A pathless probe likewise carries no evidence.
+        let probe = MonitoredFlow {
+            key: FlowKey::probe(hosts[0], topo.switches()[0], 1),
+            stats: FlowStats {
+                packets: 40,
+                ..Default::default()
+            },
+            class: TrafficClass::Probe,
+            true_path: Vec::new(),
+        };
+        let obs3 = assemble(
+            &topo,
+            &router,
+            std::slice::from_ref(&probe),
+            &[InputKind::A1],
+            AnalysisMode::PerPacket,
+        );
+        assert!(obs3.flows.is_empty());
     }
 
     #[test]

@@ -33,9 +33,9 @@ pub mod probes;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentCore, FlowSample};
-pub use collector::{Collector, CollectorStats};
+pub use collector::{Collector, CollectorStats, StampedRecord};
 pub use flow::{FlowKey, FlowRecord, FlowStats, MonitoredFlow, TrafficClass};
 pub use input::{
-    AnalysisMode, FlowObs, InputKind, ObservationSet, PathArena, PathId, PathSetId,
+    AnalysisMode, Assembler, FlowObs, InputKind, ObservationSet, PathArena, PathId, PathSetId,
 };
 pub use probes::{plan_a1_probes, ProbeSpec};

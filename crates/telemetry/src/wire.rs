@@ -68,7 +68,10 @@ impl fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
             WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
             WireError::LengthMismatch { declared, consumed } => {
-                write!(f, "length mismatch: declared {declared}, consumed {consumed}")
+                write!(
+                    f,
+                    "length mismatch: declared {declared}, consumed {consumed}"
+                )
             }
             WireError::PathTooLong(n) => write!(f, "path attachment too long: {n}"),
             WireError::Truncated => write!(f, "message truncated"),
@@ -99,7 +102,10 @@ pub fn encode_message(
     sequence: u64,
     records: &[FlowRecord],
 ) -> Bytes {
-    assert!(records.len() <= MAX_RECORDS, "too many records in one message");
+    assert!(
+        records.len() <= MAX_RECORDS,
+        "too many records in one message"
+    );
     let mut body = BytesMut::with_capacity(HEADER_LEN + records.len() * (RECORD_LEN + 8));
     body.put_u32(MAGIC);
     body.put_u16(VERSION);
@@ -337,7 +343,14 @@ mod tests {
                     rtt_max_us: 80,
                 },
                 class: TrafficClass::Probe,
-                path: Some(vec![LinkId(0), LinkId(8), LinkId(22), LinkId(23), LinkId(9), LinkId(1)]),
+                path: Some(vec![
+                    LinkId(0),
+                    LinkId(8),
+                    LinkId(22),
+                    LinkId(23),
+                    LinkId(9),
+                    LinkId(1),
+                ]),
             },
         ]
     }

@@ -7,7 +7,13 @@ use flock_topology::{LinkId, NodeId};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = FlowRecord> {
-    let key = (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>());
+    let key = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    );
     let stats = (
         0u64..(1 << 48),
         0u64..(1 << 48),

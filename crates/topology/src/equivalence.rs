@@ -128,9 +128,7 @@ mod tests {
     use crate::irregular::omit_links_routable;
     use crate::routing::Router;
 
-    fn leaf_pairs_pathsets(
-        topo: &crate::graph::Topology,
-    ) -> (Vec<Vec<FabricPath>>, Vec<LinkId>) {
+    fn leaf_pairs_pathsets(topo: &crate::graph::Topology) -> (Vec<Vec<FabricPath>>, Vec<LinkId>) {
         let router = Router::new(topo);
         let leaves: Vec<NodeId> = topo
             .switches()
@@ -158,9 +156,15 @@ mod tests {
         // (each appears once per path set containing the ToR), so some
         // class must have >1 member.
         let max_class = eq.classes().iter().map(|c| c.len()).max().unwrap();
-        assert!(max_class > 1, "expected symmetric links, classes all singleton");
+        assert!(
+            max_class > 1,
+            "expected symmetric links, classes all singleton"
+        );
         let p = eq.max_precision(&fabric);
-        assert!(p > 0.0 && p < 1.0, "precision {p} should be strictly inside (0,1)");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "precision {p} should be strictly inside (0,1)"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod tests {
 
     #[test]
     fn component_ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             Component::Device(NodeId(5)),
             Component::Link(LinkId(2)),
             Component::Link(LinkId(1)),

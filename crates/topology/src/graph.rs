@@ -221,9 +221,7 @@ impl Topology {
     /// the paper's link-failure scenarios.
     pub fn fabric_links(&self) -> Vec<LinkId> {
         self.links()
-            .filter(|(_, l)| {
-                self.node(l.src).role.is_switch() && self.node(l.dst).role.is_switch()
-            })
+            .filter(|(_, l)| self.node(l.src).role.is_switch() && self.node(l.dst).role.is_switch())
             .map(|(id, _)| id)
             .collect()
     }

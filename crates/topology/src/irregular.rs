@@ -220,6 +220,9 @@ mod tests {
             let b = leaves[leaves.len() - 1 - i];
             sizes.insert(router.paths(a, b).len());
         }
-        assert!(sizes.len() > 1, "expected varied ECMP widths, got {sizes:?}");
+        assert!(
+            sizes.len() > 1,
+            "expected varied ECMP widths, got {sizes:?}"
+        );
     }
 }

@@ -134,11 +134,7 @@ impl<'t> Router<'t> {
                 for d in &downs {
                     let mut links = u.clone();
                     // The down half is the reverse of an up path from dst.
-                    links.extend(
-                        d.iter()
-                            .rev()
-                            .map(|l| self.topo.link(*l).reverse),
-                    );
+                    links.extend(d.iter().rev().map(|l| self.topo.link(*l).reverse));
                     out.push(FabricPath { links });
                 }
             }

@@ -9,15 +9,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_clos() -> impl Strategy<Value = ClosParams> {
-    (2u32..5, 1u32..4, 1u32..4, 1u32..4, 1u32..5).prop_map(
-        |(pods, tors, aggs, spines, hosts)| ClosParams {
+    (2u32..5, 1u32..4, 1u32..4, 1u32..4, 1u32..5).prop_map(|(pods, tors, aggs, spines, hosts)| {
+        ClosParams {
             pods,
             tors_per_pod: tors,
             aggs_per_pod: aggs,
             spines_per_plane: spines,
             hosts_per_tor: hosts,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

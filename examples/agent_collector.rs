@@ -85,7 +85,7 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
     let records = collector.drain();
-    let (conns, msgs, recs, bytes, errs) = collector.stats().snapshot();
+    let (conns, msgs, _recs, bytes, errs) = collector.stats().snapshot();
     println!(
         "collected {} records ({} connections, {} messages, {} bytes, {} errors)",
         records.len(),

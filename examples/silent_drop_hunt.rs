@@ -19,13 +19,8 @@ fn main() {
     let topo = flock::topology::clos::three_tier(ClosParams::ns3_scale());
     let router = Router::new(&topo);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
-    let scenario = flock::netsim::failure::silent_link_drops(
-        &topo,
-        n_failures,
-        (0.001, 0.01),
-        1e-4,
-        &mut rng,
-    );
+    let scenario =
+        flock::netsim::failure::silent_link_drops(&topo, n_failures, (0.001, 0.01), 1e-4, &mut rng);
     println!(
         "{} failed links among {} (drop rates 0.1-1%), SNR {:.0}",
         scenario.truth.failed_links.len(),
@@ -40,11 +35,12 @@ fn main() {
         &mut rng,
     );
     let cfg = FlowSimConfig::default();
-    let mut flows = flock::netsim::flowsim::simulate_flows(
-        &topo, &router, &scenario, &demands, &cfg, &mut rng,
-    );
+    let mut flows =
+        flock::netsim::flowsim::simulate_flows(&topo, &router, &scenario, &demands, &cfg, &mut rng);
     let probes = plan_a1_probes(&topo, &router, 50, Some(8192));
-    flows.extend(flock::netsim::flowsim::run_probes(&scenario, &probes, &cfg, &mut rng));
+    flows.extend(flock::netsim::flowsim::run_probes(
+        &scenario, &probes, &cfg, &mut rng,
+    ));
 
     // Parameters as selected by the calibration harness (§5.2; run
     // `flock-exp fig2a` to regenerate them).
@@ -55,14 +51,26 @@ fn main() {
         ..Default::default()
     };
     let cells: Vec<(&str, Vec<InputKind>, Box<dyn Localizer>)> = vec![
-        ("Flock (INT)", vec![InputKind::Int], Box::new(FlockGreedy::new(flock_params))),
+        (
+            "Flock (INT)",
+            vec![InputKind::Int],
+            Box::new(FlockGreedy::new(flock_params)),
+        ),
         (
             "Flock (A1+A2+P)",
             vec![InputKind::A1, InputKind::A2, InputKind::P],
             Box::new(FlockGreedy::new(flock_params)),
         ),
-        ("Flock (A2)", vec![InputKind::A2], Box::new(FlockGreedy::new(flock_params))),
-        ("Flock (A1)", vec![InputKind::A1], Box::new(FlockGreedy::new(flock_params))),
+        (
+            "Flock (A2)",
+            vec![InputKind::A2],
+            Box::new(FlockGreedy::new(flock_params)),
+        ),
+        (
+            "Flock (A1)",
+            vec![InputKind::A1],
+            Box::new(FlockGreedy::new(flock_params)),
+        ),
         (
             "NetBouncer (INT)",
             vec![InputKind::Int],
@@ -73,7 +81,11 @@ fn main() {
             vec![InputKind::A1],
             Box::new(NetBouncer::new(5.0, 5e-3)),
         ),
-        ("007 (A2)", vec![InputKind::A2], Box::new(ZeroZeroSeven::new(2.0))),
+        (
+            "007 (A2)",
+            vec![InputKind::A2],
+            Box::new(ZeroZeroSeven::new(2.0)),
+        ),
     ];
 
     println!(

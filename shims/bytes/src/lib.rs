@@ -1,0 +1,265 @@
+//! Offline vendored subset of the `bytes` crate: [`Bytes`], [`BytesMut`],
+//! and the [`Buf`]/[`BufMut`] cursor traits, all backed by `Vec<u8>`.
+//! The wire codec only needs big-endian put/get of fixed-width integers,
+//! stream-style framing (`extend_from_slice` / `split_to`), and cheap
+//! clones of frozen buffers — no refcounted sub-slicing.
+
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+use std::slice::SliceIndex;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::new(data.to_vec()))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::new(v))
+    }
+}
+
+/// A growable byte buffer with big-endian put methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Append `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    /// Drop all content.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Remove and return the first `at` bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.0.len());
+        let rest = self.0.split_off(at);
+        BytesMut(std::mem::replace(&mut self.0, rest))
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl<I: SliceIndex<[u8]>> Index<I> for BytesMut {
+    type Output = I::Output;
+    #[inline]
+    fn index(&self, index: I) -> &I::Output {
+        &self.0[index]
+    }
+}
+
+impl<I: SliceIndex<[u8]>> IndexMut<I> for BytesMut {
+    #[inline]
+    fn index_mut(&mut self, index: I) -> &mut I::Output {
+        &mut self.0[index]
+    }
+}
+
+/// Read cursor over a byte source. All integer reads are big-endian and
+/// panic when the source is exhausted (callers check [`Buf::remaining`]).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Take the next `n` bytes.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_bytes(2).try_into().unwrap())
+    }
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+    /// Read a big-endian unsigned integer of `n` bytes (`n <= 8`).
+    fn get_uint(&mut self, n: usize) -> u64 {
+        assert!(n <= 8);
+        let mut out = 0u64;
+        for &b in self.take_bytes(n) {
+            out = (out << 8) | u64::from(b);
+        }
+        out
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        let (head, rest) = self.split_at(n);
+        *self = rest;
+        head
+    }
+}
+
+/// Write cursor: big-endian integer appends.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append the low `n` bytes of `v`, big-endian (`n <= 8`).
+    fn put_uint(&mut self, v: u64, n: usize) {
+        assert!(n <= 8);
+        self.put_slice(&v.to_be_bytes()[8 - n..]);
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32(0xdead_beef);
+        b.put_u16(7);
+        b.put_u8(9);
+        b.put_uint(0x0102_0304_0506, 6);
+        b.put_u64(u64::MAX);
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u32(), 0xdead_beef);
+        assert_eq!(cur.get_u16(), 7);
+        assert_eq!(cur.get_u8(), 9);
+        assert_eq!(cur.get_uint(6), 0x0102_0304_0506);
+        assert_eq!(cur.get_u64(), u64::MAX);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_frames() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn backpatch_via_index_mut() {
+        let mut b = BytesMut::new();
+        b.put_u32(0);
+        b[0..4].copy_from_slice(&9u32.to_be_bytes());
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.get_u32(), 9);
+    }
+}

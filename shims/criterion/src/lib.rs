@@ -1,0 +1,280 @@
+//! Offline vendored criterion-compatible benchmark harness.
+//!
+//! Implements the slice of the `criterion` API this workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`] — with a simple but honest measurement
+//! loop: warm up, then time batches until a target measurement budget is
+//! spent, and report the mean, min, and max per-iteration time (plus
+//! derived throughput when declared).
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! targets) every benchmark body runs exactly once as a smoke test, so CI
+//! exercises the bench code without paying for measurement.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs and times the routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`: (iterations, total, min, max).
+    result: Option<(u64, Duration, Duration, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.smoke_only {
+            std_black_box(routine());
+            self.result = Some((1, Duration::ZERO, Duration::ZERO, Duration::ZERO));
+            return;
+        }
+        // Warmup: one untimed call (also primes caches/allocators).
+        std_black_box(routine());
+
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let budget = self.config.measurement_time;
+        let max_iters = self.config.sample_size.max(1) as u64 * 100;
+        while total < budget && iters < max_iters {
+            let start = Instant::now();
+            std_black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iters += 1;
+        }
+        self.result = Some((iters, total, min, max));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke_only: bool,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. Any explicit filter argument is
+        // ignored (all benches run).
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            smoke_only,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    throughput: Option<Throughput>,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples (scales the iteration cap).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Declare per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut b);
+        report(&self.group_name, &id.name, self.throughput, &b);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&self.group_name, &id.name, self.throughput, &b);
+        self
+    }
+
+    /// End the group (prints nothing extra; reports are per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, name: &str, throughput: Option<Throughput>, b: &Bencher<'_>) {
+    let Some((iters, total, min, max)) = b.result else {
+        eprintln!("{group}/{name}: benchmark body never called iter()");
+        return;
+    };
+    if total.is_zero() {
+        println!("{group}/{name}: smoke-tested (1 iteration)");
+        return;
+    }
+    let mean = total / iters.max(1) as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" | {:.3} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                " | {:.1} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("{group}/{name}: mean {mean:.2?} (min {min:.2?}, max {max:.2?}, {iters} iters){rate}");
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config.clone();
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            throughput: None,
+            config,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let group_name = String::new();
+        let config = self.config.clone();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            group_name,
+            throughput: None,
+            config,
+        };
+        group.bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

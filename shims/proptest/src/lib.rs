@@ -1,0 +1,359 @@
+//! Offline vendored proptest-compatible property-testing harness.
+//!
+//! Implements the slice of the `proptest` API this workspace uses: the
+//! [`Strategy`] trait (ranges, tuples, `prop_map`), [`arbitrary::any`],
+//! [`collection::vec`], [`option::of`], the [`proptest!`] macro, and the
+//! `prop_assert*` macros. Inputs are generated from a deterministic
+//! seeded RNG — every run exercises the same cases, so failures reproduce
+//! without persistence files. No shrinking is performed: the failing
+//! case's panic message plus determinism substitute for it.
+
+pub use rand::rngs::StdRng;
+use rand::RngExt;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Runner configuration (`cases` = inputs generated per property).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Types with a canonical full-range uniform strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one uniform value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Finite, mixed-sign, wide-magnitude floats.
+            let mag: f64 = rng.random::<f64>() * 1e6;
+            if rng.random() {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A uniform strategy over the whole of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub use arbitrary::any;
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy for `Option<S::Value>` (`Some` three times in four).
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(inner)`: `None` or `Some(inner)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs, glob-import style.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespaced strategy modules, proptest-style (`prop::collection`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $p:ident in $s:expr) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident; $p:ident in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!{$rng; $($rest)*}
+    };
+    ($rng:ident; $p:ident : $t:ty) => {
+        let $p: $t = $crate::Strategy::generate(&$crate::any::<$t>(), &mut $rng);
+    };
+    ($rng:ident; $p:ident : $t:ty, $($rest:tt)*) => {
+        let $p: $t = $crate::Strategy::generate(&$crate::any::<$t>(), &mut $rng);
+        $crate::__proptest_bind!{$rng; $($rest)*}
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            // Deterministic per-property seed: derived from the name so
+            // distinct properties explore distinct streams.
+            let mut __seed: u64 = 0xf10c_a9e5_7e57_0001;
+            for b in stringify!($name).bytes() {
+                __seed = __seed.wrapping_mul(0x100_0000_01b3) ^ (b as u64);
+            }
+            let mut __rng = <$crate::StdRng as $crate::__SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_bind!{__rng; $($params)*}
+                $body
+            }
+        }
+        $crate::__proptest_fns!{$cfg; $($rest)*}
+    };
+}
+
+/// Define property tests, proptest-style: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// parameters are either `name in strategy` or `name: Type` (shorthand for
+/// `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{$cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{$crate::ProptestConfig{cases: 64}; $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..10, 1u32..10).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y: bool, z in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            let _: bool = y; // `name: Type` params desugar to any::<Type>()
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn mapped_tuple_order(p in arb_pair()) {
+            prop_assert!(p.0 < p.1);
+        }
+
+        #[test]
+        fn vec_and_option(
+            v in prop::collection::vec(any::<u16>(), 2..8),
+            o in prop::option::of(1u8..3),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            if let Some(x) = o {
+                prop_assert!((1..3).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::__SeedableRng;
+        let mut a = crate::StdRng::seed_from_u64(5);
+        let mut b = crate::StdRng::seed_from_u64(5);
+        let s = (0u64..100, 0u64..100);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for a real
+//! serialization backend, but no code path serializes today and the build
+//! environment has no registry access. This facade provides the two trait
+//! names as blanket-implemented markers plus the no-op derives from
+//! `serde_derive`, letting the annotations compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

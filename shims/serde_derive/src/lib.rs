@@ -1,0 +1,24 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` shim.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` (and
+//! `#[serde(...)]` field attributes) as forward-looking annotations; no
+//! code path performs actual serialization, so the derives only need to
+//! exist and swallow their attributes. The emitted impls reference the
+//! marker traits of the sibling `serde` shim via blanket impls there, so
+//! these derives expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and `#[serde(...)]` attributes; emit
+/// nothing (the `serde` shim provides blanket impls).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and `#[serde(...)]` attributes; emit
+/// nothing (the `serde` shim provides blanket impls).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -49,6 +49,7 @@
 //! | [`core`] | `flock-core` | the PGM, the JLE engine, greedy/Sherlock/Gibbs inference, metrics |
 //! | [`baselines`] | `flock-baselines` | 007 and NetBouncer |
 //! | [`calibrate`] | `flock-calibrate` | automated hyperparameter calibration |
+//! | [`stream`] | `flock-stream` | online epoch pipeline with warm-start inference |
 
 #![forbid(unsafe_code)]
 
@@ -56,6 +57,7 @@ pub use flock_baselines as baselines;
 pub use flock_calibrate as calibrate;
 pub use flock_core as core;
 pub use flock_netsim as netsim;
+pub use flock_stream as stream;
 pub use flock_telemetry as telemetry;
 pub use flock_topology as topology;
 
@@ -67,10 +69,13 @@ pub mod prelude {
         PrecisionRecall, SherlockFerret,
     };
     pub use flock_netsim::{
-        DesConfig, DesFaults, FailureScenario, FlowSimConfig, TrafficConfig, TrafficPattern,
+        DesConfig, DesFaults, DynamicScenario, FailureScenario, FaultEvent, FlowSimConfig,
+        TrafficConfig, TrafficPattern,
     };
+    pub use flock_stream::{EpochConfig, EpochReport, StreamConfig, StreamPipeline};
     pub use flock_telemetry::{
         AnalysisMode, Collector, FlowKey, FlowRecord, InputKind, MonitoredFlow, ObservationSet,
+        StampedRecord,
     };
     pub use flock_topology::{
         ClosParams, Component, GroundTruth, LeafSpineParams, LinkId, NodeId, Router, Topology,

@@ -1,9 +1,9 @@
 //! Integration: packet-level DES traces through inference — the testbed
 //! scenarios of §7.4/§7.5 end to end.
 
-use flock::prelude::*;
 use flock::netsim::des::{simulate_des, Flap, WredParams};
 use flock::netsim::traffic::generate_demands;
+use flock::prelude::*;
 use rand::SeedableRng;
 
 fn testbed() -> Topology {
@@ -31,7 +31,14 @@ fn wred_misconfiguration_is_localized_from_tcp_behaviour() {
         &TrafficConfig::paper(400, TrafficPattern::Uniform),
         &mut rng,
     );
-    let flows = simulate_des(&topo, &router, &DesConfig::default(), &faults, &demands, &mut rng);
+    let flows = simulate_des(
+        &topo,
+        &router,
+        &DesConfig::default(),
+        &faults,
+        &demands,
+        &mut rng,
+    );
     let obs = flock::telemetry::input::assemble(
         &topo,
         &router,
@@ -72,7 +79,7 @@ fn link_flap_is_localized_by_per_flow_analysis_only() {
     };
     let demands = generate_demands(
         &topo,
-        &TrafficConfig::paper(300, TrafficPattern::Uniform),
+        &TrafficConfig::paper(800, TrafficPattern::Uniform),
         &mut rng,
     );
     let flows = simulate_des(&topo, &router, &cfg, &faults, &demands, &mut rng);
@@ -85,7 +92,11 @@ fn link_flap_is_localized_by_per_flow_analysis_only() {
         &[InputKind::Int],
         AnalysisMode::PerPacket,
     );
-    let total_bad: u64 = per_packet.flows.iter().map(|f| f.bad * f.weight as u64).sum();
+    let total_bad: u64 = per_packet
+        .flows
+        .iter()
+        .map(|f| f.bad * f.weight as u64)
+        .sum();
 
     // Per-flow RTT analysis localizes it (§7.5).
     let per_flow = flock::telemetry::input::assemble(
@@ -103,8 +114,11 @@ fn link_flap_is_localized_by_per_flow_analysis_only() {
         "per-flow analysis must flag RTT spikes (per-packet saw {total_bad} bad)"
     );
     let result = FlockGreedy::default().localize(&topo, &per_flow);
+    // RTT evidence is cable-level: a flow whose *forward* path crosses the
+    // reverse direction of the flapped link spikes too (its ACKs are the
+    // buffered packets), so blaming either direction localizes the flap.
     let truth = GroundTruth {
-        failed_links: vec![bad],
+        failed_links: vec![bad, topo.link(bad).reverse],
         failed_devices: vec![],
     };
     let pr = evaluate(&topo, &result.predicted, &truth);

@@ -17,8 +17,7 @@ fn tcp_pipeline_localizes_failure() {
     });
     let router = Router::new(&topo);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let scenario =
-        flock::netsim::failure::silent_link_drops(&topo, 1, (0.03, 0.03), 0.0, &mut rng);
+    let scenario = flock::netsim::failure::silent_link_drops(&topo, 1, (0.03, 0.03), 0.0, &mut rng);
     let demands = flock::netsim::traffic::generate_demands(
         &topo,
         &TrafficConfig::paper(3_000, TrafficPattern::Uniform),

@@ -1,0 +1,130 @@
+//! Integration: the full online loop — agents exporting over real TCP
+//! sockets, the collector's stamped store, epoch windowing, and
+//! warm-started localization — across a dynamic failure that appears and
+//! heals mid-run.
+
+use flock::prelude::*;
+use flock::telemetry::agent::{AgentConfig, AgentCore, Exporter, FlowSample};
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const EPOCH_MS: u64 = 1_000;
+
+#[test]
+fn collector_to_stream_detects_fault_and_heal() {
+    let topo = flock::topology::clos::three_tier(ClosParams {
+        pods: 3,
+        tors_per_pod: 2,
+        aggs_per_pod: 2,
+        spines_per_plane: 2,
+        hosts_per_tor: 3,
+    });
+    let router = Router::new(&topo);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+
+    // Fault active over epochs [1, 3): one appearance, one heal.
+    let mut scenario = DynamicScenario::noise_only(&topo, 1e-4, &mut rng);
+    let faulty = topo.fabric_links()[5];
+    scenario.events.push(FaultEvent {
+        link: faulty,
+        drop_rate: 0.02,
+        appear_epoch: 1,
+        heal_epoch: Some(3),
+    });
+
+    let collector = Collector::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let mut pipeline = StreamPipeline::new(
+        &topo,
+        StreamConfig {
+            epoch: EpochConfig::tumbling(EPOCH_MS),
+            kinds: vec![InputKind::A2, InputKind::P],
+            mode: AnalysisMode::PerPacket,
+            warm_start: true,
+            shard_by_pod: false,
+            ..StreamConfig::paper_default()
+        },
+    );
+
+    let mut reports: Vec<EpochReport> = Vec::new();
+    for epoch in 0..4u64 {
+        let snapshot = scenario.scenario_at(epoch);
+        let demands = flock::netsim::traffic::generate_demands(
+            &topo,
+            &TrafficConfig::paper(3_000, TrafficPattern::Uniform),
+            &mut rng,
+        );
+        let flows = flock::netsim::flowsim::simulate_flows(
+            &topo,
+            &router,
+            &snapshot,
+            &demands,
+            &FlowSimConfig::default(),
+            &mut rng,
+        );
+
+        let mut per_host: HashMap<NodeId, Vec<&MonitoredFlow>> = HashMap::new();
+        for f in &flows {
+            per_host.entry(f.key.src).or_default().push(f);
+        }
+        for (host, host_flows) in &per_host {
+            let mut agent = AgentCore::new(AgentConfig {
+                agent_id: host.0,
+                ..Default::default()
+            });
+            for f in host_flows {
+                agent.observe(FlowSample {
+                    key: f.key,
+                    packets: f.stats.packets,
+                    retransmissions: f.stats.retransmissions,
+                    bytes: f.stats.bytes,
+                    rtt_us: Some(f.stats.rtt_max_us),
+                    path: (f.stats.retransmissions > 0).then(|| f.true_path.clone()),
+                    class: flock::telemetry::TrafficClass::Passive,
+                });
+            }
+            let records = agent.export();
+            let msgs = agent.encode_export(epoch * EPOCH_MS + EPOCH_MS / 2, &records);
+            let mut exporter = Exporter::connect(collector.local_addr()).unwrap();
+            for m in &msgs {
+                exporter.send(m).unwrap();
+            }
+            exporter.finish().unwrap();
+        }
+
+        let expected = flows.len();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while collector.pending() < expected && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(collector.pending(), expected, "records lost in transit");
+        pipeline.ingest(collector.drain_stamped());
+        reports.extend(pipeline.poll((epoch + 1) * EPOCH_MS));
+    }
+    reports.extend(pipeline.drain());
+    assert_eq!(pipeline.late_records(), 0);
+    assert_eq!(reports.len(), 4, "one report per epoch");
+
+    for report in &reports {
+        let active = scenario.active_at(report.epoch_index);
+        let blamed = report.result.predicted_links();
+        if active.is_empty() {
+            assert!(
+                blamed.is_empty(),
+                "epoch {}: healed/clean network must clear the verdict, blamed {:?}",
+                report.epoch_index,
+                report.result.predicted
+            );
+        } else {
+            assert_eq!(
+                blamed, active,
+                "epoch {}: active fault must be blamed exactly",
+                report.epoch_index
+            );
+        }
+    }
+    // The heal is detected: the faulty link vanishes from later verdicts.
+    assert!(reports[1].result.predicted_links().contains(&faulty));
+    assert!(reports[2].result.predicted_links().contains(&faulty));
+    assert!(!reports[3].result.predicted_links().contains(&faulty));
+    collector.shutdown();
+}
