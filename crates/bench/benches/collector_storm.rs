@@ -1,0 +1,234 @@
+//! Connection storm: the sharded event-driven reactor vs a
+//! thread-per-connection baseline, ingesting the same payload from 256
+//! concurrent agent connections.
+//!
+//! The reactor serves every connection on a small fixed number of
+//! threads (4 shards + 1 acceptor here); the baseline — the collector's
+//! pre-reactor architecture — spawns one reader thread per connection,
+//! funnels every record through a single global mutex, and re-buckets
+//! nothing. Throughput is records landed per second; the reactor should
+//! win while holding its thread count flat.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flock_telemetry::wire::StreamDecoder;
+use flock_telemetry::{
+    AgentConfig, AgentCore, Collector, CollectorConfig, FlowKey, FlowSample, StampedRecord,
+    TrafficClass,
+};
+use flock_topology::NodeId;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONNS: usize = 256;
+const RECORDS_PER_CONN: usize = 64;
+const REACTOR_SHARDS: usize = 4;
+
+/// One encoded wire payload per connection (v2 frames, epoch-stamped).
+fn storm_payloads() -> Vec<Vec<u8>> {
+    (0..CONNS as u32)
+        .map(|conn| {
+            let mut agent = AgentCore::new(AgentConfig {
+                agent_id: conn,
+                epoch_hint_ms: Some(1_000),
+                ..Default::default()
+            });
+            for i in 0..RECORDS_PER_CONN as u32 {
+                agent.observe(FlowSample {
+                    key: FlowKey::tcp(
+                        NodeId(conn * 1000 + i),
+                        NodeId(9999),
+                        (i % 60_000) as u16,
+                        80,
+                    ),
+                    packets: 10,
+                    retransmissions: 0,
+                    bytes: 15_000,
+                    rtt_us: Some(150),
+                    path: None,
+                    class: TrafficClass::Passive,
+                });
+            }
+            let recs = agent.export();
+            let mut wire = Vec::new();
+            for m in agent.encode_export(500, &recs) {
+                wire.extend_from_slice(&m);
+            }
+            wire
+        })
+        .collect()
+}
+
+/// Open all connections first (so they are concurrently registered),
+/// then write each payload and hang up.
+fn blast(addr: SocketAddr, payloads: &[Vec<u8>]) {
+    let mut socks: Vec<TcpStream> = payloads
+        .iter()
+        .map(|_| {
+            // The listener's backlog can lag a sequential connect storm;
+            // retry briefly instead of failing the bench.
+            let mut tries = 0;
+            loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) if tries < 50 => {
+                        tries += 1;
+                        std::thread::sleep(Duration::from_millis(2));
+                        let _ = e;
+                    }
+                    Err(e) => panic!("connect failed after retries: {e}"),
+                }
+            }
+        })
+        .collect();
+    for (s, p) in socks.iter_mut().zip(payloads) {
+        s.write_all(p).unwrap();
+    }
+    drop(socks);
+}
+
+/// The pre-reactor collector: one blocking reader thread per accepted
+/// connection, all appending to one global `Mutex<Vec<_>>`.
+struct ThreadPerConnCollector {
+    addr: SocketAddr,
+    store: Arc<Mutex<Vec<StampedRecord>>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPerConnCollector {
+    fn bind(addr: SocketAddr) -> Self {
+        let listener = TcpListener::bind(addr).unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let local = listener.local_addr().unwrap();
+        let store: Arc<Mutex<Vec<StampedRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut readers = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let store = Arc::clone(&store);
+                                readers
+                                    .push(std::thread::spawn(move || reader_loop(stream, store)));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(_) => return,
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            })
+        };
+        ThreadPerConnCollector {
+            addr: local,
+            store,
+            stop,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, store: Arc<Mutex<Vec<StampedRecord>>>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut decoder = StreamDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                decoder.feed(&buf[..n]);
+                loop {
+                    match decoder.next_message() {
+                        Ok(Some(msg)) => {
+                            let (agent_id, export_ms) = (msg.agent_id, msg.export_time_ms);
+                            store.lock().extend(msg.records.into_iter().map(|record| {
+                                StampedRecord {
+                                    agent_id,
+                                    export_ms,
+                                    record,
+                                }
+                            }));
+                        }
+                        Ok(None) => break,
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let payloads = storm_payloads();
+    let total = CONNS * RECORDS_PER_CONN;
+    let ephemeral: SocketAddr = "127.0.0.1:0".parse().unwrap();
+
+    let mut group = c.benchmark_group("collector_storm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+
+    group.bench_function("reactor_4_shards_256_conns", |b| {
+        b.iter(|| {
+            let collector = Collector::bind_with(
+                ephemeral,
+                CollectorConfig {
+                    shards: REACTOR_SHARDS,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            blast(collector.local_addr(), &payloads);
+            while collector.pending() < total {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let batch = collector.drain_buckets();
+            assert_eq!(batch.buckets.len(), 1, "v2 input lands pre-bucketed");
+            collector.shutdown();
+        });
+    });
+
+    group.bench_function("thread_per_conn_256_conns", |b| {
+        b.iter(|| {
+            let collector = ThreadPerConnCollector::bind(ephemeral);
+            blast(collector.addr, &payloads);
+            while collector.pending() < total {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            collector.shutdown();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

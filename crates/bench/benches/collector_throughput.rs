@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
                 }
             }
             // Wait for all records to land.
-            while collector.stats().snapshot().2 < 100 * 100 {
+            while collector.stats().snapshot().records < 100 * 100 {
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             collector.shutdown();

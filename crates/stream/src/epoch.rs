@@ -151,6 +151,41 @@ impl EpochManager {
         }
     }
 
+    /// Fast path for wire-v2 pre-bucketed input: a whole bucket of
+    /// records that agents stamped with `epoch_seq` is appended with one
+    /// window lookup instead of one per record.
+    ///
+    /// The lossless-partition property is preserved by validation, not
+    /// trust: the hint is honored only when the configuration is
+    /// tumbling with windows matching the stamp cadence (`export_ms /
+    /// epoch_ms == epoch_seq` for every record, a branch-predictable
+    /// scan). A bucket that fails validation — cadence drift, sliding
+    /// windows, a misbehaving agent — falls back to the per-record
+    /// [`push`](Self::push) path, so the partition is always identical
+    /// to what unhinted input would produce.
+    pub fn extend_bucket(&mut self, epoch_seq: u64, mut records: Vec<StampedRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let epoch_ms = self.config.epoch_ms;
+        let hint_ok = self.config.slide_ms.is_none()
+            && records.iter().all(|r| r.export_ms / epoch_ms == epoch_seq);
+        if !hint_ok {
+            self.extend(records);
+            return;
+        }
+        if epoch_seq < self.closed_below {
+            self.late_records += records.len() as u64;
+            return;
+        }
+        let slot = self.open.entry(epoch_seq).or_default();
+        if slot.is_empty() {
+            *slot = records;
+        } else {
+            slot.append(&mut records);
+        }
+    }
+
     /// Close and return every window that ends at or before
     /// `watermark_ms`, in index order. Only windows that received at
     /// least one record are emitted.
@@ -273,6 +308,52 @@ mod tests {
         assert_eq!(m.late_records(), 0);
         m.push(rec(60)); // window 0 is long closed
         assert_eq!(m.late_records(), 1);
+        assert_eq!(m.open_windows(), 0);
+    }
+
+    #[test]
+    fn extend_bucket_fast_path_appends_wholesale() {
+        let mut m = EpochManager::new(EpochConfig::tumbling(100));
+        m.extend_bucket(2, vec![rec(210), rec(250), rec(299)]);
+        m.extend_bucket(2, vec![rec(220)]);
+        assert_eq!(m.open_windows(), 1);
+        let closed = m.close_ready(300);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].index, 2);
+        assert_eq!(closed[0].records.len(), 4);
+    }
+
+    #[test]
+    fn extend_bucket_mis_stamped_falls_back_to_per_record_path() {
+        let mut m = EpochManager::new(EpochConfig::tumbling(100));
+        // Bucket claims epoch 1 but one record belongs to epoch 3.
+        m.extend_bucket(1, vec![rec(150), rec(350)]);
+        let closed = m.close_ready(400);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].index, 1);
+        assert_eq!(closed[0].records[0].export_ms, 150);
+        assert_eq!(closed[1].index, 3);
+        assert_eq!(closed[1].records[0].export_ms, 350);
+    }
+
+    #[test]
+    fn extend_bucket_sliding_config_ignores_hint() {
+        let mut m = EpochManager::new(EpochConfig::sliding(100, 50));
+        m.extend_bucket(2, vec![rec(120)]);
+        // Sliding: the record must be duplicated into both covering
+        // windows, which only the slow path does.
+        let all = m.flush();
+        let total: usize = all.iter().map(|e| e.records.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn extend_bucket_late_bucket_is_counted() {
+        let mut m = EpochManager::new(EpochConfig::tumbling(100));
+        m.push(rec(250));
+        let _ = m.close_ready(300);
+        m.extend_bucket(0, vec![rec(10), rec(20)]);
+        assert_eq!(m.late_records(), 2);
         assert_eq!(m.open_windows(), 0);
     }
 

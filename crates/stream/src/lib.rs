@@ -10,7 +10,8 @@
 //!
 //! * [`epoch`] — windows the collector's stamped record stream into
 //!   fixed (tumbling) or sliding epochs against a caller-driven
-//!   watermark;
+//!   watermark, with an O(buckets) fast path for wire-v2 input the
+//!   collector reactor already grouped by agent-stamped epoch;
 //! * [`shard`] — partitions blame ownership over the component space
 //!   (per pod + spine) so per-epoch inference can run shard-parallel on
 //!   a thread pool;

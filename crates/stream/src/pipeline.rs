@@ -4,7 +4,10 @@
 //! deployment loop between collector and operator:
 //!
 //! 1. drained [`StampedRecord`]s are windowed by an
-//!    [`EpochManager`](crate::epoch::EpochManager);
+//!    [`EpochManager`](crate::epoch::EpochManager) — wire-v2 input
+//!    arrives pre-bucketed by the collector reactor and is handed over
+//!    bucket-at-a-time ([`StreamPipeline::ingest_bucketed`]), skipping
+//!    per-record window assignment;
 //! 2. each closed epoch's records are reconstructed into
 //!    [`MonitoredFlow`]s and assembled into an [`ObservationSet`] against
 //!    a *persistent* [`Assembler`] arena (append-only interning);
@@ -21,7 +24,8 @@ use crate::epoch::{Epoch, EpochConfig, EpochManager};
 use crate::shard::{SetTouchIndex, Shard, ShardPlan};
 use flock_core::{CompIdx, Engine, FlockGreedy, HyperParams, LocalizationResult};
 use flock_telemetry::{
-    AnalysisMode, Assembler, FlowRecord, InputKind, MonitoredFlow, ObservationSet, StampedRecord,
+    AnalysisMode, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow, ObservationSet,
+    StampedRecord,
 };
 use flock_topology::{Component, Router, Topology};
 use std::collections::HashMap;
@@ -176,6 +180,18 @@ impl<'t> StreamPipeline<'t> {
         self.manager.extend(recs);
     }
 
+    /// Feed a pre-bucketed drain batch
+    /// ([`Collector::drain_buckets`](flock_telemetry::Collector::drain_buckets))
+    /// into the windowing layer. Buckets of wire-v2 records take the
+    /// O(buckets) fast path ([`EpochManager::extend_bucket`]); v1
+    /// records are assigned per record as with [`ingest`](Self::ingest).
+    pub fn ingest_bucketed(&mut self, batch: DrainBatch) {
+        for (seq, bucket) in batch.buckets {
+            self.manager.extend_bucket(seq, bucket);
+        }
+        self.manager.extend(batch.unhinted);
+    }
+
     /// Close every window ending at or before `watermark_ms` and localize
     /// each, in order.
     pub fn poll(&mut self, watermark_ms: u64) -> Vec<EpochReport> {
@@ -259,7 +275,7 @@ impl<'t> StreamPipeline<'t> {
             shard_outcomes.push(outcome);
         }
         let mut predicted: Vec<(Component, f64)> = merged.into_iter().collect();
-        predicted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        predicted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
         let observations = obs.flows.len();
         self.assembler.recycle(obs);

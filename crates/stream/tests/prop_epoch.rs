@@ -83,6 +83,63 @@ proptest! {
         }
     }
 
+    /// The wire-v2 fast path partitions records identically to the v1
+    /// per-record sort path: feeding pre-bucketed input through
+    /// `extend_bucket` — including deliberately mis-stamped buckets,
+    /// which must fall back — closes exactly the same epochs with
+    /// exactly the same record sets as pushing records one at a time.
+    #[test]
+    fn bucketed_drain_partitions_identically_to_v1_path(
+        epoch_ms in 1u64..500,
+        stamps in prop::collection::vec(0u64..5_000, 1..200),
+        skew in prop::collection::vec(any::<bool>(), 8..9),
+    ) {
+        let records: Vec<StampedRecord> =
+            stamps.iter().enumerate().map(|(i, &ts)| rec(i as u32, ts)).collect();
+
+        // v1 path: per-record assignment in stream order.
+        let mut v1 = EpochManager::new(EpochConfig::tumbling(epoch_ms));
+        for r in &records {
+            v1.push(r.clone());
+        }
+
+        // v2 path: group by the agent-stamped epoch (as the collector
+        // reactor does), then hand over bucket-at-a-time. Every 8th
+        // bucket key is optionally skewed to simulate a mis-stamping
+        // agent — those must take the fallback path, not corrupt the
+        // partition.
+        let mut buckets: HashMap<u64, Vec<StampedRecord>> = HashMap::new();
+        for r in &records {
+            buckets.entry(r.export_ms / epoch_ms).or_default().push(r.clone());
+        }
+        let mut v2 = EpochManager::new(EpochConfig::tumbling(epoch_ms));
+        let mut keys: Vec<u64> = buckets.keys().copied().collect();
+        keys.sort_unstable();
+        for (i, key) in keys.into_iter().enumerate() {
+            let bucket = buckets.remove(&key).unwrap();
+            let claimed = if skew[i % skew.len()] { key + 1 } else { key };
+            v2.extend_bucket(claimed, bucket);
+        }
+
+        let close = |mgr: &mut EpochManager| {
+            let mut out: Vec<(u64, Vec<u32>)> = mgr
+                .flush()
+                .into_iter()
+                .map(|ep| {
+                    let mut ids: Vec<u32> =
+                        ep.records.iter().map(|r| r.agent_id).collect();
+                    ids.sort_unstable();
+                    (ep.index, ids)
+                })
+                .collect();
+            out.sort_by_key(|(idx, _)| *idx);
+            out
+        };
+        prop_assert_eq!(close(&mut v1), close(&mut v2));
+        prop_assert_eq!(v1.late_records(), 0);
+        prop_assert_eq!(v2.late_records(), 0);
+    }
+
     /// Sliding epochs duplicate each record into exactly the windows
     /// whose span covers its stamp (len/stride of them, fewer only at the
     /// stream-start boundary).

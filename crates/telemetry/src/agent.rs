@@ -9,7 +9,7 @@
 //! records. [`Exporter`] ships records to a collector over TCP.
 
 use crate::flow::{FlowKey, FlowRecord, FlowStats, TrafficClass};
-use crate::wire::encode_message;
+use crate::wire::{self, encode_message, encode_message_v2};
 use flock_topology::LinkId;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -28,6 +28,16 @@ pub struct AgentConfig {
     pub sample_rate: f64,
     /// Maximum records per export message; larger exports are chunked.
     pub max_records_per_message: usize,
+    /// Wire protocol version to emit (1 or 2). v2 frames additionally
+    /// carry the epoch hint when [`AgentConfig::epoch_hint_ms`] is set;
+    /// without a hint the agent falls back to v1 frames, so the default
+    /// config is wire-compatible with a v1 collector.
+    pub wire_version: u16,
+    /// Collector-agreed tumbling epoch length in milliseconds. When set
+    /// (and `wire_version >= 2`), every export message is stamped with
+    /// `epoch_seq = export_time_ms / epoch_hint_ms`, letting the
+    /// collector pre-bucket records by epoch as it decodes.
+    pub epoch_hint_ms: Option<u64>,
 }
 
 impl Default for AgentConfig {
@@ -36,6 +46,8 @@ impl Default for AgentConfig {
             agent_id: 0,
             sample_rate: 1.0,
             max_records_per_message: 4096,
+            wire_version: wire::VERSION,
+            epoch_hint_ms: None,
         }
     }
 }
@@ -81,6 +93,15 @@ impl AgentCore {
     /// Create an agent core.
     pub fn new(cfg: AgentConfig) -> Self {
         assert!((0.0..=1.0).contains(&cfg.sample_rate));
+        assert!(
+            cfg.wire_version == wire::VERSION_V1 || cfg.wire_version == wire::VERSION,
+            "unsupported wire version {}",
+            cfg.wire_version
+        );
+        assert!(
+            cfg.epoch_hint_ms != Some(0),
+            "epoch hint length must be positive"
+        );
         AgentCore {
             cfg,
             table: HashMap::new(),
@@ -167,20 +188,25 @@ impl AgentCore {
     }
 
     /// Encode `records` into wire messages (chunked), advancing the
-    /// sequence counter.
+    /// sequence counter. Emits v2 frames stamped with the epoch index
+    /// when the config carries an epoch hint, v1 frames otherwise.
     pub fn encode_export(
         &mut self,
         export_time_ms: u64,
         records: &[FlowRecord],
     ) -> Vec<bytes::Bytes> {
+        let epoch_seq = match self.cfg.epoch_hint_ms {
+            Some(ms) if self.cfg.wire_version >= wire::VERSION => Some(export_time_ms / ms),
+            _ => None,
+        };
         let mut msgs = Vec::new();
         for chunk in records.chunks(self.cfg.max_records_per_message.max(1)) {
-            msgs.push(encode_message(
-                self.cfg.agent_id,
-                export_time_ms,
-                self.sequence,
-                chunk,
-            ));
+            msgs.push(match epoch_seq {
+                Some(seq) => {
+                    encode_message_v2(self.cfg.agent_id, export_time_ms, self.sequence, seq, chunk)
+                }
+                None => encode_message(self.cfg.agent_id, export_time_ms, self.sequence, chunk),
+            });
             self.sequence += 1;
         }
         msgs
@@ -320,6 +346,38 @@ mod tests {
         let m2 = crate::wire::decode_message(&msgs[2]).unwrap();
         assert_eq!(m0.sequence, 0);
         assert_eq!(m2.sequence, 2);
+    }
+
+    #[test]
+    fn epoch_hint_stamps_v2_frames() {
+        let mut agent = AgentCore::new(AgentConfig {
+            epoch_hint_ms: Some(1_000),
+            max_records_per_message: 2,
+            ..Default::default()
+        });
+        for i in 0..5u32 {
+            agent.observe(sample(i, 1000, 0));
+        }
+        let recs = agent.export();
+        let msgs = agent.encode_export(3_500, &recs);
+        assert_eq!(msgs.len(), 3);
+        for m in &msgs {
+            let decoded = crate::wire::decode_message(m).unwrap();
+            assert_eq!(decoded.epoch_seq, Some(3), "3500ms / 1000ms = epoch 3");
+        }
+        // Forcing v1 drops the hint even when configured.
+        let mut v1 = AgentCore::new(AgentConfig {
+            epoch_hint_ms: Some(1_000),
+            wire_version: crate::wire::VERSION_V1,
+            ..Default::default()
+        });
+        v1.observe(sample(1, 1000, 0));
+        let recs = v1.export();
+        let msgs = v1.encode_export(3_500, &recs);
+        assert_eq!(
+            crate::wire::decode_message(&msgs[0]).unwrap().epoch_seq,
+            None
+        );
     }
 
     #[test]

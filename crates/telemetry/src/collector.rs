@@ -1,18 +1,39 @@
-//! The central telemetry collector (§5.1, Fig. 7).
+//! The central telemetry collector (§5.1, Fig. 7) — a sharded,
+//! event-driven reactor.
 //!
-//! A TCP listener accepts connections from many agents; each connection is
-//! served by a reader thread that frames and decodes export messages and
-//! appends the records to a shared store. The inference engine drains the
-//! store periodically (every 30 s in the paper). Throughput counters allow
-//! the Fig. 7 scalability experiment (connections/sec × records/conn) to
-//! be reproduced against the real socket path.
+//! A TCP listener accepts connections from many agents and registers
+//! each with one of a small, fixed number of reactor shards
+//! (round-robin). Each shard thread owns its connections outright — the
+//! per-connection [`StreamDecoder`] state machine and a shard-local
+//! record store — and multiplexes them with nonblocking reads in a
+//! readiness loop, so thousands of agent connections are served by a
+//! handful of threads and no global mutex sits on the decode hot path
+//! (the shard store's lock is only ever contended by the periodic
+//! drain).
+//!
+//! Records decoded from v2 frames arrive pre-bucketed: the shard bins
+//! them by the agent-stamped `epoch_seq` as it decodes, so
+//! [`Collector::drain_buckets`] is an O(connections + buckets) handoff
+//! and the stream layer can skip per-record window re-assignment. v1
+//! frames (no hint) land in an `unhinted` side-buffer and take the
+//! classic re-bucketing path — both versions coexist on one socket.
+//!
+//! The pending-record store is bounded: past
+//! [`CollectorConfig::high_water`] records, newly decoded messages are
+//! shed (counted in `dropped_records`) instead of growing without bound
+//! when the consumer stalls. Throughput counters allow the Fig. 7
+//! scalability experiment (connections/sec × records/conn) to be
+//! reproduced against the real socket path; see the `collector_storm`
+//! bench for the reactor vs thread-per-connection comparison.
 
 use crate::flow::FlowRecord;
-use crate::wire::StreamDecoder;
+use crate::wire::{ExportMessage, StreamDecoder};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -21,7 +42,8 @@ use std::time::Duration;
 /// pipeline windows on: which agent sent it and the agent's export
 /// timestamp (milliseconds, agent-chosen epoch). The offline path
 /// ([`Collector::drain`]) discards the stamp; the streaming path
-/// ([`Collector::drain_stamped`]) preserves it for epoch assignment.
+/// ([`Collector::drain_stamped`] / [`Collector::drain_buckets`])
+/// preserves it for epoch assignment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StampedRecord {
     /// Agent that exported the record.
@@ -32,72 +54,203 @@ pub struct StampedRecord {
     pub record: FlowRecord,
 }
 
-/// Monotonic counters describing collector activity.
+/// Reactor sizing and back-pressure knobs.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Number of reactor shard threads multiplexing connections.
+    pub shards: usize,
+    /// High-water mark on buffered records: messages decoded while the
+    /// store holds at least this many pending records are shed and
+    /// counted in [`CollectorStats::dropped_records`].
+    pub high_water: usize,
+    /// How long an idle shard sleeps between readiness passes.
+    pub idle_sleep: Duration,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        // More reactor threads than cores just adds scheduling pressure
+        // (and on one core can starve the accept loop outright).
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(4);
+        CollectorConfig {
+            shards,
+            high_water: 1 << 22,
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Monotonic counters and gauges describing collector activity.
 #[derive(Debug, Default)]
 pub struct CollectorStats {
-    /// Connections accepted.
+    /// Connections accepted (monotonic).
     pub connections: AtomicU64,
+    /// Connections currently registered with a reactor shard (gauge).
+    pub active_connections: AtomicU64,
+    /// Connections closed — agent hangup, IO error, or decode error
+    /// (monotonic).
+    pub closed_connections: AtomicU64,
     /// Messages decoded.
     pub messages: AtomicU64,
-    /// Flow records received.
+    /// Flow records received (before high-water shedding).
     pub records: AtomicU64,
     /// Bytes read off sockets.
     pub bytes: AtomicU64,
     /// Connections dropped due to decode errors.
     pub decode_errors: AtomicU64,
+    /// Records shed because the store was at its high-water mark.
+    pub dropped_records: AtomicU64,
+}
+
+/// A point-in-time copy of [`CollectorStats`] as plain integers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted (monotonic).
+    pub connections: u64,
+    /// Connections currently registered (gauge).
+    pub active_connections: u64,
+    /// Connections closed (monotonic).
+    pub closed_connections: u64,
+    /// Messages decoded.
+    pub messages: u64,
+    /// Flow records received.
+    pub records: u64,
+    /// Bytes read off sockets.
+    pub bytes: u64,
+    /// Connections dropped due to decode errors.
+    pub decode_errors: u64,
+    /// Records shed at the high-water mark.
+    pub dropped_records: u64,
 }
 
 impl CollectorStats {
-    /// Snapshot the counters as plain integers
-    /// `(connections, messages, records, bytes, decode_errors)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.connections.load(Ordering::Relaxed),
-            self.messages.load(Ordering::Relaxed),
-            self.records.load(Ordering::Relaxed),
-            self.bytes.load(Ordering::Relaxed),
-            self.decode_errors.load(Ordering::Relaxed),
-        )
+    /// Snapshot every counter and gauge.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            closed_connections: self.closed_connections.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            dropped_records: self.dropped_records.load(Ordering::Relaxed),
+        }
     }
 }
 
+/// Records drained from the collector with the reactor's per-epoch
+/// pre-bucketing preserved.
+#[derive(Debug, Default)]
+pub struct DrainBatch {
+    /// v2 records grouped by their agent-stamped `epoch_seq`, in
+    /// ascending epoch order.
+    pub buckets: Vec<(u64, Vec<StampedRecord>)>,
+    /// v1 records (no epoch hint on the wire); the stream layer assigns
+    /// these per record as before.
+    pub unhinted: Vec<StampedRecord>,
+}
+
+impl DrainBatch {
+    /// Total records in the batch.
+    pub fn len(&self) -> usize {
+        self.unhinted.len() + self.buckets.iter().map(|(_, b)| b.len()).sum::<usize>()
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.unhinted.is_empty() && self.buckets.iter().all(|(_, b)| b.is_empty())
+    }
+
+    /// Flatten into a plain stamped-record list (bucketing discarded).
+    pub fn into_stamped(self) -> Vec<StampedRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for (_, bucket) in self.buckets {
+            out.extend(bucket);
+        }
+        out.extend(self.unhinted);
+        out
+    }
+}
+
+/// One reactor shard's record store. Shared only between the shard
+/// thread (producer) and the periodic drain (consumer).
+#[derive(Debug, Default)]
+struct ShardStore {
+    buckets: BTreeMap<u64, Vec<StampedRecord>>,
+    unhinted: Vec<StampedRecord>,
+}
+
 /// A running collector. Dropping it (or calling [`Collector::shutdown`])
-/// stops the accept loop and joins the reader threads.
+/// stops the accept loop and joins the reactor threads.
 pub struct Collector {
     addr: SocketAddr,
-    store: Arc<Mutex<Vec<StampedRecord>>>,
+    stores: Vec<Arc<Mutex<ShardStore>>>,
+    pending: Arc<AtomicUsize>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
 }
 
 impl Collector {
-    /// Bind a collector to `addr` (use port 0 for an ephemeral port) and
-    /// start accepting agent connections.
+    /// Bind a collector to `addr` (use port 0 for an ephemeral port) with
+    /// the default reactor configuration.
     pub fn bind(addr: SocketAddr) -> std::io::Result<Collector> {
+        Self::bind_with(addr, CollectorConfig::default())
+    }
+
+    /// Bind a collector with explicit reactor sizing.
+    pub fn bind_with(addr: SocketAddr, config: CollectorConfig) -> std::io::Result<Collector> {
+        assert!(config.shards >= 1, "reactor needs at least one shard");
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let store: Arc<Mutex<Vec<StampedRecord>>> = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(CollectorStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let pending = Arc::new(AtomicUsize::new(0));
+
+        let mut stores = Vec::with_capacity(config.shards);
+        let mut shard_threads = Vec::with_capacity(config.shards);
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let (tx, rx) = mpsc::channel();
+            let store: Arc<Mutex<ShardStore>> = Arc::new(Mutex::new(ShardStore::default()));
+            let thread = {
+                let store = Arc::clone(&store);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let pending = Arc::clone(&pending);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("flock-reactor-{i}"))
+                    .spawn(move || shard_loop(rx, store, stats, stop, pending, cfg))
+                    .expect("spawn collector reactor shard")
+            };
+            stores.push(store);
+            shard_threads.push(thread);
+            senders.push(tx);
+        }
 
         let accept_thread = {
-            let store = Arc::clone(&store);
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("flock-collector-accept".into())
-                .spawn(move || accept_loop(listener, store, stats, stop))
+                .spawn(move || accept_loop(listener, senders, stats, stop))
                 .expect("spawn collector accept thread")
         };
 
         Ok(Collector {
             addr: local,
-            store,
+            stores,
+            pending,
             stats,
             stop,
             accept_thread: Some(accept_thread),
+            shard_threads,
         })
     }
 
@@ -106,20 +259,67 @@ impl Collector {
         self.addr
     }
 
+    /// Number of reactor shard threads serving connections.
+    pub fn reactor_shards(&self) -> usize {
+        self.stores.len()
+    }
+
     /// Drain all records received so far, discarding export stamps.
     pub fn drain(&self) -> Vec<FlowRecord> {
         self.drain_stamped().into_iter().map(|s| s.record).collect()
     }
 
-    /// Drain all records received so far with their agent/export stamps —
-    /// the entry point of the epoch-windowing stream layer.
+    /// Drain all records received so far with their agent/export stamps,
+    /// flattened into one list (epoch pre-bucketing discarded).
     pub fn drain_stamped(&self) -> Vec<StampedRecord> {
-        std::mem::take(&mut *self.store.lock())
+        self.drain_buckets().into_stamped()
     }
 
-    /// Number of records currently buffered.
+    /// Drain all records received so far, preserving the reactor's
+    /// per-epoch pre-bucketing of v2 input — the entry point of the
+    /// epoch-windowing stream layer's fast path.
+    pub fn drain_buckets(&self) -> DrainBatch {
+        let mut merged: BTreeMap<u64, Vec<StampedRecord>> = BTreeMap::new();
+        let mut unhinted = Vec::new();
+        for store in &self.stores {
+            // The pending counter is adjusted while the shard lock is
+            // held (on both the producer and consumer side): releasing
+            // the freed capacity only after all stores were taken would
+            // leave shards seeing a phantom-full store and shedding
+            // messages right after a drain.
+            let taken = {
+                let mut guard = store.lock();
+                let taken = std::mem::take(&mut *guard);
+                let count =
+                    taken.unhinted.len() + taken.buckets.values().map(Vec::len).sum::<usize>();
+                self.pending.fetch_sub(count, Ordering::Relaxed);
+                taken
+            };
+            for (seq, mut bucket) in taken.buckets {
+                match merged.entry(seq) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(bucket);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        o.get_mut().append(&mut bucket);
+                    }
+                }
+            }
+            if unhinted.is_empty() {
+                unhinted = taken.unhinted;
+            } else {
+                unhinted.extend(taken.unhinted);
+            }
+        }
+        DrainBatch {
+            buckets: merged.into_iter().collect(),
+            unhinted,
+        }
+    }
+
+    /// Number of records currently buffered across all shards.
     pub fn pending(&self) -> usize {
-        self.store.lock().len()
+        self.pending.load(Ordering::Relaxed)
     }
 
     /// Activity counters.
@@ -137,6 +337,9 @@ impl Collector {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        for h in self.shard_threads.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -148,12 +351,12 @@ impl Drop for Collector {
 
 fn accept_loop(
     listener: TcpListener,
-    store: Arc<Mutex<Vec<StampedRecord>>>,
+    senders: Vec<Sender<TcpStream>>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
 ) {
-    let mut readers: Vec<JoinHandle<()>> = Vec::new();
-    'accepting: while !stop.load(Ordering::SeqCst) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::SeqCst) {
         // Drain every pending connection before sleeping: under a
         // connection storm (Fig. 7's 8K connections/sec) a
         // one-accept-per-poll loop becomes the bottleneck.
@@ -161,80 +364,182 @@ fn accept_loop(
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     stats.connections.fetch_add(1, Ordering::Relaxed);
-                    let store = Arc::clone(&store);
-                    let stats = Arc::clone(&stats);
-                    let stop = Arc::clone(&stop);
-                    readers.push(
-                        std::thread::Builder::new()
-                            .name("flock-collector-conn".into())
-                            .spawn(move || reader_loop(stream, store, stats, stop))
-                            .expect("spawn collector reader thread"),
-                    );
+                    stats.active_connections.fetch_add(1, Ordering::Relaxed);
+                    if stream.set_nonblocking(true).is_err()
+                        || senders[next % senders.len()].send(stream).is_err()
+                    {
+                        // fcntl failure or shard gone (shutdown): the
+                        // connection dies here — account for it so the
+                        // gauges stay truthful.
+                        stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        stats.closed_connections.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    next += 1;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(_) => break 'accepting,
+                Err(_) => return,
             }
         }
         std::thread::sleep(Duration::from_micros(200));
-        // Reap finished readers opportunistically to bound the vec.
-        readers.retain(|h| !h.is_finished());
-    }
-    for h in readers {
-        let _ = h.join();
     }
 }
 
-fn reader_loop(
-    mut stream: TcpStream,
-    store: Arc<Mutex<Vec<StampedRecord>>>,
+/// One registered connection: its socket plus framing state.
+struct Conn {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+}
+
+enum Pump {
+    /// Connection stays registered; `true` if any bytes were read.
+    Open(bool),
+    /// Connection is done (hangup, IO error, or decode error).
+    Closed,
+}
+
+fn shard_loop(
+    rx: Receiver<TcpStream>,
+    store: Arc<Mutex<ShardStore>>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
+    pending: Arc<AtomicUsize>,
+    cfg: CollectorConfig,
 ) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut decoder = StreamDecoder::new();
-    let mut buf = [0u8; 64 * 1024];
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return;
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    while !stop.load(Ordering::SeqCst) {
+        // Register connections handed over by the accept loop.
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => conns.push(Conn {
+                    stream,
+                    decoder: StreamDecoder::new(),
+                }),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if conns.is_empty() {
+                        return;
+                    }
+                    break;
+                }
+            }
         }
-        match stream.read(&mut buf) {
-            Ok(0) => return, // agent closed
+
+        // One readiness pass over every registered connection.
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match pump(&mut conns[i], &mut buf, &store, &stats, &pending, &cfg) {
+                Pump::Open(read_any) => {
+                    progress |= read_any;
+                    i += 1;
+                }
+                Pump::Closed => {
+                    stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+                    stats.closed_connections.fetch_add(1, Ordering::Relaxed);
+                    conns.swap_remove(i);
+                }
+            }
+        }
+        if !progress {
+            std::thread::sleep(cfg.idle_sleep);
+        } else {
+            // A busy shard must not monopolize a core: on small machines
+            // an un-yielding readiness loop starves the accept thread,
+            // the listener backlog fills, and connecting agents eat SYN
+            // retransmit timeouts.
+            std::thread::yield_now();
+        }
+    }
+    // Stop requested: the sockets still registered here are dropped as
+    // the thread exits — move them through the gauges so a post-shutdown
+    // snapshot doesn't report phantom live connections.
+    stats
+        .active_connections
+        .fetch_sub(conns.len() as u64, Ordering::Relaxed);
+    stats
+        .closed_connections
+        .fetch_add(conns.len() as u64, Ordering::Relaxed);
+}
+
+/// Read whatever one connection has ready (bounded per pass so a chatty
+/// agent cannot starve its shard-mates), decode complete frames, and bin
+/// the records into the shard store.
+fn pump(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    store: &Mutex<ShardStore>,
+    stats: &CollectorStats,
+    pending: &AtomicUsize,
+    cfg: &CollectorConfig,
+) -> Pump {
+    let mut read_any = false;
+    for _ in 0..4 {
+        match conn.stream.read(buf) {
+            Ok(0) => return Pump::Closed, // agent closed
             Ok(n) => {
+                read_any = true;
                 stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
-                decoder.feed(&buf[..n]);
+                conn.decoder.feed(&buf[..n]);
                 loop {
-                    match decoder.next_message() {
-                        Ok(Some(msg)) => {
-                            stats.messages.fetch_add(1, Ordering::Relaxed);
-                            stats
-                                .records
-                                .fetch_add(msg.records.len() as u64, Ordering::Relaxed);
-                            let (agent_id, export_ms) = (msg.agent_id, msg.export_time_ms);
-                            store.lock().extend(msg.records.into_iter().map(|record| {
-                                StampedRecord {
-                                    agent_id,
-                                    export_ms,
-                                    record,
-                                }
-                            }));
-                        }
+                    match conn.decoder.next_message() {
+                        Ok(Some(msg)) => store_message(msg, store, stats, pending, cfg),
                         Ok(None) => break,
                         Err(_) => {
                             stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                            return; // drop poisoned connection
+                            return Pump::Closed; // drop poisoned connection
                         }
                     }
                 }
+                if n < buf.len() {
+                    return Pump::Open(true); // socket likely drained
+                }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(_) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Pump::Closed,
         }
     }
+    Pump::Open(read_any)
+}
+
+fn store_message(
+    msg: ExportMessage,
+    store: &Mutex<ShardStore>,
+    stats: &CollectorStats,
+    pending: &AtomicUsize,
+    cfg: &CollectorConfig,
+) {
+    stats.messages.fetch_add(1, Ordering::Relaxed);
+    let n = msg.records.len();
+    if n == 0 {
+        return;
+    }
+    stats.records.fetch_add(n as u64, Ordering::Relaxed);
+    let (agent_id, export_ms) = (msg.agent_id, msg.export_time_ms);
+    let stamped = msg.records.into_iter().map(|record| StampedRecord {
+        agent_id,
+        export_ms,
+        record,
+    });
+    let mut s = store.lock();
+    // Back-pressure: shed whole messages once the store is at its
+    // high-water mark instead of growing without bound while the
+    // consumer stalls. Checked under the shard lock so the count is
+    // exact per shard (cross-shard overshoot is bounded by one message
+    // per shard). The counter is incremented only after the insert,
+    // still under the lock: consumers polling `pending()` use it as an
+    // all-records-visible barrier before draining.
+    if pending.load(Ordering::Relaxed) + n > cfg.high_water {
+        stats.dropped_records.fetch_add(n as u64, Ordering::Relaxed);
+        return;
+    }
+    match msg.epoch_seq {
+        Some(seq) => s.buckets.entry(seq).or_default().extend(stamped),
+        None => s.unhinted.extend(stamped),
+    }
+    pending.fetch_add(n, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -259,6 +564,18 @@ mod tests {
 
     fn ephemeral() -> SocketAddr {
         "127.0.0.1:0".parse().unwrap()
+    }
+
+    fn passive_sample(src: u32, port: u16) -> FlowSample {
+        FlowSample {
+            key: FlowKey::tcp(NodeId(src), NodeId(9999), port, 80),
+            packets: 10,
+            retransmissions: 0,
+            bytes: 1_000,
+            rtt_us: None,
+            path: None,
+            class: TrafficClass::Passive,
+        }
     }
 
     #[test]
@@ -291,11 +608,12 @@ mod tests {
         let got = collector.drain();
         assert_eq!(got.len(), 10);
         assert_eq!(collector.pending(), 0);
-        let (conns, _msgs, recs, bytes, errs) = collector.stats().snapshot();
-        assert_eq!(conns, 1);
-        assert_eq!(recs, 10);
-        assert!(bytes > 0);
-        assert_eq!(errs, 0);
+        let snap = collector.stats().snapshot();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.records, 10);
+        assert!(snap.bytes > 0);
+        assert_eq!(snap.decode_errors, 0);
+        assert_eq!(snap.dropped_records, 0);
     }
 
     #[test]
@@ -373,8 +691,7 @@ mod tests {
         }
         let expected = (n_agents * per_agent) as usize;
         assert!(wait_for(|| collector.pending() == expected, 3000));
-        let (conns, ..) = collector.stats().snapshot();
-        assert_eq!(conns, n_agents as u64);
+        assert_eq!(collector.stats().snapshot().connections, n_agents as u64);
     }
 
     #[test]
@@ -412,5 +729,258 @@ mod tests {
         collector.shutdown();
         // Port should eventually be reusable / connections refused.
         // (We only assert shutdown() returned, i.e. threads joined.)
+    }
+
+    #[test]
+    fn v2_records_arrive_pre_bucketed() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let mut agent = AgentCore::new(AgentConfig {
+            agent_id: 3,
+            epoch_hint_ms: Some(1_000),
+            ..Default::default()
+        });
+        let mut exporter = Exporter::connect(collector.local_addr()).unwrap();
+        // Two exports landing in epochs 1 and 4.
+        for (export_ms, base) in [(1_500u64, 0u32), (4_250, 100)] {
+            for i in 0..5u32 {
+                agent.observe(passive_sample(base + i, 4000 + i as u16));
+            }
+            let records = agent.export();
+            for m in &agent.encode_export(export_ms, &records) {
+                exporter.send(m).unwrap();
+            }
+        }
+        exporter.finish().unwrap();
+
+        assert!(wait_for(|| collector.pending() == 10, 2000));
+        let batch = collector.drain_buckets();
+        assert!(batch.unhinted.is_empty(), "all frames were v2");
+        let seqs: Vec<u64> = batch.buckets.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 4]);
+        for (seq, bucket) in &batch.buckets {
+            assert_eq!(bucket.len(), 5);
+            for r in bucket {
+                assert_eq!(r.export_ms / 1_000, *seq);
+            }
+        }
+        assert_eq!(collector.pending(), 0);
+    }
+
+    #[test]
+    fn v1_and_v2_agents_coexist() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let addr = collector.local_addr();
+
+        let mut v1 = AgentCore::new(AgentConfig {
+            agent_id: 1,
+            ..Default::default() // no epoch hint → v1 frames
+        });
+        v1.observe(passive_sample(1, 1000));
+        let recs = v1.export();
+        let msgs = v1.encode_export(2_500, &recs);
+        let mut e1 = Exporter::connect(addr).unwrap();
+        for m in &msgs {
+            e1.send(m).unwrap();
+        }
+        e1.finish().unwrap();
+
+        let mut v2 = AgentCore::new(AgentConfig {
+            agent_id: 2,
+            epoch_hint_ms: Some(1_000),
+            ..Default::default()
+        });
+        v2.observe(passive_sample(2, 1000));
+        v2.observe(passive_sample(3, 1001));
+        let recs = v2.export();
+        let msgs = v2.encode_export(2_500, &recs);
+        let mut e2 = Exporter::connect(addr).unwrap();
+        for m in &msgs {
+            e2.send(m).unwrap();
+        }
+        e2.finish().unwrap();
+
+        assert!(wait_for(|| collector.pending() == 3, 2000));
+        let batch = collector.drain_buckets();
+        assert_eq!(batch.unhinted.len(), 1, "the v1 agent's record");
+        assert_eq!(batch.unhinted[0].agent_id, 1);
+        assert_eq!(batch.buckets.len(), 1);
+        assert_eq!(batch.buckets[0].0, 2);
+        assert_eq!(batch.buckets[0].1.len(), 2);
+    }
+
+    #[test]
+    fn slow_writer_one_byte_at_a_time() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let mut agent = AgentCore::new(AgentConfig {
+            agent_id: 9,
+            epoch_hint_ms: Some(1_000),
+            ..Default::default()
+        });
+        for i in 0..3u32 {
+            agent.observe(passive_sample(i, 5000 + i as u16));
+        }
+        let records = agent.export();
+        let mut wire = Vec::new();
+        for m in agent.encode_export(1_200, &records) {
+            wire.extend_from_slice(&m);
+        }
+        // A second message right behind the first, so a frame boundary
+        // sits mid-stream.
+        agent.observe(passive_sample(50, 6000));
+        let records = agent.export();
+        for m in agent.encode_export(1_300, &records) {
+            wire.extend_from_slice(&m);
+        }
+
+        let mut s = TcpStream::connect(collector.local_addr()).unwrap();
+        s.set_nodelay(true).unwrap();
+        for (i, b) in wire.iter().enumerate() {
+            s.write_all(std::slice::from_ref(b)).unwrap();
+            if i % 16 == 0 {
+                // Force fragment delivery so the reactor sees partial
+                // frames, not one coalesced buffer.
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        }
+        drop(s);
+
+        assert!(wait_for(|| collector.pending() == 4, 3000));
+        let batch = collector.drain_buckets();
+        assert_eq!(batch.buckets.len(), 1, "both messages hint epoch 1");
+        assert_eq!(batch.buckets[0].0, 1);
+        assert_eq!(batch.buckets[0].1.len(), 4);
+        assert_eq!(collector.stats().snapshot().decode_errors, 0);
+    }
+
+    #[test]
+    fn reconnect_mid_epoch_merges_buckets_and_moves_gauges() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let addr = collector.local_addr();
+        let mk_agent = |id| {
+            AgentCore::new(AgentConfig {
+                agent_id: id,
+                epoch_hint_ms: Some(1_000),
+                ..Default::default()
+            })
+        };
+
+        // First connection: half the epoch's records, then hang up.
+        let mut agent = mk_agent(5);
+        for i in 0..4u32 {
+            agent.observe(passive_sample(i, 7000 + i as u16));
+        }
+        let recs = agent.export();
+        let msgs = agent.encode_export(3_400, &recs);
+        let mut e = Exporter::connect(addr).unwrap();
+        for m in &msgs {
+            e.send(m).unwrap();
+        }
+        e.finish().unwrap();
+        assert!(wait_for(|| collector.pending() == 4, 2000));
+        assert!(wait_for(
+            || collector.stats().snapshot().closed_connections == 1,
+            2000
+        ));
+
+        // Reconnect (fresh TCP stream, same agent) mid-epoch.
+        let mut agent = mk_agent(5);
+        for i in 4..7u32 {
+            agent.observe(passive_sample(i, 7000 + i as u16));
+        }
+        let recs = agent.export();
+        let msgs = agent.encode_export(3_900, &recs);
+        let mut e = Exporter::connect(addr).unwrap();
+        for m in &msgs {
+            e.send(m).unwrap();
+        }
+        e.finish().unwrap();
+
+        assert!(wait_for(|| collector.pending() == 7, 2000));
+        assert!(wait_for(
+            || collector.stats().snapshot().closed_connections == 2,
+            2000
+        ));
+        let snap = collector.stats().snapshot();
+        assert_eq!(snap.connections, 2);
+        assert_eq!(snap.active_connections, 0);
+
+        // Both connections' records merged into the one epoch-3 bucket.
+        let batch = collector.drain_buckets();
+        assert_eq!(batch.buckets.len(), 1);
+        assert_eq!(batch.buckets[0].0, 3);
+        assert_eq!(batch.buckets[0].1.len(), 7);
+    }
+
+    #[test]
+    fn high_water_mark_sheds_records() {
+        let collector = Collector::bind_with(
+            ephemeral(),
+            CollectorConfig {
+                shards: 1,
+                high_water: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut agent = AgentCore::new(AgentConfig {
+            agent_id: 1,
+            max_records_per_message: 5,
+            ..Default::default()
+        });
+        for i in 0..50u32 {
+            agent.observe(passive_sample(i, (8000 + i) as u16));
+        }
+        let recs = agent.export();
+        let msgs = agent.encode_export(0, &recs);
+        assert_eq!(msgs.len(), 10, "50 records at 5/message");
+        let mut e = Exporter::connect(collector.local_addr()).unwrap();
+        for m in &msgs {
+            e.send(m).unwrap();
+        }
+        e.finish().unwrap();
+
+        assert!(wait_for(
+            || collector.stats().snapshot().records == 50,
+            3000
+        ));
+        let snap = collector.stats().snapshot();
+        assert_eq!(snap.dropped_records, 40, "store capped at 2 messages");
+        assert_eq!(collector.pending(), 10);
+        // Draining reopens the store for new messages.
+        assert_eq!(collector.drain_stamped().len(), 10);
+        assert_eq!(collector.pending(), 0);
+    }
+
+    #[test]
+    fn reactor_thread_count_is_fixed() {
+        let collector = Collector::bind_with(
+            ephemeral(),
+            CollectorConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(collector.reactor_shards(), 2);
+        let addr = collector.local_addr();
+        // Many more connections than shards, all served.
+        let mut socks = Vec::new();
+        for i in 0..32u32 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&encode_message(i, 0, 0, &[])).unwrap();
+            socks.push(s);
+        }
+        assert!(wait_for(
+            || collector.stats().snapshot().messages == 32,
+            3000
+        ));
+        assert_eq!(collector.stats().snapshot().active_connections, 32);
+        drop(socks);
+        assert!(wait_for(
+            || collector.stats().snapshot().active_connections == 0,
+            3000
+        ));
+        assert_eq!(collector.stats().snapshot().closed_connections, 32);
+        collector.shutdown();
     }
 }

@@ -5,15 +5,21 @@
 //!
 //! * [`flow`] — flow keys, per-flow statistics, and the monitored-flow
 //!   record shared by the simulators and the live agent path.
-//! * [`wire`] — the IPFIX-style export format: 32-byte message header plus
+//! * [`wire`] — the IPFIX-style export format: fixed message header plus
 //!   52-byte fixed flow-stats records (matching the paper's "52 bytes per
 //!   flow"), with an optional variable-length path attachment for flows
-//!   whose exact route is known (active probes / INT).
+//!   whose exact route is known (active probes / INT). Two negotiated
+//!   header versions: v1 (32 B) and v2 (40 B, adding the agent-stamped
+//!   `epoch_seq` hint).
 //! * [`agent`] — the end-host agent: aggregates packet/flow samples by flow
-//!   key, optionally downsamples, and periodically exports records.
-//! * [`collector`] — a multi-threaded TCP collector that decodes export
-//!   messages from many agents into a central store, with throughput
-//!   counters (reproduces the Fig. 7 scalability measurements).
+//!   key, optionally downsamples, and periodically exports records,
+//!   stamping each export with its epoch index when configured with the
+//!   collector-agreed cadence.
+//! * [`collector`] — a sharded, event-driven TCP reactor that multiplexes
+//!   many agent connections over a few threads, decodes export messages
+//!   into shard-local stores pre-bucketed by epoch, and sheds load at a
+//!   configurable high-water mark (reproduces the Fig. 7 scalability
+//!   measurements).
 //! * [`probes`] — active-probe planning: A1 host↔spine bounce probes with
 //!   pinned paths (NetBouncer-style) and path-tracing for flagged flows
 //!   (007-style A2).
@@ -33,7 +39,9 @@ pub mod probes;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentCore, FlowSample};
-pub use collector::{Collector, CollectorStats, StampedRecord};
+pub use collector::{
+    Collector, CollectorConfig, CollectorStats, DrainBatch, StampedRecord, StatsSnapshot,
+};
 pub use flow::{FlowKey, FlowRecord, FlowStats, MonitoredFlow, TrafficClass};
 pub use input::{
     AnalysisMode, Assembler, FlowObs, InputKind, ObservationSet, PathArena, PathId, PathSetId,

@@ -1,19 +1,29 @@
 //! The IPFIX-style export wire format.
 //!
-//! An export *message* carries a fixed 32-byte header followed by a run of
-//! flow records. Each record is a fixed 52-byte stats block — matching the
+//! An export *message* carries a fixed header followed by a run of flow
+//! records. Each record is a fixed 52-byte stats block — matching the
 //! paper's "52 bytes per flow" (§5.1) — optionally followed by a
 //! variable-length path attachment when the exporter knows the flow's
 //! exact route (probes, INT, A2 traceroutes).
 //!
+//! Two header versions are in the field. v1 is the original 32-byte
+//! header; v2 appends an agent-stamped `epoch_seq:u64` — the index of
+//! the collector-agreed tumbling epoch the export belongs to — which
+//! lets the collector pre-bucket records by epoch as it decodes and the
+//! stream layer skip per-record window re-assignment on drain.
+//! Negotiation is per-message and passive: each frame declares its
+//! version, a v2 decoder accepts both, so v1 agents keep working against
+//! a v2 collector unchanged.
+//!
 //! ```text
-//! message  := header record*
-//! header   := magic:u32 version:u16 record_count:u16 msg_len:u32
-//!             agent_id:u32 export_time_ms:u64 sequence:u64        (32 B)
-//! record   := src:u32 dst:u32 sport:u16 dport:u16 proto:u8 flags:u8
-//!             packets:u48 retrans:u48 bytes:u64 rtt_sum_us:u64
-//!             rtt_count:u32 rtt_max_us:u32 reserved:u16           (52 B)
-//! path     := len:u16 link:u32{len}        (present iff flags & HAS_PATH)
+//! message   := header record*
+//! header_v1 := magic:u32 version:u16 record_count:u16 msg_len:u32
+//!              agent_id:u32 export_time_ms:u64 sequence:u64       (32 B)
+//! header_v2 := header_v1 epoch_seq:u64                            (40 B)
+//! record    := src:u32 dst:u32 sport:u16 dport:u16 proto:u8 flags:u8
+//!              packets:u48 retrans:u48 bytes:u64 rtt_sum_us:u64
+//!              rtt_count:u32 rtt_max_us:u32 reserved:u16          (52 B)
+//! path      := len:u16 link:u32{len}       (present iff flags & HAS_PATH)
 //! ```
 //!
 //! All integers are big-endian. `msg_len` is the total encoded size of the
@@ -27,12 +37,26 @@ use std::fmt;
 
 /// Message magic: `"FLK1"`.
 pub const MAGIC: u32 = 0x464c_4b31;
-/// Wire protocol version.
-pub const VERSION: u16 = 1;
-/// Size of the message header in bytes.
+/// The original wire protocol version (no epoch hint).
+pub const VERSION_V1: u16 = 1;
+/// Current wire protocol version: v2, with the `epoch_seq` header field.
+pub const VERSION: u16 = 2;
+/// Size of the v1 message header in bytes.
 pub const HEADER_LEN: usize = 32;
+/// Size of the v2 message header in bytes (v1 plus `epoch_seq:u64`).
+pub const HEADER_LEN_V2: usize = 40;
 /// Size of the fixed flow-stats record in bytes.
 pub const RECORD_LEN: usize = 52;
+
+/// Header size for a given protocol version (panics on unknown versions;
+/// decoders reject those before asking).
+pub fn header_len(version: u16) -> usize {
+    match version {
+        VERSION_V1 => HEADER_LEN,
+        VERSION => HEADER_LEN_V2,
+        v => panic!("unknown wire version {v}"),
+    }
+}
 
 /// Record flag: a path attachment follows the fixed record.
 pub const FLAG_HAS_PATH: u8 = 0b0000_0001;
@@ -90,31 +114,67 @@ pub struct ExportMessage {
     pub export_time_ms: u64,
     /// Per-agent message sequence number.
     pub sequence: u64,
+    /// Agent-stamped epoch index (v2 frames only; `None` for v1).
+    pub epoch_seq: Option<u64>,
     /// The flow records.
     pub records: Vec<FlowRecord>,
 }
 
-/// Encode an export message. Panics if more than `u16::MAX` records are
-/// passed (the agent's exporter chunks before calling this).
+/// Encode a v1 export message (no epoch hint). Panics if more than
+/// `u16::MAX` records are passed (the agent's exporter chunks before
+/// calling this).
 pub fn encode_message(
     agent_id: u32,
     export_time_ms: u64,
     sequence: u64,
     records: &[FlowRecord],
 ) -> Bytes {
+    encode_message_impl(agent_id, export_time_ms, sequence, None, records)
+}
+
+/// Encode a v2 export message carrying the agent-stamped epoch index.
+pub fn encode_message_v2(
+    agent_id: u32,
+    export_time_ms: u64,
+    sequence: u64,
+    epoch_seq: u64,
+    records: &[FlowRecord],
+) -> Bytes {
+    encode_message_impl(agent_id, export_time_ms, sequence, Some(epoch_seq), records)
+}
+
+fn encode_message_impl(
+    agent_id: u32,
+    export_time_ms: u64,
+    sequence: u64,
+    epoch_seq: Option<u64>,
+    records: &[FlowRecord],
+) -> Bytes {
     assert!(
         records.len() <= MAX_RECORDS,
         "too many records in one message"
     );
-    let mut body = BytesMut::with_capacity(HEADER_LEN + records.len() * (RECORD_LEN + 8));
+    let header = if epoch_seq.is_some() {
+        HEADER_LEN_V2
+    } else {
+        HEADER_LEN
+    };
+    let mut body = BytesMut::with_capacity(header + records.len() * (RECORD_LEN + 8));
     body.put_u32(MAGIC);
-    body.put_u16(VERSION);
+    body.put_u16(if epoch_seq.is_some() {
+        VERSION
+    } else {
+        VERSION_V1
+    });
     body.put_u16(records.len() as u16);
     body.put_u32(0); // msg_len backpatched below
     body.put_u32(agent_id);
     body.put_u64(export_time_ms);
     body.put_u64(sequence);
-    debug_assert_eq!(body.len(), HEADER_LEN);
+    if let Some(seq) = epoch_seq {
+        body.put_u64(seq);
+    }
+    debug_assert_eq!(body.len(), header);
 
     for rec in records {
         encode_record(&mut body, rec);
@@ -171,7 +231,7 @@ pub fn decode_message(mut buf: &[u8]) -> Result<ExportMessage, WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = buf.get_u16();
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION {
         return Err(WireError::BadVersion(version));
     }
     let record_count = buf.get_u16() as usize;
@@ -179,6 +239,14 @@ pub fn decode_message(mut buf: &[u8]) -> Result<ExportMessage, WireError> {
     let agent_id = buf.get_u32();
     let export_time_ms = buf.get_u64();
     let sequence = buf.get_u64();
+    let epoch_seq = if version == VERSION {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        Some(buf.get_u64())
+    } else {
+        None
+    };
 
     let mut records = Vec::with_capacity(record_count);
     for _ in 0..record_count {
@@ -250,6 +318,7 @@ pub fn decode_message(mut buf: &[u8]) -> Result<ExportMessage, WireError> {
         agent_id,
         export_time_ms,
         sequence,
+        epoch_seq,
         records,
     })
 }
@@ -286,12 +355,17 @@ impl StreamDecoder {
             self.buf.clear();
             return Err(WireError::BadMagic(magic));
         }
+        let version = u16::from_be_bytes(self.buf[4..6].try_into().unwrap());
+        if version != VERSION_V1 && version != VERSION {
+            self.buf.clear();
+            return Err(WireError::BadVersion(version));
+        }
         let msg_len = u32::from_be_bytes(self.buf[8..12].try_into().unwrap()) as usize;
-        if msg_len < HEADER_LEN {
+        if msg_len < header_len(version) {
             self.buf.clear();
             return Err(WireError::LengthMismatch {
                 declared: msg_len as u32,
-                consumed: HEADER_LEN as u32,
+                consumed: header_len(version) as u32,
             });
         }
         if self.buf.len() < msg_len {
@@ -363,7 +437,61 @@ mod tests {
         assert_eq!(msg.agent_id, 42);
         assert_eq!(msg.export_time_ms, 1111);
         assert_eq!(msg.sequence, 5);
+        assert_eq!(msg.epoch_seq, None, "v1 frames carry no epoch hint");
         assert_eq!(msg.records, recs);
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_epoch_seq() {
+        let recs = sample_records();
+        let bytes = encode_message_v2(42, 61_500, 5, 2, &recs);
+        let msg = decode_message(&bytes).unwrap();
+        assert_eq!(msg.agent_id, 42);
+        assert_eq!(msg.export_time_ms, 61_500);
+        assert_eq!(msg.sequence, 5);
+        assert_eq!(msg.epoch_seq, Some(2));
+        assert_eq!(msg.records, recs);
+    }
+
+    #[test]
+    fn v2_header_is_exactly_40_bytes() {
+        let bytes = encode_message_v2(0, 0, 0, 7, &[]);
+        assert_eq!(bytes.len(), HEADER_LEN_V2);
+        assert_eq!(u16::from_be_bytes(bytes[4..6].try_into().unwrap()), VERSION);
+    }
+
+    #[test]
+    fn stream_decoder_handles_mixed_versions() {
+        let recs = sample_records();
+        let mut all = Vec::new();
+        all.extend_from_slice(&encode_message(1, 10, 0, &recs));
+        all.extend_from_slice(&encode_message_v2(1, 1_500, 1, 1, &recs[..1]));
+        all.extend_from_slice(&encode_message(1, 20, 2, &recs));
+
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for chunk in all.chunks(11) {
+            dec.feed(chunk);
+            while let Some(msg) = dec.next_message().unwrap() {
+                out.push(msg);
+            }
+        }
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].epoch_seq, None);
+        assert_eq!(out[1].epoch_seq, Some(1));
+        assert_eq!(out[1].records.len(), 1);
+        assert_eq!(out[2].epoch_seq, None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_rejects_unknown_version_early() {
+        let mut dec = StreamDecoder::new();
+        let mut hdr = encode_message(1, 0, 0, &[]).to_vec();
+        hdr[4..6].copy_from_slice(&9u16.to_be_bytes());
+        dec.feed(&hdr);
+        assert!(matches!(dec.next_message(), Err(WireError::BadVersion(9))));
+        assert_eq!(dec.buffered(), 0, "poisoned buffer must be dropped");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests of the wire codec: arbitrary record batches
 //! round-trip exactly, under any stream chunking.
 
-use flock_telemetry::wire::{decode_message, encode_message, StreamDecoder};
+use flock_telemetry::wire::{decode_message, encode_message, encode_message_v2, StreamDecoder};
 use flock_telemetry::{FlowKey, FlowRecord, FlowStats, TrafficClass};
 use flock_topology::{LinkId, NodeId};
 use proptest::prelude::*;
@@ -76,14 +76,39 @@ proptest! {
     }
 
     #[test]
+    fn v2_roundtrip_any_batch(
+        records in prop::collection::vec(arb_record(), 0..20),
+        agent_id: u32,
+        time: u64,
+        seq: u64,
+        epoch_seq: u64,
+    ) {
+        let bytes = encode_message_v2(agent_id, time, seq, epoch_seq, &records);
+        let msg = decode_message(&bytes).unwrap();
+        prop_assert_eq!(msg.agent_id, agent_id);
+        prop_assert_eq!(msg.export_time_ms, time);
+        prop_assert_eq!(msg.sequence, seq);
+        prop_assert_eq!(msg.epoch_seq, Some(epoch_seq));
+        prop_assert_eq!(msg.records, records);
+    }
+
+    #[test]
     fn stream_decoder_reassembles_any_chunking(
         records in prop::collection::vec(arb_record(), 1..8),
         chunk in 1usize..64,
         n_messages in 1usize..4,
+        versions in prop::collection::vec(any::<bool>(), 1..4),
     ) {
+        // Interleave v1 and v2 frames on one stream: the decoder must
+        // negotiate per message.
         let mut all = Vec::new();
         for i in 0..n_messages {
-            all.extend_from_slice(&encode_message(7, i as u64, i as u64, &records));
+            let v2 = versions[i % versions.len()];
+            if v2 {
+                all.extend_from_slice(&encode_message_v2(7, i as u64, i as u64, i as u64 + 9, &records));
+            } else {
+                all.extend_from_slice(&encode_message(7, i as u64, i as u64, &records));
+            }
         }
         let mut dec = StreamDecoder::new();
         let mut seen = 0usize;
@@ -92,6 +117,8 @@ proptest! {
             while let Some(msg) = dec.next_message().unwrap() {
                 prop_assert_eq!(&msg.records, &records);
                 prop_assert_eq!(msg.export_time_ms, seen as u64);
+                let expect_v2 = versions[seen % versions.len()];
+                prop_assert_eq!(msg.epoch_seq, expect_v2.then(|| seen as u64 + 9));
                 seen += 1;
             }
         }
@@ -103,8 +130,13 @@ proptest! {
     fn truncation_never_panics(
         records in prop::collection::vec(arb_record(), 1..6),
         cut_fraction in 0.0f64..1.0,
+        v2: bool,
     ) {
-        let bytes = encode_message(1, 2, 3, &records);
+        let bytes = if v2 {
+            encode_message_v2(1, 2, 3, 4, &records)
+        } else {
+            encode_message(1, 2, 3, &records)
+        };
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         // Any prefix must decode to Ok or a clean error — never panic.
         let _ = decode_message(&bytes[..cut]);

@@ -85,14 +85,14 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
     let records = collector.drain();
-    let (conns, msgs, _recs, bytes, errs) = collector.stats().snapshot();
+    let snap = collector.stats().snapshot();
     println!(
         "collected {} records ({} connections, {} messages, {} bytes, {} errors)",
         records.len(),
-        conns,
-        msgs,
-        bytes,
-        errs
+        snap.connections,
+        snap.messages,
+        snap.bytes,
+        snap.decode_errors
     );
 
     // Reconstruct monitored flows from the wire records (paths are known

@@ -1,9 +1,10 @@
 //! `flock-daemon` — the continuously-running localization service of
 //! §5.1, end to end: per-host agents export 52-byte IPFIX-style records
-//! over real TCP sockets to the collector; the stream layer windows the
-//! drained records into epochs and localizes each one with warm-started,
-//! pod-sharded inference, emitting a `LocalizationResult` time-series
-//! while a fault appears, persists, and heals.
+//! (wire v2, epoch-stamped) over real TCP sockets to the sharded
+//! reactor collector; the stream layer takes the pre-bucketed drain
+//! into epochs and localizes each one with warm-started, pod-sharded
+//! inference, emitting a `LocalizationResult` time-series while a fault
+//! appears, persists, and heals.
 //!
 //! ```text
 //! cargo run --release --example flock_daemon
@@ -47,7 +48,11 @@ fn main() {
     );
 
     let collector = Collector::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-    println!("collector listening on {}", collector.local_addr());
+    println!(
+        "collector listening on {} ({} reactor shards)",
+        collector.local_addr(),
+        collector.reactor_shards()
+    );
 
     let mut pipeline = StreamPipeline::new(
         &topo,
@@ -97,8 +102,11 @@ fn main() {
         }
         let export_ms = epoch * EPOCH_MS + EPOCH_MS / 2;
         for (host, host_flows) in &per_host {
+            // Wire v2: exports are stamped with the collector-agreed
+            // epoch so records arrive pre-bucketed.
             let mut agent = AgentCore::new(AgentConfig {
                 agent_id: host.0,
+                epoch_hint_ms: Some(EPOCH_MS),
                 ..Default::default()
             });
             for f in host_flows {
@@ -129,14 +137,15 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         assert_eq!(collector.pending(), expected, "collector lost records");
-        pipeline.ingest(collector.drain_stamped());
+        pipeline.ingest_bucketed(collector.drain_buckets());
         for report in pipeline.poll((epoch + 1) * EPOCH_MS) {
-            print_report(&topo, &scenario, &report);
+            print_report(&topo, &scenario, &report, &collector.stats().snapshot());
             reports.push(report);
         }
     }
+    let final_snap = collector.stats().snapshot();
     for report in pipeline.drain() {
-        print_report(&topo, &scenario, &report);
+        print_report(&topo, &scenario, &report, &final_snap);
         reports.push(report);
     }
 
@@ -151,27 +160,41 @@ fn main() {
         let pr = flock::core::evaluate(&topo, &report.result.predicted, &truth);
         if !truth.is_empty() {
             assert_eq!(
-                pr.recall, 1.0,
-                "epoch {}: active fault missed (blamed {:?})",
-                report.epoch_index, report.result.predicted
+                (pr.precision, pr.recall),
+                (1.0, 1.0),
+                "epoch {}: active fault must be blamed exactly (blamed {:?}, truth {:?})",
+                report.epoch_index,
+                report.result.predicted,
+                truth.failed_links
             );
         }
     }
-    let (_, _, recs, bytes, errs) = collector.stats().snapshot();
+    let snap = collector.stats().snapshot();
     println!(
-        "\ndaemon done: {} epochs, {recs} records / {bytes} bytes collected, {errs} decode errors",
-        reports.len()
+        "\ndaemon done: {} epochs, {} records / {} bytes over {} connections \
+         ({} decode errors, {} dropped)",
+        reports.len(),
+        snap.records,
+        snap.bytes,
+        snap.connections,
+        snap.decode_errors,
+        snap.dropped_records
     );
     collector.shutdown();
 }
 
-fn print_report(topo: &Topology, scenario: &DynamicScenario, report: &EpochReport) {
+fn print_report(
+    topo: &Topology,
+    scenario: &DynamicScenario,
+    report: &EpochReport,
+    snap: &flock::telemetry::StatsSnapshot,
+) {
     let truth = scenario.scenario_at(report.epoch_index).truth;
     let pr = flock::core::evaluate(topo, &report.result.predicted, &truth);
     let warm = report.shards.iter().filter(|s| s.warm).count();
     println!(
         "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | blamed {:?} \
-         | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | {:?}",
+         | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | conns {} up / {} closed | {:?}",
         report.epoch_index,
         report.start_ms,
         report.end_ms,
@@ -183,6 +206,8 @@ fn print_report(topo: &Topology, scenario: &DynamicScenario, report: &EpochRepor
         pr.recall,
         warm,
         report.shards.len(),
+        snap.active_connections,
+        snap.closed_connections,
         report.result.runtime,
     );
 }

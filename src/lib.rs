@@ -74,8 +74,8 @@ pub mod prelude {
     };
     pub use flock_stream::{EpochConfig, EpochReport, StreamConfig, StreamPipeline};
     pub use flock_telemetry::{
-        AnalysisMode, Collector, FlowKey, FlowRecord, InputKind, MonitoredFlow, ObservationSet,
-        StampedRecord,
+        AnalysisMode, Collector, CollectorConfig, DrainBatch, FlowKey, FlowRecord, InputKind,
+        MonitoredFlow, ObservationSet, StampedRecord, StatsSnapshot,
     };
     pub use flock_topology::{
         ClosParams, Component, GroundTruth, LeafSpineParams, LinkId, NodeId, Router, Topology,

@@ -70,7 +70,11 @@ fn tcp_pipeline_localizes_failure() {
     }
     let records = collector.drain();
     assert_eq!(records.len(), n_flows, "all records must arrive");
-    assert_eq!(collector.stats().snapshot().4, 0, "no decode errors");
+    assert_eq!(
+        collector.stats().snapshot().decode_errors,
+        0,
+        "no decode errors"
+    );
 
     let monitored: Vec<MonitoredFlow> = records
         .into_iter()
