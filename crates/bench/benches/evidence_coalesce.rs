@@ -1,0 +1,108 @@
+//! Evidence coalescing on a spine-heavy workload: identical inference,
+//! measured with super-flow coalescing on vs off.
+//!
+//! The fixture sends *inter-pod only* traffic with quantized RPC-style
+//! flow sizes under one persistent agg–spine gray failure, so (a) the
+//! spine shard of a pod-sharded pipeline sees every flow of the epoch —
+//! the raw-evidence bottleneck called out in the ROADMAP — and (b) the
+//! `(path set, sent, bad)` evidence key repeats heavily across host
+//! pairs. Coalescing collapses those repeats into weighted super-flows
+//! exactly (the likelihood is linear in the aggregation weight), so the
+//! two configurations produce the same verdicts and differ only in time.
+//!
+//! Measured layers:
+//! * `sharded_epoch_{coalesced,raw}` — the full pod-sharded warm
+//!   pipeline per epoch (assembly + all shard engines + merge);
+//! * `spine_engine_{coalesced,raw}` — the spine shard's engine alone
+//!   (rebind + warm search on identical spine-filtered observations),
+//!   isolating the shard the coalescing targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_bench::{arena_warmed_obs, spine_heavy_epochs, spine_shard};
+use flock_core::{Engine, EngineOptions, FlockGreedy, HyperParams};
+use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
+use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
+
+fn bench(c: &mut Criterion) {
+    let fixture = spine_heavy_epochs(512, 16_000, 4, 11);
+    let topo = &fixture.topo;
+    let kinds = [InputKind::A2, InputKind::P];
+
+    let mut group = c.benchmark_group("evidence_coalesce");
+    group.sample_size(10);
+
+    // ---- End-to-end pod-sharded pipeline, coalesced vs raw. ----
+    for (name, coalesce) in [
+        ("sharded_epoch_coalesced", true),
+        ("sharded_epoch_raw", false),
+    ] {
+        let mut pipe = StreamPipeline::new(
+            topo,
+            StreamConfig {
+                epoch: EpochConfig::tumbling(1_000),
+                kinds: kinds.to_vec(),
+                mode: AnalysisMode::PerPacket,
+                warm_start: true,
+                shard_by_pod: true,
+                coalesce,
+                ..StreamConfig::paper_default()
+            },
+        );
+        // Prime: the first epoch pays arena/engine construction.
+        let primed = pipe.run_flows(0, 0, 1_000, &fixture.epochs[0]);
+        if coalesce {
+            let spine = primed
+                .shards
+                .iter()
+                .find(|s| s.label == "spine")
+                .expect("pod plan has a spine shard");
+            println!(
+                "spine shard: {} raw observations -> {} super-flows (coalesce x{:.1})",
+                spine.raw_flows,
+                spine.flows,
+                spine.raw_flows as f64 / spine.flows.max(1) as f64
+            );
+        }
+        let mut i = 1u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let flows = &fixture.epochs[(i as usize) % fixture.epochs.len()];
+                let r = pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
+                i += 1;
+                r
+            });
+        });
+    }
+
+    // ---- Spine shard engine alone on identical observations. ----
+    let obs = arena_warmed_obs(&fixture, &kinds);
+    let (spine, touch) = spine_shard(topo, &obs);
+    let filter = |o: &FlowObs| {
+        let (set_touch, prefix_touch) = touch.flow_touch(topo, o);
+        spine.relevant(set_touch, prefix_touch)
+    };
+    let params = HyperParams::default();
+    let greedy = FlockGreedy::default();
+
+    for (name, coalesce) in [
+        ("spine_engine_coalesced", true),
+        ("spine_engine_raw", false),
+    ] {
+        let opts = EngineOptions { coalesce };
+        let mut engine = Engine::with_options(topo, &obs, params, Some(&filter), opts);
+        let seed: Vec<u32> = {
+            let (picked, _) = greedy.search(&mut engine);
+            picked.iter().map(|(c, _)| *c).collect()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                engine.rebind_filtered(topo, &obs, Some(&filter));
+                greedy.search_warm(&mut engine, &seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,11 +7,10 @@
 //! seeded search vs cold greedy) on identical observations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flock_bench::steady_epochs;
+use flock_bench::{arena_warmed_obs, steady_epochs};
 use flock_core::{Engine, FlockGreedy, HyperParams};
 use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
-use flock_telemetry::{AnalysisMode, Assembler, InputKind};
-use flock_topology::Router;
+use flock_telemetry::{AnalysisMode, InputKind};
 
 fn bench(c: &mut Criterion) {
     let fixture = steady_epochs(512, 8_000, 4, 7);
@@ -48,27 +47,9 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    // ---- Engine layer alone on identical observations. ----
-    let router = Router::new(topo);
-    let mut asm = Assembler::new();
-    let obs_a = asm.assemble(
-        topo,
-        &router,
-        &fixture.epochs[0],
-        &kinds,
-        AnalysisMode::PerPacket,
-    );
-    // Second epoch assembled against the same arena lineage.
-    let arena_snapshot = {
-        asm.recycle(obs_a);
-        asm.assemble(
-            topo,
-            &router,
-            &fixture.epochs[1],
-            &kinds,
-            AnalysisMode::PerPacket,
-        )
-    };
+    // ---- Engine layer alone on identical observations (epoch 1,
+    // assembled against an arena warmed by epoch 0). ----
+    let arena_snapshot = arena_warmed_obs(&fixture, &kinds);
     let obs = &arena_snapshot;
     let params = HyperParams::default();
 

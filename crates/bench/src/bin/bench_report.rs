@@ -1,0 +1,231 @@
+//! `bench-report` — machine-readable perf datapoints for the online
+//! pipeline, written as JSON so every PR leaves a comparable perf
+//! trajectory entry (CI runs this at `--scale smoke` and uploads
+//! `BENCH_stream.json` as an artifact).
+//!
+//! Reported numbers (medians over `--samples` runs):
+//! * steady-state pipeline epoch cost, warm vs cold;
+//! * engine layer alone: warm rebind vs cold build;
+//! * flip throughput (JLE flips/s on a built engine);
+//! * evidence coalescing on the spine-heavy fixture: sharded epoch time
+//!   coalesced vs raw, the spine-shard engine alone, and the spine
+//!   shard's coalesce ratio (raw observations per super-flow).
+//!
+//! ```text
+//! cargo run --release -p flock-bench --bin bench-report -- \
+//!     [--scale smoke|small|medium] [--samples N] [--out BENCH_stream.json]
+//! ```
+
+use flock_bench::{arena_warmed_obs, spine_heavy_epochs, spine_shard, steady_epochs};
+use flock_core::{Engine, EngineOptions, FlockGreedy, HyperParams};
+use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
+use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
+use std::time::Instant;
+
+const KINDS: [InputKind; 2] = [InputKind::A2, InputKind::P];
+
+struct Scale {
+    name: &'static str,
+    servers: u32,
+    flows_per_epoch: usize,
+    spine_servers: u32,
+    spine_flows: usize,
+}
+
+const SCALES: &[Scale] = &[
+    Scale {
+        name: "smoke",
+        servers: 128,
+        flows_per_epoch: 1_500,
+        spine_servers: 128,
+        spine_flows: 3_000,
+    },
+    Scale {
+        name: "small",
+        servers: 256,
+        flows_per_epoch: 4_000,
+        spine_servers: 256,
+        spine_flows: 8_000,
+    },
+    Scale {
+        name: "medium",
+        servers: 512,
+        flows_per_epoch: 8_000,
+        spine_servers: 512,
+        spine_flows: 16_000,
+    },
+];
+
+/// Median of timed runs of `f`, in milliseconds.
+fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut out_path = "BENCH_stream.json".to_string();
+    let mut scale_name = "small".to_string();
+    let mut samples = 9usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--out" => out_path = val("--out"),
+            "--scale" => scale_name = val("--scale"),
+            "--samples" => samples = val("--samples").parse().expect("--samples: integer"),
+            other => panic!("unknown argument {other} (expected --out/--scale/--samples)"),
+        }
+    }
+    let scale = SCALES
+        .iter()
+        .find(|s| s.name == scale_name)
+        .unwrap_or_else(|| panic!("unknown scale {scale_name} (smoke|small|medium)"));
+
+    eprintln!("bench-report: scale={} samples={samples}", scale.name);
+
+    // ---- Steady-state stream numbers (warm vs cold). ----
+    let fixture = steady_epochs(scale.servers, scale.flows_per_epoch, 4, 7);
+    let topo = &fixture.topo;
+    let mk_cfg = |warm: bool| StreamConfig {
+        epoch: EpochConfig::tumbling(1_000),
+        kinds: KINDS.to_vec(),
+        mode: AnalysisMode::PerPacket,
+        warm_start: warm,
+        shard_by_pod: false,
+        ..StreamConfig::paper_default()
+    };
+    let mut epoch_ms = [0.0f64; 2]; // [cold, warm]
+    for (slot, warm) in [(0usize, false), (1usize, true)] {
+        let mut pipe = StreamPipeline::new(topo, mk_cfg(warm));
+        pipe.run_flows(0, 0, 1_000, &fixture.epochs[0]);
+        let mut i = 1u64;
+        epoch_ms[slot] = median_ms(samples, || {
+            let flows = &fixture.epochs[(i as usize) % fixture.epochs.len()];
+            pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
+            i += 1;
+        });
+    }
+
+    // ---- Engine layer alone on identical observations. ----
+    let obs = arena_warmed_obs(&fixture, &KINDS);
+    let params = HyperParams::default();
+    let cold_build_ms = median_ms(samples, || {
+        std::hint::black_box(Engine::new(topo, &obs, params));
+    });
+    let mut engine = Engine::new(topo, &obs, params);
+    let rebind_ms = median_ms(samples, || engine.rebind(topo, &obs));
+
+    // Flip throughput: toggle a spread of components on and off, keeping
+    // the hypothesis small (the searches' operating regime).
+    let n = engine.n_comps() as u32;
+    let stride = (n / 512).max(1);
+    let comps: Vec<u32> = (0..n).step_by(stride as usize).collect();
+    let flips_per_sample = (comps.len() * 2) as f64;
+    let flip_ms = median_ms(samples, || {
+        for &c in &comps {
+            engine.flip(c);
+            engine.flip(c);
+        }
+    });
+    let flip_throughput = flips_per_sample / (flip_ms / 1e3);
+    let coalesce_ratio_steady = obs.flows.len() as f64 / obs.coalesced_count().max(1) as f64;
+
+    // ---- Evidence coalescing on the spine-heavy fixture. ----
+    let spine_fixture = spine_heavy_epochs(scale.spine_servers, scale.spine_flows, 4, 11);
+    let stopo = &spine_fixture.topo;
+    let mut sharded_ms = [0.0f64; 2]; // [raw, coalesced]
+    let mut spine_super_flows = 0usize;
+    let mut spine_raw_obs = 0usize;
+    for (slot, coalesce) in [(0usize, false), (1usize, true)] {
+        let mut pipe = StreamPipeline::new(
+            stopo,
+            StreamConfig {
+                epoch: EpochConfig::tumbling(1_000),
+                kinds: KINDS.to_vec(),
+                mode: AnalysisMode::PerPacket,
+                warm_start: true,
+                shard_by_pod: true,
+                coalesce,
+                ..StreamConfig::paper_default()
+            },
+        );
+        let primed = pipe.run_flows(0, 0, 1_000, &spine_fixture.epochs[0]);
+        if coalesce {
+            let spine = primed
+                .shards
+                .iter()
+                .find(|s| s.label == "spine")
+                .expect("pod plan has a spine shard");
+            spine_super_flows = spine.flows;
+            spine_raw_obs = spine.raw_flows;
+        }
+        let mut i = 1u64;
+        sharded_ms[slot] = median_ms(samples, || {
+            let flows = &spine_fixture.epochs[(i as usize) % spine_fixture.epochs.len()];
+            pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
+            i += 1;
+        });
+    }
+
+    // Spine shard engine alone (rebind + warm search), raw vs coalesced —
+    // the same harness the `evidence_coalesce` bench times.
+    let sobs = arena_warmed_obs(&spine_fixture, &KINDS);
+    let (spine, touch) = spine_shard(stopo, &sobs);
+    let filter = |o: &FlowObs| {
+        let (set_touch, prefix_touch) = touch.flow_touch(stopo, o);
+        spine.relevant(set_touch, prefix_touch)
+    };
+    let greedy = FlockGreedy::default();
+    let mut spine_engine_ms = [0.0f64; 2]; // [raw, coalesced]
+    for (slot, coalesce) in [(0usize, false), (1usize, true)] {
+        let opts = EngineOptions { coalesce };
+        let mut e = Engine::with_options(stopo, &sobs, params, Some(&filter), opts);
+        let seed: Vec<u32> = {
+            let (picked, _) = greedy.search(&mut e);
+            picked.iter().map(|(c, _)| *c).collect()
+        };
+        spine_engine_ms[slot] = median_ms(samples, || {
+            e.rebind_filtered(stopo, &sobs, Some(&filter));
+            greedy.search_warm(&mut e, &seed);
+        });
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"flock-bench-report/v1\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"samples\": {samples},\n  \"stream\": {{\n    \"cold_epoch_ms\": {:.4},\n    \
+         \"warm_epoch_ms\": {:.4},\n    \"engine_cold_build_ms\": {:.4},\n    \
+         \"engine_rebind_ms\": {:.4},\n    \"flip_throughput_per_s\": {:.0},\n    \
+         \"coalesce_ratio\": {:.3}\n  }},\n  \"coalesce\": {{\n    \
+         \"sharded_epoch_raw_ms\": {:.4},\n    \"sharded_epoch_coalesced_ms\": {:.4},\n    \
+         \"sharded_epoch_speedup\": {:.3},\n    \"spine_engine_raw_ms\": {:.4},\n    \
+         \"spine_engine_coalesced_ms\": {:.4},\n    \"spine_engine_speedup\": {:.3},\n    \
+         \"spine_raw_observations\": {spine_raw_obs},\n    \
+         \"spine_super_flows\": {spine_super_flows},\n    \"spine_coalesce_ratio\": {:.3}\n  }}\n}}\n",
+        epoch_ms[0],
+        epoch_ms[1],
+        cold_build_ms,
+        rebind_ms,
+        flip_throughput,
+        coalesce_ratio_steady,
+        sharded_ms[0],
+        sharded_ms[1],
+        sharded_ms[0] / sharded_ms[1],
+        spine_engine_ms[0],
+        spine_engine_ms[1],
+        spine_engine_ms[0] / spine_engine_ms[1],
+        spine_raw_obs as f64 / spine_super_flows.max(1) as f64,
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("bench-report: wrote {out_path}");
+}

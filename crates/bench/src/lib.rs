@@ -2,14 +2,15 @@
 //! few canonical scales, so every bench measures the same workloads the
 //! paper's runtime figures use.
 
-use flock_netsim::failure::{self, DEFAULT_NOISE_MAX};
+use flock_netsim::failure::{self, FailureScenario, DEFAULT_NOISE_MAX};
 use flock_netsim::flowsim::{run_probes, simulate_flows, FlowSimConfig};
-use flock_netsim::traffic::{generate_demands, TrafficConfig, TrafficPattern};
+use flock_netsim::traffic::{generate_demands, FlowDemand, TrafficConfig, TrafficPattern};
+use flock_stream::{SetTouchIndex, Shard, ShardPlan};
 use flock_telemetry::input::{assemble, AnalysisMode, InputKind, ObservationSet};
-use flock_telemetry::{plan_a1_probes, MonitoredFlow};
-use flock_topology::{ClosParams, GroundTruth, Router, Topology};
+use flock_telemetry::{plan_a1_probes, Assembler, MonitoredFlow};
+use flock_topology::{ClosParams, GroundTruth, NodeRole, Router, Topology};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 /// A deterministic benchmark trace.
 pub struct BenchTrace {
@@ -61,6 +62,105 @@ pub struct SteadyEpochs {
     pub epochs: Vec<Vec<MonitoredFlow>>,
     /// Ground truth (constant across epochs).
     pub truth: GroundTruth,
+}
+
+/// Observation set for epoch 1 of a fixture, assembled against an arena
+/// already warmed by epoch 0 — the steady-state input the engine-layer
+/// benches and `bench-report` measure on.
+pub fn arena_warmed_obs(fixture: &SteadyEpochs, kinds: &[InputKind]) -> ObservationSet {
+    let router = Router::new(&fixture.topo);
+    let mut asm = Assembler::new();
+    let obs0 = asm.assemble(
+        &fixture.topo,
+        &router,
+        &fixture.epochs[0],
+        kinds,
+        AnalysisMode::PerPacket,
+    );
+    asm.recycle(obs0);
+    asm.assemble(
+        &fixture.topo,
+        &router,
+        &fixture.epochs[1],
+        kinds,
+        AnalysisMode::PerPacket,
+    )
+}
+
+/// The pod plan's spine shard plus a touch index covering `obs` — the
+/// parts of the spine shard's relevance filter, shared by the
+/// `evidence_coalesce` bench and `bench-report` so the criterion numbers
+/// and the JSON perf trajectory measure the same protocol.
+pub fn spine_shard(topo: &Topology, obs: &ObservationSet) -> (Shard, SetTouchIndex) {
+    let plan = ShardPlan::by_pod(topo);
+    let shard = plan
+        .shards
+        .iter()
+        .find(|s| s.label == "spine")
+        .expect("pod plan has a spine shard")
+        .clone();
+    let mut touch = SetTouchIndex::new();
+    touch.extend(topo, obs);
+    (shard, touch)
+}
+
+/// Quantized flow sizes (packets) for the spine-heavy fixture: RPC-style
+/// traffic with a handful of standard message sizes, which makes the
+/// `(path set, sent, bad)` evidence key highly repetitive — the workload
+/// the evidence-coalescing layer is built for.
+pub const RPC_PACKET_PALETTE: &[u64] = &[40, 80, 160, 320];
+
+/// Build `n_epochs` epochs of *inter-pod only* traffic with quantized
+/// flow sizes under one persistent agg–spine gray failure. Every flow
+/// crosses the spine, so the spine shard of a pod-sharded pipeline sees
+/// the whole epoch — the workload where raw per-flow evidence bounds the
+/// sharded speedup and coalescing pays off (`evidence_coalesce` bench).
+pub fn spine_heavy_epochs(
+    servers: u32,
+    flows_per_epoch: usize,
+    n_epochs: usize,
+    seed: u64,
+) -> SteadyEpochs {
+    let topo = flock_topology::clos::three_tier(ClosParams::with_servers(servers));
+    let router = Router::new(&topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One gray agg–spine link: evidence against it is inherently global.
+    let spine_link = topo
+        .fabric_links()
+        .into_iter()
+        .find(|&l| {
+            let lk = topo.link(l);
+            topo.node(lk.src).role == NodeRole::Spine || topo.node(lk.dst).role == NodeRole::Spine
+        })
+        .expect("a three-tier Clos has spine-incident links");
+    let mut scenario = FailureScenario::noise_only(&topo, DEFAULT_NOISE_MAX, &mut rng);
+    scenario.drop_rate[spine_link.idx()] = 0.015;
+    scenario.truth.failed_links.push(spine_link);
+
+    let hosts = topo.hosts().to_vec();
+    let pod_of = |h| topo.node(topo.host_leaf(h)).pod;
+    let cfg = FlowSimConfig::default();
+    let epochs = (0..n_epochs)
+        .map(|_| {
+            let demands: Vec<FlowDemand> = (0..flows_per_epoch)
+                .map(|_| {
+                    let src = hosts[rng.random_range(0..hosts.len())];
+                    let mut dst = hosts[rng.random_range(0..hosts.len())];
+                    while pod_of(dst) == pod_of(src) {
+                        dst = hosts[rng.random_range(0..hosts.len())];
+                    }
+                    let packets = RPC_PACKET_PALETTE[rng.random_range(0..RPC_PACKET_PALETTE.len())];
+                    FlowDemand { src, dst, packets }
+                })
+                .collect();
+            simulate_flows(&topo, &router, &scenario, &demands, &cfg, &mut rng)
+        })
+        .collect();
+    SteadyEpochs {
+        truth: scenario.truth,
+        topo,
+        epochs,
+    }
 }
 
 /// Build `n_epochs` epochs of traffic under one unchanged silent-drop

@@ -9,21 +9,37 @@
 //!   current *fail count* — how many hypothesis components lie on it;
 //! * per interned path set: the number of member paths with a non-zero
 //!   fail count (`set_bad`), shared by every flow using the set;
-//! * per flow: the handful of *extra* components on every one of its
-//!   paths (host attachment links, and the ToR device for intra-rack
-//!   flows) with their own fail count. A flow's failed-path count `b` is
-//!   `w` if any extra failed, else `set_bad` of its set.
+//! * per **super-flow**: all observations sharing the same evidence key
+//!   `(path set, sent, bad)`, collapsed into one weighted record. The
+//!   per-flow likelihood (Eq. 1) depends on the observation only through
+//!   its score `s = s(sent, bad)`, its path-set width `w`, and the failed
+//!   path count `b`, and the total log-likelihood is linear in the
+//!   aggregation weight — so the collapse is *exact*, and the per-epoch
+//!   flow table shrinks from O(flows) to O(distinct evidence keys);
+//! * per super-flow *member*: the handful of *extra* components a prefix
+//!   group adds on every one of its paths (host attachment links, and the
+//!   ToR device for intra-rack flows) with its own weight and fail count.
+//!   A member's failed-path count is `w` while any of its extras is in
+//!   the hypothesis ("pinned"); otherwise it follows `set_bad` of the
+//!   super-flow's set. The super-flow tracks the pinned weight so the hot
+//!   fabric sweep needs only the *active* (unpinned) total.
 //!
 //! # The Δ array
 //!
 //! `delta[c] = LL(H ⊕ c) − LL(H)` for every component `c` (likelihood
 //! part only; priors are added by the search layers, keeping Δ independent
 //! of hypothesis size). [`Engine::flip`] toggles one component and updates
-//! the *entire* array by visiting only the flows that intersect the
+//! the *entire* array by visiting only the super-flows that intersect the
 //! flipped component — Theorem 1 guarantees every other entry's terms are
-//! unchanged. Per flip this costs `O(D·T)` (flows touching the component ×
-//! their path-set sizes) instead of the `O(n·D·T)` a from-scratch
-//! recomputation would need: the `O(n)` JLE speedup.
+//! unchanged. Per flip this costs `O(D·T)` (super-flows touching the
+//! component × their path-set sizes) instead of the `O(n·D·T)` a
+//! from-scratch recomputation would need: the `O(n)` JLE speedup — with
+//! `D` counting *distinct evidence keys*, not raw flows, when coalescing
+//! is on (the default; see [`EngineOptions`]).
+//!
+//! The flip path is allocation-free in steady state: counter snapshots,
+//! inverted-index walks, and per-set scratch all reuse persistent arenas
+//! that survive across flips *and* epochs ([`Engine::rebind`]).
 //!
 //! For search algorithms that do not want Δ maintenance (Sherlock without
 //! JLE, greedy without JLE), [`Engine::flip_ll_only`] updates the state
@@ -36,8 +52,9 @@ use crate::space::{CompIdx, ComponentSpace};
 use flock_telemetry::{FlowObs, ObservationSet};
 use flock_topology::Topology;
 
-/// A set's pre-flip state: `(set_bad, per-component (comp, g, s))`.
-type SetSnapshot = (u32, Vec<(CompIdx, u32, u32)>);
+/// One set counter entry: `(comp, g, s)` — member paths with fail count 0
+/// (`g`) / exactly 1 (`s`) containing `comp`.
+type Counter = (CompIdx, u32, u32);
 
 /// Compact CSR-style adjacency: `items[offsets[i]..offsets[i+1]]`.
 #[derive(Debug, Clone, Default)]
@@ -47,26 +64,35 @@ struct Csr {
 }
 
 impl Csr {
-    /// Build from `(bucket, item)` pairs by counting scatter — `O(pairs +
-    /// buckets)`, no comparison sort. Pairs must be duplicate-free (they
-    /// are throughout the engine: per-path/per-set component lists and
-    /// per-flow extras are deduplicated before pairs are emitted), and
-    /// within a bucket items keep their input order.
-    fn build(n_buckets: usize, pairs: &[(u32, u32)]) -> Csr {
-        let mut offsets = vec![0u32; n_buckets + 1];
+    /// (Re)build from `(bucket, item)` pairs by counting scatter —
+    /// `O(pairs + buckets)`, no comparison sort — reusing the offset/item
+    /// buffers, so the per-epoch rebind path allocates nothing once
+    /// capacity has grown to the workload's size. Pairs must be
+    /// duplicate-free (they are throughout the engine: per-path/per-set
+    /// component lists and per-member extras are deduplicated before
+    /// pairs are emitted), and within a bucket items keep their input
+    /// order.
+    fn rebuild(&mut self, n_buckets: usize, pairs: &[(u32, u32)]) {
+        self.offsets.clear();
+        self.offsets.resize(n_buckets + 1, 0);
         for &(b, _) in pairs {
-            offsets[b as usize + 1] += 1;
+            self.offsets[b as usize + 1] += 1;
         }
         for i in 0..n_buckets {
-            offsets[i + 1] += offsets[i];
+            self.offsets[i + 1] += self.offsets[i];
         }
-        let mut cursor: Vec<u32> = offsets[..n_buckets].to_vec();
-        let mut items = vec![0u32; pairs.len()];
+        self.items.clear();
+        self.items.resize(pairs.len(), 0);
+        // Scatter using `offsets[b]` as the running cursor (each bucket's
+        // start advances to its end), then shift the table back one slot.
         for &(b, it) in pairs {
-            items[cursor[b as usize] as usize] = it;
-            cursor[b as usize] += 1;
+            self.items[self.offsets[b as usize] as usize] = it;
+            self.offsets[b as usize] += 1;
         }
-        Csr { offsets, items }
+        for i in (1..=n_buckets).rev() {
+            self.offsets[i] = self.offsets[i - 1];
+        }
+        self.offsets[0] = 0;
     }
 
     #[inline]
@@ -77,28 +103,64 @@ impl Csr {
     }
 }
 
-/// Engine-internal flow record.
+/// One weighted super-flow: every observation of the epoch sharing the
+/// evidence key `(set, sent, bad)` (when coalescing is on).
 #[derive(Debug, Clone)]
-struct EFlow {
+struct SFlow {
     /// Path-set index.
     set: u32,
+    /// Flow score `s` (see [`crate::likelihood`]); equal `(sent, bad)`
+    /// implies equal score, so the key collapse loses nothing.
+    score: f64,
+    /// Path-set size.
+    w: u32,
+    /// Total aggregation weight (number of merged underlying flows).
+    weight: f64,
+    /// Weight currently pinned at `b = w` by a failed extra — the sum of
+    /// member weights with `extra_fail > 0`. `weight - pinned` is the
+    /// *active* weight the fabric sweep multiplies by.
+    pinned: f64,
+    /// Members carrying extras: the half-open range `[lo, hi)` into
+    /// [`Engine::members`] (weight without a member has no extras).
+    members: (u32, u32),
+}
+
+/// One prefix group of a super-flow: the merged observations sharing both
+/// the evidence key *and* the extra components.
+#[derive(Debug, Clone, Copy)]
+struct SMember {
+    /// Owning super-flow.
+    flow: u32,
     /// Extra components on every path (host links + intra-rack ToR).
     extras: [CompIdx; 4],
     n_extras: u8,
     /// How many extras are currently in the hypothesis.
     extra_fail: u8,
-    /// Flow score `s` (see [`crate::likelihood`]).
-    score: f64,
-    /// Aggregation weight × 1.0 (number of identical merged flows).
+    /// Aggregation weight of this prefix group.
     weight: f64,
-    /// Path-set size.
-    w: u32,
 }
 
-impl EFlow {
+impl SMember {
     #[inline]
     fn extras(&self) -> &[CompIdx] {
         &self.extras[..self.n_extras as usize]
+    }
+}
+
+/// Engine construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Collapse observations sharing the same `(path set, sent, bad)`
+    /// evidence key into one weighted super-flow. Exact — the likelihood
+    /// is linear in the aggregation weight (see
+    /// `likelihood::score_is_linear_in_counts`) — and the default; turn
+    /// off only to measure the raw-flow baseline.
+    pub coalesce: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { coalesce: true }
     }
 }
 
@@ -107,7 +169,7 @@ impl EFlow {
 pub struct EngineStats {
     /// Number of `flip`/`flip_ll_only` calls performed.
     pub flips: u64,
-    /// Flow-contribution updates performed across all flips.
+    /// Super-flow/member contribution updates performed across all flips.
     pub flow_updates: u64,
 }
 
@@ -116,6 +178,7 @@ pub struct EngineStats {
 pub struct Engine {
     space: ComponentSpace,
     params: HyperParams,
+    opts: EngineOptions,
 
     // Paths.
     path_comps: Vec<Vec<CompIdx>>,
@@ -134,9 +197,13 @@ pub struct Engine {
     comp_set_pairs: Vec<(u32, u32)>,
     set_flows: Csr,
 
-    // Flows.
-    flows: Vec<EFlow>,
-    comp_extra_flows: Csr,
+    // Flows: super-flows plus their extras-carrying members.
+    sflows: Vec<SFlow>,
+    members: Vec<SMember>,
+    comp_extra_members: Csr,
+    /// Raw observations accepted into the current flow table (before
+    /// coalescing) — `n_obs / sflows.len()` is the epoch's coalesce ratio.
+    n_obs: usize,
 
     // Hypothesis state.
     in_h: Vec<bool>,
@@ -145,9 +212,24 @@ pub struct Engine {
     ll: f64,
     stats: EngineStats,
 
-    // Scratch buffers reused across flips.
+    // Scratch arenas reused across flips and epochs: the flip path and
+    // the per-epoch rebuild allocate nothing in steady state.
     scratch_g: Vec<u32>,
     scratch_s: Vec<u32>,
+    /// Flat pre-flip counter snapshots across the flip's affected sets…
+    snap_ctr: Vec<Counter>,
+    /// …with per-set offsets (`snap_off[k]..snap_off[k+1]` is set `k`).
+    snap_off: Vec<u32>,
+    /// Post-flip counters of the set currently being swept.
+    new_ctr: Vec<Counter>,
+    /// Distinct `g` values / per-`g` likelihood sums of the set currently
+    /// being initialized.
+    scratch_gs: Vec<u32>,
+    scratch_sums: Vec<f64>,
+    /// `(set, super-flow)` / `(comp, member)` pair staging for the CSR
+    /// rebuilds of [`Engine::rebuild_flows`].
+    pair_set_flows: Vec<(u32, u32)>,
+    pair_extra_members: Vec<(u32, u32)>,
 }
 
 /// Predicate selecting the observations an engine sees (sharded
@@ -170,12 +252,24 @@ impl Engine {
         params: HyperParams,
         filter: Option<FlowFilter<'_>>,
     ) -> Engine {
+        Self::with_options(topo, obs, params, filter, EngineOptions::default())
+    }
+
+    /// [`Engine::new_filtered`] with explicit [`EngineOptions`].
+    pub fn with_options(
+        topo: &Topology,
+        obs: &ObservationSet,
+        params: HyperParams,
+        filter: Option<FlowFilter<'_>>,
+        opts: EngineOptions,
+    ) -> Engine {
         params.validate();
         let space = ComponentSpace::new(topo);
         let n_comps = space.n_comps();
         let mut engine = Engine {
             space,
             params,
+            opts,
             path_comps: Vec::new(),
             path_fail: Vec::new(),
             comp_to_paths: Csr::default(),
@@ -186,8 +280,10 @@ impl Engine {
             comp_to_sets: Csr::default(),
             comp_set_pairs: Vec::new(),
             set_flows: Csr::default(),
-            flows: Vec::new(),
-            comp_extra_flows: Csr::default(),
+            sflows: Vec::new(),
+            members: Vec::new(),
+            comp_extra_members: Csr::default(),
+            n_obs: 0,
             in_h: vec![false; n_comps],
             hypothesis: Vec::new(),
             delta: vec![0.0; n_comps],
@@ -195,6 +291,13 @@ impl Engine {
             stats: EngineStats::default(),
             scratch_g: vec![0; n_comps],
             scratch_s: vec![0; n_comps],
+            snap_ctr: Vec::new(),
+            snap_off: Vec::new(),
+            new_ctr: Vec::new(),
+            scratch_gs: Vec::new(),
+            scratch_sums: Vec::new(),
+            pair_set_flows: Vec::new(),
+            pair_extra_members: Vec::new(),
         };
         engine.extend_structures(topo, obs);
         engine.rebuild_flows(topo, obs, filter);
@@ -306,21 +409,28 @@ impl Engine {
         let unbuilt = self.comp_to_paths.offsets.is_empty();
         if n_paths > old_paths || n_sets > old_sets || unbuilt {
             let n_comps = self.space.n_comps();
-            self.comp_to_paths = Csr::build(n_comps, &self.comp_path_pairs);
-            self.comp_to_sets = Csr::build(n_comps, &self.comp_set_pairs);
+            self.comp_to_paths.rebuild(n_comps, &self.comp_path_pairs);
+            self.comp_to_sets.rebuild(n_comps, &self.comp_set_pairs);
         }
     }
 
-    /// Rebuild the per-epoch flow layer from `obs`.
+    /// Rebuild the per-epoch flow layer from `obs`, collapsing runs of
+    /// observations sharing the `(set, sent, bad)` evidence key into
+    /// weighted super-flows (the assembler sorts observations by exactly
+    /// that key, so equal keys are adjacent; out-of-order input merely
+    /// coalesces less — never incorrectly).
     fn rebuild_flows(
         &mut self,
         topo: &Topology,
         obs: &ObservationSet,
         filter: Option<FlowFilter<'_>>,
     ) {
-        self.flows.clear();
-        let mut extra_pairs: Vec<(u32, u32)> = Vec::new();
-        let mut set_flow_pairs: Vec<(u32, u32)> = Vec::new();
+        self.sflows.clear();
+        self.members.clear();
+        self.n_obs = 0;
+        self.pair_set_flows.clear();
+        self.pair_extra_members.clear();
+        let mut last_key: Option<(u32, u64, u64)> = None;
         for o in &obs.flows {
             if let Some(keep) = filter {
                 if !keep(o) {
@@ -331,24 +441,44 @@ impl Engine {
             if w == 0 {
                 continue; // unroutable flow carries no information
             }
-            let extras = flow_extras(topo, &self.space, &self.set_comps[o.set.0 as usize], o);
-            let fi = self.flows.len() as u32;
-            set_flow_pairs.push((o.set.0, fi));
-            for &e in &extras.0[..extras.1 as usize] {
-                extra_pairs.push((e, fi));
+            self.n_obs += 1;
+            let key = o.evidence_key();
+            if !(self.opts.coalesce && last_key == Some(key)) {
+                let fi = self.sflows.len() as u32;
+                self.pair_set_flows.push((o.set.0, fi));
+                let at = self.members.len() as u32;
+                self.sflows.push(SFlow {
+                    set: o.set.0,
+                    score: flow_score(&self.params, o.sent, o.bad),
+                    w,
+                    weight: 0.0,
+                    pinned: 0.0,
+                    members: (at, at),
+                });
+                last_key = Some(key);
             }
-            self.flows.push(EFlow {
-                set: o.set.0,
-                extras: extras.0,
-                n_extras: extras.1,
-                extra_fail: 0,
-                score: flow_score(&self.params, o.sent, o.bad),
-                weight: f64::from(o.weight),
-                w,
-            });
+            let fi = self.sflows.len() - 1;
+            self.sflows[fi].weight += f64::from(o.weight);
+            let extras = flow_extras(topo, &self.space, &self.set_comps[o.set.0 as usize], o);
+            if extras.1 > 0 {
+                let mi = self.members.len() as u32;
+                for &e in &extras.0[..extras.1 as usize] {
+                    self.pair_extra_members.push((e, mi));
+                }
+                self.members.push(SMember {
+                    flow: fi as u32,
+                    extras: extras.0,
+                    n_extras: extras.1,
+                    extra_fail: 0,
+                    weight: f64::from(o.weight),
+                });
+                self.sflows[fi].members.1 = mi + 1;
+            }
         }
-        self.set_flows = Csr::build(self.sets.len(), &set_flow_pairs);
-        self.comp_extra_flows = Csr::build(self.space.n_comps(), &extra_pairs);
+        self.set_flows
+            .rebuild(self.sets.len(), &self.pair_set_flows);
+        self.comp_extra_members
+            .rebuild(self.space.n_comps(), &self.pair_extra_members);
     }
 
     /// The component space (for translating indices).
@@ -361,14 +491,31 @@ impl Engine {
         &self.params
     }
 
+    /// The options the engine was built with.
+    pub fn options(&self) -> EngineOptions {
+        self.opts
+    }
+
     /// Number of components.
     pub fn n_comps(&self) -> usize {
         self.delta.len()
     }
 
-    /// Number of engine flows (aggregated observations).
+    /// Number of engine super-flows (distinct evidence keys this epoch
+    /// when coalescing is on; one per accepted observation when off).
     pub fn n_flows(&self) -> usize {
-        self.flows.len()
+        self.sflows.len()
+    }
+
+    /// Raw observations accepted into the current flow table; with
+    /// [`Engine::n_flows`] this yields the epoch's coalesce ratio.
+    pub fn n_observations(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Number of extras-carrying prefix groups behind the super-flows.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
     }
 
     /// The current hypothesis (components currently failed).
@@ -426,26 +573,36 @@ impl Engine {
         let adding = !self.in_h[c as usize];
         let mut dll = 0.0;
 
-        // ---- Fabric effect: sets whose paths contain `c`. ----
-        // Snapshot old per-set counters, update path fail counts once
-        // globally, then walk each affected set.
-        let affected_sets: Vec<u32> = self.comp_to_sets.get(c).to_vec();
+        // Borrow-splitting: the inverted indexes and scratch arenas move
+        // out of `self` for the duration of the flip (restored below) so
+        // the sweeps can walk them while mutating per-set/per-flow state.
+        // All of these keep their capacity — no per-flip allocation.
+        let comp_to_sets = std::mem::take(&mut self.comp_to_sets);
+        let comp_extra_members = std::mem::take(&mut self.comp_extra_members);
+        let mut snap_ctr = std::mem::take(&mut self.snap_ctr);
+        let mut snap_off = std::mem::take(&mut self.snap_off);
+        let mut new_ctr = std::mem::take(&mut self.new_ctr);
 
-        // Old counters per set must be taken before path updates; to avoid
-        // storing them all we process sets one at a time, using the fact
-        // that path fail counts are per-path: we update the paths of a set
-        // lazily with a per-path "done" check via the global visited pass
-        // below. Simpler and allocation-free: first collect old counters
-        // per set, then update paths, then walk sets again.
-        let mut old_counters: Vec<SetSnapshot> = Vec::with_capacity(affected_sets.len());
+        // ---- Fabric effect: sets whose paths contain `c`. ----
+        let affected_sets = comp_to_sets.get(c);
+
+        // Old counters per affected set, snapshotted into the flat arena
+        // before path fail counts move.
+        snap_ctr.clear();
+        snap_off.clear();
+        snap_off.push(0);
         if maintain_delta {
-            for &s in &affected_sets {
-                let counters = self.collect_counters(s);
-                old_counters.push((self.set_bad[s as usize], counters));
-            }
-        } else {
-            for &s in &affected_sets {
-                old_counters.push((self.set_bad[s as usize], Vec::new()));
+            for &s in affected_sets {
+                collect_counters_into(
+                    &self.sets[s as usize],
+                    &self.path_fail,
+                    &self.path_comps,
+                    &self.set_comps[s as usize],
+                    &mut self.scratch_g,
+                    &mut self.scratch_s,
+                    &mut snap_ctr,
+                );
+                snap_off.push(snap_ctr.len() as u32);
             }
         }
 
@@ -464,77 +621,98 @@ impl Engine {
         self.in_h[c as usize] = adding;
 
         for (k, &s) in affected_sets.iter().enumerate() {
-            let (old_bad, ref old_ctr) = old_counters[k];
+            let old_bad = self.set_bad[s as usize];
             let new_bad = self.recount_set_bad(s);
             self.set_bad[s as usize] = new_bad;
 
-            let new_ctr = if maintain_delta {
-                self.collect_counters(s)
+            let old_ctr: &[Counter] = if maintain_delta {
+                &snap_ctr[snap_off[k] as usize..snap_off[k + 1] as usize]
             } else {
-                Vec::new()
+                &[]
             };
+            if maintain_delta {
+                new_ctr.clear();
+                collect_counters_into(
+                    &self.sets[s as usize],
+                    &self.path_fail,
+                    &self.path_comps,
+                    &self.set_comps[s as usize],
+                    &mut self.scratch_g,
+                    &mut self.scratch_s,
+                    &mut new_ctr,
+                );
+            }
 
-            // Flow sweep.
-            let flow_ids = self.set_flows.get(s);
-            for &fi in flow_ids {
-                let f = &self.flows[fi as usize];
-                if f.extra_fail > 0 {
-                    // Bad count pinned at w: no likelihood change and no
-                    // fabric-delta change. But when exactly one extra is
-                    // failed, *its* removal delta returns the flow to
-                    // `set_bad` — which just changed.
-                    if maintain_delta && f.extra_fail == 1 && old_bad != new_bad {
-                        let (sc, wgt, w) = (f.score, f.weight, f.w);
-                        let e = f
-                            .extras()
-                            .iter()
-                            .copied()
-                            .find(|&e| self.in_h[e as usize])
-                            .expect("extra_fail==1 implies one failed extra");
-                        self.delta[e as usize] += wgt * (llf(sc, w, new_bad) - llf(sc, w, old_bad));
-                    }
-                    continue;
-                }
-                self.stats.flow_updates += 1;
-                let (sc, wgt, w) = (f.score, f.weight, f.w);
+            // Super-flow sweep: one visit per distinct evidence key.
+            for &fi in self.set_flows.get(s) {
+                let f = &self.sflows[fi as usize];
+                let (sc, w, mlo, mhi) = (f.score, f.w, f.members.0, f.members.1);
+                // Weights are integer-valued sums, so the subtraction is
+                // exact and `active == 0.0` means fully pinned.
+                let active = f.weight - f.pinned;
                 let ll_old = llf(sc, w, old_bad);
                 let ll_new = llf(sc, w, new_bad);
-                dll += wgt * (ll_new - ll_old);
-
+                self.stats.flow_updates += 1;
+                if active > 0.0 {
+                    dll += active * (ll_new - ll_old);
+                }
                 if !maintain_delta {
                     continue;
                 }
-                // Fabric comps of the set.
-                for (i, &(l, g_old, s_old)) in old_ctr.iter().enumerate() {
-                    let (l2, g_new, s_new) = new_ctr[i];
-                    debug_assert_eq!(l, l2);
-                    let in_h_new = self.in_h[l as usize];
-                    let in_h_old = if l == c { !in_h_new } else { in_h_new };
-                    let contrib_old = if in_h_old {
-                        llf(sc, w, old_bad - s_old) - ll_old
-                    } else {
-                        llf(sc, w, old_bad + g_old) - ll_old
-                    };
-                    let contrib_new = if in_h_new {
-                        llf(sc, w, new_bad - s_new) - ll_new
-                    } else {
-                        llf(sc, w, new_bad + g_new) - ll_new
-                    };
-                    self.delta[l as usize] += wgt * (contrib_new - contrib_old);
+                // Fabric comps of the set: only the active (unpinned)
+                // weight responds to fabric flips.
+                if active > 0.0 {
+                    for (i, &(l, g_old, s_old)) in old_ctr.iter().enumerate() {
+                        let (l2, g_new, s_new) = new_ctr[i];
+                        debug_assert_eq!(l, l2);
+                        let in_h_new = self.in_h[l as usize];
+                        let in_h_old = if l == c { !in_h_new } else { in_h_new };
+                        let contrib_old = if in_h_old {
+                            llf(sc, w, old_bad - s_old) - ll_old
+                        } else {
+                            llf(sc, w, old_bad + g_old) - ll_old
+                        };
+                        let contrib_new = if in_h_new {
+                            llf(sc, w, new_bad - s_new) - ll_new
+                        } else {
+                            llf(sc, w, new_bad + g_new) - ll_new
+                        };
+                        self.delta[l as usize] += active * (contrib_new - contrib_old);
+                    }
                 }
-                // Extras of the flow: flipping an extra on pins bad at w.
-                // (All extras are currently out of H since extra_fail==0.)
-                for &e in f.extras() {
-                    // contrib = llf(w) − llf(bad) = score − llf(bad)
-                    self.delta[e as usize] += wgt * (ll_old - ll_new);
+                // Member extras: their deltas move only when `set_bad`
+                // actually changed. An unpinned member's extras pin it at
+                // `w` (losing the `set_bad` term); a singly-pinned
+                // member's failed extra, on removal, returns it to
+                // `set_bad` — which just changed.
+                if old_bad != new_bad {
+                    for mi in mlo..mhi {
+                        let m = self.members[mi as usize];
+                        match m.extra_fail {
+                            0 => {
+                                for &e in m.extras() {
+                                    self.delta[e as usize] += m.weight * (ll_old - ll_new);
+                                }
+                            }
+                            1 => {
+                                let e = m
+                                    .extras()
+                                    .iter()
+                                    .copied()
+                                    .find(|&e| self.in_h[e as usize])
+                                    .expect("extra_fail==1 implies one failed extra");
+                                self.delta[e as usize] += m.weight * (ll_new - ll_old);
+                            }
+                            _ => {}
+                        }
+                    }
                 }
             }
         }
 
-        // ---- Extras effect: flows having `c` among their extras. ----
-        let extra_flow_ids: Vec<u32> = self.comp_extra_flows.get(c).to_vec();
-        for fi in extra_flow_ids {
-            dll += self.flip_extra_for_flow(c, fi, adding, maintain_delta);
+        // ---- Extras effect: members having `c` among their extras. ----
+        for &mi in comp_extra_members.get(c) {
+            dll += self.flip_extra_for_member(c, mi, adding, maintain_delta, &mut new_ctr);
         }
 
         if adding {
@@ -543,67 +721,90 @@ impl Engine {
             self.hypothesis.retain(|&x| x != c);
         }
         self.ll += dll;
+
+        self.comp_to_sets = comp_to_sets;
+        self.comp_extra_members = comp_extra_members;
+        self.snap_ctr = snap_ctr;
+        self.snap_off = snap_off;
+        self.new_ctr = new_ctr;
         dll
     }
 
-    /// Handle the extras side of flipping `c` for one flow. `in_h[c]` has
-    /// already been set to the new value.
-    fn flip_extra_for_flow(
+    /// Handle the extras side of flipping `c` for one member. `in_h[c]`
+    /// has already been set to the new value; `ctr` is the caller's
+    /// reusable counter buffer.
+    fn flip_extra_for_member(
         &mut self,
         c: CompIdx,
-        fi: u32,
+        mi: u32,
         adding: bool,
         maintain_delta: bool,
+        ctr: &mut Vec<Counter>,
     ) -> f64 {
         self.stats.flow_updates += 1;
-        let f = &self.flows[fi as usize];
-        let (sc, wgt, w, set) = (f.score, f.weight, f.w, f.set);
-        let old_extra_fail = f.extra_fail;
-        let new_extra_fail = if adding {
-            old_extra_fail + 1
-        } else {
-            old_extra_fail - 1
+        let m = self.members[mi as usize];
+        let fi = m.flow as usize;
+        let (sc, w, set) = {
+            let f = &self.sflows[fi];
+            (f.score, f.w, f.set)
         };
+        let old_fail = m.extra_fail;
+        let new_fail = if adding { old_fail + 1 } else { old_fail - 1 };
         let sb = self.set_bad[set as usize];
-        let bad_old = if old_extra_fail > 0 { w } else { sb };
-        let bad_new = if new_extra_fail > 0 { w } else { sb };
+        let bad_old = if old_fail > 0 { w } else { sb };
+        let bad_new = if new_fail > 0 { w } else { sb };
         let ll_old = llf(sc, w, bad_old);
         let ll_new = llf(sc, w, bad_new);
-        let dll = wgt * (ll_new - ll_old);
+        let dll = m.weight * (ll_new - ll_old);
+
+        // Pinned-weight bookkeeping on activation crossings (adding from
+        // 0 pins the member; removing to 0 releases it).
+        if old_fail == 0 {
+            self.sflows[fi].pinned += m.weight;
+        } else if new_fail == 0 {
+            self.sflows[fi].pinned -= m.weight;
+        }
 
         if maintain_delta {
-            // Update this flow's contribution to every component it touches.
-            // Fabric comps: need g/s counters only when the flow is
+            // Fabric comps: need g/s counters only when the member is
             // "active" (extra_fail == 0) on either side.
-            if old_extra_fail == 0 || new_extra_fail == 0 {
-                let counters = self.collect_counters(set);
-                for &(l, g, s_cnt) in &counters {
+            if old_fail == 0 || new_fail == 0 {
+                ctr.clear();
+                collect_counters_into(
+                    &self.sets[set as usize],
+                    &self.path_fail,
+                    &self.path_comps,
+                    &self.set_comps[set as usize],
+                    &mut self.scratch_g,
+                    &mut self.scratch_s,
+                    ctr,
+                );
+                for &(l, g, s_cnt) in ctr.iter() {
                     let in_h_l = self.in_h[l as usize];
                     debug_assert_ne!(l, c, "extras are disjoint from set comps");
-                    let contrib_old = if old_extra_fail > 0 {
+                    let contrib_old = if old_fail > 0 {
                         0.0
                     } else if in_h_l {
                         llf(sc, w, sb - s_cnt) - ll_old
                     } else {
                         llf(sc, w, sb + g) - ll_old
                     };
-                    let contrib_new = if new_extra_fail > 0 {
+                    let contrib_new = if new_fail > 0 {
                         0.0
                     } else if in_h_l {
                         llf(sc, w, sb - s_cnt) - ll_new
                     } else {
                         llf(sc, w, sb + g) - ll_new
                     };
-                    self.delta[l as usize] += wgt * (contrib_new - contrib_old);
+                    self.delta[l as usize] += m.weight * (contrib_new - contrib_old);
                 }
             }
-            // Extras comps (including c itself).
-            let extras: Vec<CompIdx> = self.flows[fi as usize].extras().to_vec();
-            for e in extras {
+            // Extras comps of this member (including c itself).
+            for &e in m.extras() {
                 let in_h_e_new = self.in_h[e as usize];
                 let in_h_e_old = if e == c { !in_h_e_new } else { in_h_e_new };
-                let fail_wo_e_old = old_extra_fail - u8::from(in_h_e_old);
-                let fail_wo_e_new = new_extra_fail - u8::from(in_h_e_new);
+                let fail_wo_e_old = old_fail - u8::from(in_h_e_old);
+                let fail_wo_e_new = new_fail - u8::from(in_h_e_new);
                 // Flipping e: if e currently failed, bad becomes (others
                 // failed ? w : sb); if e currently ok, bad becomes w.
                 let bad_flip_old = if in_h_e_old {
@@ -626,42 +827,12 @@ impl Engine {
                 };
                 let contrib_old = llf(sc, w, bad_flip_old) - ll_old;
                 let contrib_new = llf(sc, w, bad_flip_new) - ll_new;
-                self.delta[e as usize] += wgt * (contrib_new - contrib_old);
+                self.delta[e as usize] += m.weight * (contrib_new - contrib_old);
             }
         }
 
-        self.flows[fi as usize].extra_fail = new_extra_fail;
+        self.members[mi as usize].extra_fail = new_fail;
         dll
-    }
-
-    /// `(comp, g, s)` per component of set `s`: `g` = member paths with
-    /// fail count 0 containing comp, `s` = member paths with fail count
-    /// exactly 1 containing comp. Two passes over the set's paths, as in
-    /// Algorithm 2's `GetCounters`.
-    fn collect_counters(&mut self, s: u32) -> Vec<(CompIdx, u32, u32)> {
-        let comps = &self.set_comps[s as usize];
-        for &p in &self.sets[s as usize] {
-            let fc = self.path_fail[p as usize];
-            if fc == 0 {
-                for &c in &self.path_comps[p as usize] {
-                    self.scratch_g[c as usize] += 1;
-                }
-            } else if fc == 1 {
-                for &c in &self.path_comps[p as usize] {
-                    self.scratch_s[c as usize] += 1;
-                }
-            }
-        }
-        let out: Vec<(CompIdx, u32, u32)> = comps
-            .iter()
-            .map(|&c| (c, self.scratch_g[c as usize], self.scratch_s[c as usize]))
-            .collect();
-        // Reset scratch.
-        for &(c, ..) in &out {
-            self.scratch_g[c as usize] = 0;
-            self.scratch_s[c as usize] = 0;
-        }
-        out
     }
 
     fn recount_set_bad(&self, s: u32) -> u32 {
@@ -672,9 +843,11 @@ impl Engine {
     }
 
     /// Initial Δ array for the empty hypothesis (`ComputeInitialDelta` of
-    /// Algorithm 2): grouped per set so that flows sharing a path set
-    /// evaluate each distinct failed-path count once.
+    /// Algorithm 2): grouped per set so that super-flows sharing a path
+    /// set evaluate each distinct failed-path count once.
     fn compute_initial_delta(&mut self) {
+        let mut gs = std::mem::take(&mut self.scratch_gs);
+        let mut sums = std::mem::take(&mut self.scratch_sums);
         // Per set: g(c) = member paths containing c (all paths good).
         for s in 0..self.sets.len() as u32 {
             // Sets with no flows this epoch contribute nothing; skipping
@@ -691,13 +864,15 @@ impl Engine {
             }
             let comps = &self.set_comps[s as usize];
             // Distinct g values of this set.
-            let mut gs: Vec<u32> = comps.iter().map(|&c| self.scratch_g[c as usize]).collect();
+            gs.clear();
+            gs.extend(comps.iter().map(|&c| self.scratch_g[c as usize]));
             gs.sort_unstable();
             gs.dedup();
-            // Σ_flows weight · LLF(g) per distinct g.
-            let mut sums: Vec<f64> = vec![0.0; gs.len()];
+            // Σ_super-flows weight · LLF(g) per distinct g.
+            sums.clear();
+            sums.resize(gs.len(), 0.0);
             for &fi in self.set_flows.get(s) {
-                let f = &self.flows[fi as usize];
+                let f = &self.sflows[fi as usize];
                 for (i, &g) in gs.iter().enumerate() {
                     sums[i] += f.weight * llf(f.score, f.w, g);
                 }
@@ -711,12 +886,15 @@ impl Engine {
                 self.scratch_g[c as usize] = 0;
             }
         }
-        // Extras: flipping an extra fails all paths of the flow.
-        for f in &self.flows {
-            for &e in f.extras() {
-                self.delta[e as usize] += f.weight * f.score; // llf(w,w)=score
+        // Extras: flipping an extra fails all paths of its member.
+        for m in &self.members {
+            let sc = self.sflows[m.flow as usize].score;
+            for &e in m.extras() {
+                self.delta[e as usize] += m.weight * sc; // llf(w,w)=score
             }
         }
+        self.scratch_gs = gs;
+        self.scratch_sums = sums;
     }
 
     /// Evaluate one neighbor delta from the current state without touching
@@ -740,17 +918,18 @@ impl Engine {
                 continue;
             }
             for &fi in self.set_flows.get(s) {
-                let f = &self.flows[fi as usize];
-                if f.extra_fail > 0 {
-                    continue;
+                let f = &self.sflows[fi as usize];
+                let active = f.weight - f.pinned;
+                if active > 0.0 {
+                    dll += active * (llf(f.score, f.w, new_bad) - llf(f.score, f.w, old_bad));
                 }
-                dll += f.weight * (llf(f.score, f.w, new_bad) - llf(f.score, f.w, old_bad));
             }
         }
         // Extras side.
-        for &fi in self.comp_extra_flows.get(c) {
-            let f = &self.flows[fi as usize];
-            let old_fail = f.extra_fail;
+        for &mi in self.comp_extra_members.get(c) {
+            let m = &self.members[mi as usize];
+            let f = &self.sflows[m.flow as usize];
+            let old_fail = m.extra_fail;
             let new_fail = if flipping_on {
                 old_fail + 1
             } else {
@@ -760,7 +939,7 @@ impl Engine {
             let bad_old = if old_fail > 0 { f.w } else { sb };
             let bad_new = if new_fail > 0 { f.w } else { sb };
             if bad_old != bad_new {
-                dll += f.weight * (llf(f.score, f.w, bad_new) - llf(f.score, f.w, bad_old));
+                dll += m.weight * (llf(f.score, f.w, bad_new) - llf(f.score, f.w, bad_old));
             }
         }
         dll
@@ -771,20 +950,73 @@ impl Engine {
     /// cross-checking; never on the hot path.
     pub fn ll_of(&self, hypothesis: &[CompIdx]) -> f64 {
         let in_h: std::collections::HashSet<CompIdx> = hypothesis.iter().copied().collect();
-        let mut ll = 0.0;
-        for f in &self.flows {
-            let extras_failed = f.extras().iter().any(|e| in_h.contains(e));
-            let bad = if extras_failed {
-                f.w
-            } else {
-                self.sets[f.set as usize]
+        let set_bad_h: Vec<u32> = (0..self.sets.len())
+            .map(|s| {
+                self.sets[s]
                     .iter()
                     .filter(|&&p| self.path_comps[p as usize].iter().any(|c| in_h.contains(c)))
                     .count() as u32
-            };
-            ll += f.weight * llf(f.score, f.w, bad);
+            })
+            .collect();
+        let mut ll = 0.0;
+        for f in &self.sflows {
+            let sb = set_bad_h[f.set as usize];
+            let mut base = f.weight;
+            for mi in f.members.0..f.members.1 {
+                let m = &self.members[mi as usize];
+                base -= m.weight;
+                let bad = if m.extras().iter().any(|e| in_h.contains(e)) {
+                    f.w
+                } else {
+                    sb
+                };
+                ll += m.weight * llf(f.score, f.w, bad);
+            }
+            if base > 0.0 {
+                ll += base * llf(f.score, f.w, sb);
+            }
         }
         ll
+    }
+}
+
+/// `(comp, g, s)` per component of one set, appended to `out`: `g` =
+/// member paths with fail count 0 containing comp, `s` = member paths
+/// with fail count exactly 1 containing comp. Two passes over the set's
+/// paths, as in Algorithm 2's `GetCounters`. A free function (not a
+/// method) so callers can hold disjoint borrows of the engine's other
+/// fields while it fills the scratch arena.
+fn collect_counters_into(
+    member_paths: &[u32],
+    path_fail: &[u32],
+    path_comps: &[Vec<CompIdx>],
+    comps: &[CompIdx],
+    scratch_g: &mut [u32],
+    scratch_s: &mut [u32],
+    out: &mut Vec<Counter>,
+) {
+    for &p in member_paths {
+        let fc = path_fail[p as usize];
+        if fc == 0 {
+            for &c in &path_comps[p as usize] {
+                scratch_g[c as usize] += 1;
+            }
+        } else if fc == 1 {
+            for &c in &path_comps[p as usize] {
+                scratch_s[c as usize] += 1;
+            }
+        }
+    }
+    let start = out.len();
+    out.extend(
+        comps
+            .iter()
+            .map(|&c| (c, scratch_g[c as usize], scratch_s[c as usize])),
+    );
+    // Reset scratch.
+    for &(c, ..) in &out[start..] {
+        scratch_g[c as usize] = 0;
+        scratch_s[c as usize] = 0;
     }
 }
 
@@ -1135,6 +1367,7 @@ mod tests {
         let fresh = Engine::new(&topo, &obs2, HyperParams::default());
 
         assert_eq!(warm.n_flows(), fresh.n_flows());
+        assert_eq!(warm.n_observations(), fresh.n_observations());
         assert!(warm.hypothesis().is_empty());
         assert!((warm.log_likelihood() - fresh.log_likelihood()).abs() < 1e-12);
         for (i, (a, b)) in warm.delta().iter().zip(fresh.delta()).enumerate() {
@@ -1204,5 +1437,133 @@ mod tests {
             engine.delta()[tor_comp as usize] > 0.0,
             "ToR device must be implicated by the intra-rack flow"
         );
+    }
+
+    /// Build an observation set designed to coalesce hard: many host
+    /// pairs per ToR pair, all sending the same number of packets, plus a
+    /// handful of distinct drop counts.
+    fn coalescable_obs(seed: u64) -> (flock_topology::Topology, ObservationSet) {
+        let topo = three_tier(three_pods());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts().to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flows = Vec::new();
+        for i in 0..200 {
+            let s = hosts[rng.random_range(0..hosts.len())];
+            let mut d = hosts[rng.random_range(0..hosts.len())];
+            while d == s {
+                d = hosts[rng.random_range(0..hosts.len())];
+            }
+            let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+            let pick = rng.random_range(0..paths.len());
+            let mut tp = vec![topo.host_uplink(s)];
+            tp.extend_from_slice(&paths[pick].links);
+            tp.push(topo.host_downlink(d));
+            let sent = 100u64; // fixed-size RPC-style traffic
+            let bad = [0u64, 0, 0, 1, 3][rng.random_range(0..5usize)];
+            flows.push(MonitoredFlow {
+                key: FlowKey::tcp(s, d, 3000 + i, 80),
+                stats: FlowStats {
+                    packets: sent,
+                    retransmissions: bad,
+                    bytes: sent * 1500,
+                    rtt_sum_us: 0,
+                    rtt_count: 0,
+                    rtt_max_us: 0,
+                },
+                class: TrafficClass::Passive,
+                true_path: tp,
+            });
+        }
+        let obs = assemble(
+            &topo,
+            &router,
+            &flows,
+            &[InputKind::A2, InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        (topo, obs)
+    }
+
+    /// Coalescing is exact: the coalesced and raw engines agree on the
+    /// likelihood and the entire Δ array, initially and along a flip walk
+    /// that exercises both fabric comps and extras.
+    #[test]
+    fn coalesced_engine_matches_raw_engine() {
+        let (topo, obs) = coalescable_obs(31);
+        let params = HyperParams::default();
+        let raw_opts = EngineOptions { coalesce: false };
+        let mut co = Engine::new(&topo, &obs, params);
+        let mut raw = Engine::with_options(&topo, &obs, params, None, raw_opts);
+
+        assert!(
+            co.n_flows() < raw.n_flows(),
+            "fixed-size traffic must coalesce: {} vs {}",
+            co.n_flows(),
+            raw.n_flows()
+        );
+        assert_eq!(co.n_observations(), raw.n_observations());
+
+        let agree = |co: &Engine, raw: &Engine| {
+            assert!(
+                (co.log_likelihood() - raw.log_likelihood()).abs()
+                    < 1e-8 * (1.0 + raw.log_likelihood().abs()),
+                "ll {} vs {}",
+                co.log_likelihood(),
+                raw.log_likelihood()
+            );
+            for (i, (a, b)) in co.delta().iter().zip(raw.delta()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-8 * (1.0 + b.abs()),
+                    "delta[{i}]: coalesced {a} vs raw {b}"
+                );
+            }
+        };
+        agree(&co, &raw);
+
+        let n = co.n_comps() as u32;
+        let mut rng = StdRng::seed_from_u64(7);
+        // Mix fabric flips with host-link (extras) flips and removals.
+        let mut walk: Vec<u32> = (0..10).map(|_| rng.random_range(0..n)).collect();
+        let dup = walk[2];
+        walk.push(dup); // guaranteed removal
+        for c in walk {
+            let d1 = co.flip(c);
+            let d2 = raw.flip(c);
+            assert!(
+                (d1 - d2).abs() < 1e-8 * (1.0 + d2.abs()),
+                "flip({c}) gain {d1} vs {d2}"
+            );
+            agree(&co, &raw);
+        }
+    }
+
+    /// Pinned weight must track member state exactly through extras
+    /// flips, keeping the fabric sweep's active weight consistent.
+    #[test]
+    fn pinned_weight_consistent_after_extras_flips() {
+        let (topo, obs) = coalescable_obs(32);
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
+        // Flip every host-attachment link component on, then off.
+        let host_comps: Vec<u32> = (0..engine.n_comps() as u32)
+            .filter(|&c| !engine.space().is_device(c))
+            .take(24)
+            .collect();
+        for &c in &host_comps {
+            engine.flip(c);
+        }
+        let h = engine.hypothesis().to_vec();
+        assert!((engine.ll_of(&h) - engine.log_likelihood()).abs() < 1e-7);
+        for &c in &host_comps {
+            engine.flip(c);
+        }
+        assert!(engine.hypothesis().is_empty());
+        assert!((engine.log_likelihood()).abs() < 1e-7);
+        for f in &engine.sflows {
+            assert_eq!(f.pinned, 0.0, "all pins released");
+        }
+        for m in &engine.members {
+            assert_eq!(m.extra_fail, 0);
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! sequence, and greedy must match exhaustive MLE in the separable-failure
 //! regime (§4.2).
 
-use flock_core::{llf, Engine, FlockGreedy, HyperParams, Localizer, SherlockFerret};
+use flock_core::{llf, Engine, EngineOptions, FlockGreedy, HyperParams, Localizer, SherlockFerret};
 use flock_telemetry::input::{assemble, AnalysisMode, InputKind};
 use flock_telemetry::{FlowKey, FlowStats, MonitoredFlow, ObservationSet, TrafficClass};
 use flock_topology::clos::{leaf_spine, three_tier, ClosParams, LeafSpineParams};
@@ -12,8 +12,16 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Random mixed-telemetry observation set on a tiny Clos.
-fn random_obs(seed: u64, n_flows: usize, kinds: &[InputKind]) -> (Topology, ObservationSet) {
+/// Random mixed-telemetry observation set on a tiny Clos. When
+/// `quantized` is set, flow sizes come from a four-value palette so the
+/// `(set, sent, bad)` evidence key repeats heavily and the coalescing
+/// path has real runs to collapse.
+fn random_obs_sized(
+    seed: u64,
+    n_flows: usize,
+    kinds: &[InputKind],
+    quantized: bool,
+) -> (Topology, ObservationSet) {
     let topo = three_tier(ClosParams::tiny());
     let router = Router::new(&topo);
     let hosts = topo.hosts().to_vec();
@@ -30,8 +38,16 @@ fn random_obs(seed: u64, n_flows: usize, kinds: &[InputKind]) -> (Topology, Obse
         let mut tp = vec![topo.host_uplink(s)];
         tp.extend_from_slice(&paths[pick].links);
         tp.push(topo.host_downlink(d));
-        let sent = rng.random_range(1..300u64);
-        let bad = rng.random_range(0..=sent.min(8));
+        let sent = if quantized {
+            [20u64, 50, 100, 200][rng.random_range(0..4usize)]
+        } else {
+            rng.random_range(1..300u64)
+        };
+        let bad = if quantized {
+            [0u64, 0, 0, 1, 2][rng.random_range(0..5usize)].min(sent)
+        } else {
+            rng.random_range(0..=sent.min(8))
+        };
         flows.push(MonitoredFlow {
             key: FlowKey::tcp(s, d, (i % 60000) as u16, 80),
             stats: FlowStats {
@@ -48,6 +64,11 @@ fn random_obs(seed: u64, n_flows: usize, kinds: &[InputKind]) -> (Topology, Obse
     }
     let obs = assemble(&topo, &router, &flows, kinds, AnalysisMode::PerPacket);
     (topo, obs)
+}
+
+/// Random mixed-telemetry observation set on a tiny Clos.
+fn random_obs(seed: u64, n_flows: usize, kinds: &[InputKind]) -> (Topology, ObservationSet) {
+    random_obs_sized(seed, n_flows, kinds, false)
 }
 
 proptest! {
@@ -86,6 +107,79 @@ proptest! {
             prop_assert!(
                 (expect - got).abs() < 1e-6 * (1.0 + expect.abs()),
                 "comp {}: delta {} vs brute {}", c, got, expect
+            );
+        }
+    }
+
+    /// Coalescing invariance: for random observation sets, the coalesced
+    /// and raw engines produce the same log-likelihood, the same Δ array
+    /// (fp tolerance), and the same greedy verdict — the collapse of
+    /// equal `(set, sent, bad)` evidence keys into weighted super-flows
+    /// is exact, not an approximation.
+    #[test]
+    fn coalescing_is_invariant(
+        seed in 0u64..1000,
+        flips in prop::collection::vec(any::<u16>(), 0..8),
+        quantized in any::<bool>(),
+        mixed in any::<bool>(),
+    ) {
+        let kinds: &[InputKind] = if mixed {
+            &[InputKind::A2, InputKind::P]
+        } else {
+            &[InputKind::P]
+        };
+        let (topo, obs) = random_obs_sized(seed, 60, kinds, quantized);
+        let params = HyperParams::default();
+        let mut co = Engine::with_options(
+            &topo, &obs, params, None, EngineOptions { coalesce: true });
+        let mut raw = Engine::with_options(
+            &topo, &obs, params, None, EngineOptions { coalesce: false });
+        prop_assert!(co.n_flows() <= raw.n_flows());
+        prop_assert_eq!(co.n_observations(), raw.n_observations());
+
+        // Same likelihood and Δ array along an arbitrary flip walk.
+        let n = co.n_comps() as u32;
+        for &f in &flips {
+            let c = f as u32 % n;
+            let d1 = co.flip(c);
+            let d2 = raw.flip(c);
+            prop_assert!((d1 - d2).abs() < 1e-7 * (1.0 + d2.abs()),
+                "flip({}) gain {} vs {}", c, d1, d2);
+        }
+        prop_assert!(
+            (co.log_likelihood() - raw.log_likelihood()).abs()
+                < 1e-7 * (1.0 + raw.log_likelihood().abs()),
+            "ll {} vs {}", co.log_likelihood(), raw.log_likelihood());
+        for (i, (a, b)) in co.delta().iter().zip(raw.delta()).enumerate() {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()),
+                "delta[{}]: coalesced {} vs raw {}", i, a, b);
+        }
+
+        // Same greedy verdict on fresh engines. Exception: when distinct
+        // components tie exactly in gain (the 2-pod Clos's serial-link
+        // equivalence classes), float summation order can break the tie
+        // either way — both verdicts are then correct greedy outcomes,
+        // recognized by equal posteriors.
+        let mut co2 = Engine::with_options(
+            &topo, &obs, params, None, EngineOptions { coalesce: true });
+        let mut raw2 = Engine::with_options(
+            &topo, &obs, params, None, EngineOptions { coalesce: false });
+        let greedy = FlockGreedy::default();
+        let (pc, _) = greedy.search(&mut co2);
+        let (pr, _) = greedy.search(&mut raw2);
+        let mut vc: Vec<u32> = pc.iter().map(|(c, _)| *c).collect();
+        let mut vr: Vec<u32> = pr.iter().map(|(c, _)| *c).collect();
+        vc.sort_unstable();
+        vr.sort_unstable();
+        if vc != vr {
+            let posterior = |h: &[u32]| {
+                raw2.ll_of(h) + h.iter().map(|&c| raw2.prior_logodds(c)).sum::<f64>()
+            };
+            let (post_c, post_r) = (posterior(&vc), posterior(&vr));
+            prop_assert!(
+                (post_c - post_r).abs() < 1e-7 * (1.0 + post_r.abs()),
+                "greedy verdicts diverge beyond a tie: {:?} (post {}) vs {:?} (post {})",
+                vc, post_c, vr, post_r
             );
         }
     }

@@ -60,10 +60,13 @@ pub fn run(opts: &ExpOpts, flows_override: Option<usize>) -> String {
     let asm_start = std::time::Instant::now();
     let obs = trace.assemble(&[A1, A2, P], AnalysisMode::PerPacket);
     out.push_str(&format!(
-        "input assembly (A1+A2+P): {} ({} aggregated observations from {} flows)\n\n",
+        "input assembly (A1+A2+P): {} ({} aggregated observations from {} flows; \
+         {} super-flows after evidence coalescing, x{:.1})\n\n",
         dur(asm_start.elapsed()),
         obs.flows.len(),
         obs.flow_count(),
+        obs.coalesced_count(),
+        obs.flows.len() as f64 / obs.coalesced_count().max(1) as f64,
     ));
 
     let mut tbl = Table::new(&[

@@ -10,7 +10,11 @@
 //!    per-record window assignment;
 //! 2. each closed epoch's records are reconstructed into
 //!    [`MonitoredFlow`]s and assembled into an [`ObservationSet`] against
-//!    a *persistent* [`Assembler`] arena (append-only interning);
+//!    a *persistent* [`Assembler`] arena (append-only interning), emitted
+//!    sorted by the `(path set, sent, bad)` evidence key so each shard
+//!    engine coalesces equal-key runs into weighted super-flows — the
+//!    spine shard, which sees nearly all inter-pod traffic, drops from
+//!    O(inter-pod flows) to O(distinct evidence keys) per epoch;
 //! 3. one engine per shard localizes the epoch, **warm-started** from the
 //!    shard's previous verdict: the engine is
 //!    [rebound](flock_core::Engine::rebind_filtered) instead of rebuilt
@@ -22,7 +26,7 @@
 
 use crate::epoch::{Epoch, EpochConfig, EpochManager};
 use crate::shard::{SetTouchIndex, Shard, ShardPlan};
-use flock_core::{CompIdx, Engine, FlockGreedy, HyperParams, LocalizationResult};
+use flock_core::{CompIdx, Engine, EngineOptions, FlockGreedy, HyperParams, LocalizationResult};
 use flock_telemetry::{
     AnalysisMode, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow, ObservationSet,
     StampedRecord,
@@ -49,6 +53,11 @@ pub struct StreamConfig {
     /// Partition the component space by pod and run shards on separate
     /// threads (`false` = one shard owning everything).
     pub shard_by_pod: bool,
+    /// Coalesce observations sharing the same `(path set, sent, bad)`
+    /// evidence key into weighted super-flows inside each shard engine
+    /// (exact; `false` = one engine flow per observation, the raw
+    /// baseline the `evidence_coalesce` bench measures against).
+    pub coalesce: bool,
 }
 
 impl StreamConfig {
@@ -62,6 +71,7 @@ impl StreamConfig {
             params: HyperParams::default(),
             warm_start: true,
             shard_by_pod: false,
+            coalesce: true,
         }
     }
 }
@@ -73,8 +83,12 @@ pub struct ShardOutcome {
     pub label: String,
     /// Components the shard blamed *and owns* (what the merge kept).
     pub kept: usize,
-    /// Flows the shard's engine saw this epoch.
+    /// Super-flows the shard's engine built this epoch (distinct evidence
+    /// keys when coalescing is on).
     pub flows: usize,
+    /// Raw observations the shard accepted before coalescing;
+    /// `raw_flows / flows` is the shard's coalesce ratio.
+    pub raw_flows: usize,
     /// Whether the engine was warm-rebound (vs built from scratch).
     pub warm: bool,
     /// Hypotheses scanned by the shard's search.
@@ -316,9 +330,20 @@ fn run_shard(
     };
 
     let warm = cfg.warm_start && state.engine.is_some();
+    let opts = EngineOptions {
+        coalesce: cfg.coalesce,
+    };
     match &mut state.engine {
         Some(engine) if cfg.warm_start => engine.rebind_filtered(topo, obs, Some(&filter)),
-        slot => *slot = Some(Engine::new_filtered(topo, obs, cfg.params, Some(&filter))),
+        slot => {
+            *slot = Some(Engine::with_options(
+                topo,
+                obs,
+                cfg.params,
+                Some(&filter),
+                opts,
+            ))
+        }
     }
     let engine = state.engine.as_mut().expect("engine just installed");
 
@@ -340,6 +365,7 @@ fn run_shard(
         label: shard.label.clone(),
         kept: kept.len(),
         flows: engine.n_flows(),
+        raw_flows: engine.n_observations(),
         warm,
         hypotheses_scanned: scanned,
         log_likelihood: engine.log_likelihood(),

@@ -24,6 +24,14 @@ use flock_topology::{LinkId, NodeRole, Router, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Content hash used by the arena's hashed-over-storage dedup indexes.
+fn content_hash<T: std::hash::Hash>(xs: &[T]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    xs.hash(&mut h);
+    h.finish()
+}
+
 /// Index of an interned fabric path in a [`PathArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PathId(pub u32);
@@ -33,14 +41,20 @@ pub struct PathId(pub u32);
 pub struct PathSetId(pub u32);
 
 /// Interning arena for fabric paths and path sets.
+///
+/// The dedup indexes hash *over the stored content* — they map a content
+/// hash to the candidate ids whose stored path/set must be compared — so
+/// interning keeps exactly one copy of every link/path sequence. The
+/// naive `HashMap<Vec<_>, id>` alternative clones each sequence into its
+/// key: at millions of interned sets that doubles the arena's memory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PathArena {
     paths: Vec<Vec<LinkId>>,
     sets: Vec<Vec<PathId>>,
     #[serde(skip)]
-    path_lookup: HashMap<Vec<LinkId>, PathId>,
+    path_lookup: HashMap<u64, Vec<PathId>>,
     #[serde(skip)]
-    set_lookup: HashMap<Vec<PathId>, PathSetId>,
+    set_lookup: HashMap<u64, Vec<PathSetId>>,
     /// Process-unique lineage token, stamped at creation and preserved by
     /// `Clone` (a clone shares content, so ids interned against either
     /// copy resolve identically). Lets holders of interned ids
@@ -77,12 +91,17 @@ impl PathArena {
     /// Intern a fabric path (a link sequence; may be empty for same-ToR
     /// traffic).
     pub fn intern_path(&mut self, links: &[LinkId]) -> PathId {
-        if let Some(id) = self.path_lookup.get(links) {
-            return *id;
+        let h = content_hash(links);
+        if let Some(cands) = self.path_lookup.get(&h) {
+            for &id in cands {
+                if self.paths[id.0 as usize] == links {
+                    return id;
+                }
+            }
         }
         let id = PathId(self.paths.len() as u32);
         self.paths.push(links.to_vec());
-        self.path_lookup.insert(links.to_vec(), id);
+        self.path_lookup.entry(h).or_default().push(id);
         id
     }
 
@@ -98,16 +117,22 @@ impl PathArena {
     }
 
     /// Intern a set of already-interned paths. Order-insensitive: the set
-    /// is canonicalized by sorting.
+    /// is canonicalized by sorting. The canonical vector is stored once —
+    /// the dedup index holds only a content hash, not a key copy.
     pub fn intern_set(&mut self, mut paths: Vec<PathId>) -> PathSetId {
         paths.sort_unstable_by_key(|p| p.0);
         paths.dedup();
-        if let Some(id) = self.set_lookup.get(&paths) {
-            return *id;
+        let h = content_hash(&paths);
+        if let Some(cands) = self.set_lookup.get(&h) {
+            for &id in cands {
+                if self.sets[id.0 as usize] == paths {
+                    return id;
+                }
+            }
         }
         let id = PathSetId(self.sets.len() as u32);
-        self.sets.push(paths.clone());
-        self.set_lookup.insert(paths, id);
+        self.sets.push(paths);
+        self.set_lookup.entry(h).or_default().push(id);
         id
     }
 
@@ -177,6 +202,17 @@ impl FlowObs {
     pub fn path_known(&self, arena: &PathArena) -> bool {
         arena.set(self.set).len() == 1
     }
+
+    /// The observation's *evidence key*: everything the flow likelihood
+    /// (Eq. 1) depends on besides the per-prefix extras. Observations
+    /// sharing this key coalesce exactly into one weighted super-flow;
+    /// the assembler sorts by it, [`ObservationSet::coalesced_count`]
+    /// counts runs of it, and the inference engine collapses on it —
+    /// one definition keeps the three in lockstep.
+    #[inline]
+    pub fn evidence_key(&self) -> (u32, u64, u64) {
+        (self.set.0, self.sent, self.bad)
+    }
 }
 
 /// The input to every inference scheme: interned paths plus aggregated
@@ -195,6 +231,23 @@ impl ObservationSet {
     /// Total underlying flows (sum of weights).
     pub fn flow_count(&self) -> u64 {
         self.flows.iter().map(|f| u64::from(f.weight)).sum()
+    }
+
+    /// Number of distinct `(set, sent, bad)` evidence keys, counted over
+    /// adjacent runs — the super-flow count an engine coalesces to
+    /// (observations are emitted sorted by exactly that key). The ratio
+    /// `flows.len() / coalesced_count()` is the epoch's coalesce factor.
+    pub fn coalesced_count(&self) -> usize {
+        let mut n = 0;
+        let mut last: Option<(u32, u64, u64)> = None;
+        for o in &self.flows {
+            let key = o.evidence_key();
+            if last != Some(key) {
+                n += 1;
+                last = Some(key);
+            }
+        }
+        n
     }
 
     /// Iterate the full link sequence (prefix + fabric) of one member path
@@ -392,8 +445,11 @@ impl Assembler {
                 obs
             })
             .collect();
-        // Deterministic order independent of HashMap iteration.
-        out.sort_by_key(|o| (o.set.0, o.prefix, o.sent, o.bad));
+        // Deterministic order independent of HashMap iteration, keyed so
+        // observations sharing the `(set, sent, bad)` evidence key are
+        // adjacent: downstream consumers (the inference engine) coalesce
+        // contiguous runs into weighted super-flows.
+        out.sort_by_key(|o| (o.evidence_key(), o.prefix));
         self.arena_out = true;
         self.emitted_lineage = self.arena.lineage();
         self.emitted_paths = self.arena.path_count();
@@ -599,6 +655,56 @@ mod tests {
         assert_eq!(obs.flows.len(), 1);
         assert_eq!(obs.flows[0].weight, 2);
         assert_eq!(obs.flow_count(), 2);
+    }
+
+    #[test]
+    fn observations_sort_by_evidence_key_and_count_coalesced_runs() {
+        let topo = three_tier(ClosParams::tiny());
+        let router = Router::new(&topo);
+        let hosts = topo.hosts();
+        // Four flows over the same ToR pair: three share the (sent, bad)
+        // evidence key across two distinct host pairs, one differs.
+        let flows = vec![
+            mk_passive(&topo, &router, hosts[0], hosts[11], 50, 0),
+            mk_passive(&topo, &router, hosts[1], hosts[10], 50, 0),
+            mk_passive(&topo, &router, hosts[0], hosts[10], 50, 0),
+            mk_passive(&topo, &router, hosts[1], hosts[11], 70, 1),
+        ];
+        let obs = assemble(
+            &topo,
+            &router,
+            &flows,
+            &[InputKind::P],
+            AnalysisMode::PerPacket,
+        );
+        assert_eq!(obs.flows.len(), 4, "distinct prefixes stay distinct");
+        // Same-key observations are adjacent…
+        assert!(obs
+            .flows
+            .windows(2)
+            .all(|w| (w[0].set.0, w[0].sent, w[0].bad) <= (w[1].set.0, w[1].sent, w[1].bad)));
+        // …and collapse to two evidence keys.
+        assert_eq!(obs.coalesced_count(), 2);
+    }
+
+    #[test]
+    fn arena_interning_survives_hash_bucketing_at_scale() {
+        // Many distinct single-link paths and sets: every id must resolve
+        // to its own content, and re-interning must dedup (the
+        // hashed-over-storage index has no key copies to fall back on).
+        let mut a = PathArena::new();
+        let ids: Vec<PathId> = (0..500).map(|i| a.intern_path(&[LinkId(i)])).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(a.path(*id), &[LinkId(i as u32)]);
+            assert_eq!(a.intern_path(&[LinkId(i as u32)]), *id);
+        }
+        assert_eq!(a.path_count(), 500);
+        let sets: Vec<PathSetId> = ids.chunks(2).map(|c| a.intern_set(c.to_vec())).collect();
+        for (i, sid) in sets.iter().enumerate() {
+            assert_eq!(a.set(*sid), &ids[i * 2..i * 2 + 2]);
+            assert_eq!(a.intern_set(vec![ids[i * 2 + 1], ids[i * 2]]), *sid);
+        }
+        assert_eq!(a.set_count(), 250);
     }
 
     #[test]

@@ -192,14 +192,25 @@ fn print_report(
     let truth = scenario.scenario_at(report.epoch_index).truth;
     let pr = flock::core::evaluate(topo, &report.result.predicted, &truth);
     let warm = report.shards.iter().filter(|s| s.warm).count();
+    // Evidence coalescing across shard engines: raw accepted
+    // observations vs the weighted super-flows actually inferred over.
+    // Both sums count an observation once per shard whose filter accepts
+    // it, so they measure shard-engine work (and its reduction), not the
+    // epoch's assembled observation count — that is `report.observations`.
+    let raw: usize = report.shards.iter().map(|s| s.raw_flows).sum();
+    let sflows: usize = report.shards.iter().map(|s| s.flows).sum();
     println!(
-        "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | blamed {:?} \
+        "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | shard evidence \
+         {:>5} → {:>4} super-flows (x{:.1}) | blamed {:?} \
          | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | conns {} up / {} closed | {:?}",
         report.epoch_index,
         report.start_ms,
         report.end_ms,
         report.records,
         report.observations,
+        raw,
+        sflows,
+        raw as f64 / sflows.max(1) as f64,
         report.result.predicted,
         truth.failed_links,
         pr.precision,
