@@ -1,4 +1,4 @@
-//! NetBouncer's regularized drop-rate solver (Figure 5 of [54]).
+//! NetBouncer's regularized drop-rate solver (Figure 5 of \[54\]).
 //!
 //! NetBouncer models the success probability of a known path as the
 //! product of per-link success probabilities `x_l` and fits them to the

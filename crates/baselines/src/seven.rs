@@ -1,4 +1,4 @@
-//! 007's link voting (Algorithm 1 of [11]).
+//! 007's link voting (Algorithm 1 of \[11\]).
 //!
 //! Every "bad" flow — one with at least one retransmission — contributes a
 //! vote of `1/h` to each of the `h` links on its traced path. The ranking

@@ -12,13 +12,22 @@
 //!
 //! Measured layers:
 //! * `sharded_epoch_{coalesced,raw}` — the full pod-sharded warm
-//!   pipeline per epoch (assembly + all shard engines + merge);
+//!   pipeline per epoch (assembly + all shard engines + merge), on the
+//!   single-spine-shard plan;
 //! * `spine_engine_{coalesced,raw}` — the spine shard's engine alone
 //!   (rebind + warm search on identical spine-filtered observations),
-//!   isolating the shard the coalescing targets.
+//!   isolating the shard the coalescing targets;
+//! * `spine_tier_{single,planes}` — the spine tier's epoch cost on
+//!   traced (INT-kind) evidence, as one engine over all spine
+//!   observations vs one engine per spine *plane* running in parallel
+//!   (each seeing only its plane's slice). Traced evidence partitions
+//!   by plane exactly, so the per-plane wall time should scale down
+//!   near-linearly with the plane count at identical verdicts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flock_bench::{arena_warmed_obs, spine_heavy_epochs, spine_shard};
+use flock_bench::{
+    arena_warmed_obs, combined_touches, plane_shards, spine_heavy_epochs, spine_shard,
+};
 use flock_core::{Engine, EngineOptions, FlockGreedy, HyperParams};
 use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
 use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
@@ -44,6 +53,7 @@ fn bench(c: &mut Criterion) {
                 mode: AnalysisMode::PerPacket,
                 warm_start: true,
                 shard_by_pod: true,
+                spine_planes: false,
                 coalesce,
                 ..StreamConfig::paper_default()
             },
@@ -77,10 +87,8 @@ fn bench(c: &mut Criterion) {
     // ---- Spine shard engine alone on identical observations. ----
     let obs = arena_warmed_obs(&fixture, &kinds);
     let (spine, touch) = spine_shard(topo, &obs);
-    let filter = |o: &FlowObs| {
-        let (set_touch, prefix_touch) = touch.flow_touch(topo, o);
-        spine.relevant(set_touch, prefix_touch)
-    };
+    let touches = combined_touches(topo, &obs, &touch);
+    let filter = |i: usize, _: &FlowObs| spine.relevant_combined(touches[i]);
     let params = HyperParams::default();
     let greedy = FlockGreedy::default();
 
@@ -98,6 +106,70 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 engine.rebind_filtered(topo, &obs, Some(&filter));
                 greedy.search_warm(&mut engine, &seed)
+            });
+        });
+    }
+
+    // ---- Spine tier on traced evidence: one engine vs one per plane. ----
+    let obs_int = arena_warmed_obs(&fixture, &[InputKind::Int]);
+    {
+        let (spine, touch) = spine_shard(topo, &obs_int);
+        let touches = combined_touches(topo, &obs_int, &touch);
+        let filter = |i: usize, _: &FlowObs| spine.relevant_combined(touches[i]);
+        let mut engine = Engine::new_filtered(topo, &obs_int, params, Some(&filter));
+        let seed: Vec<u32> = {
+            let (picked, _) = greedy.search(&mut engine);
+            picked.iter().map(|(c, _)| *c).collect()
+        };
+        println!(
+            "spine tier (traced): {} super-flows on the single spine engine",
+            engine.n_flows()
+        );
+        group.bench_function("spine_tier_single", |b| {
+            b.iter(|| {
+                engine.rebind_filtered(topo, &obs_int, Some(&filter));
+                greedy.search_warm(&mut engine, &seed)
+            });
+        });
+    }
+    {
+        let (planes, touch) = plane_shards(topo, &obs_int);
+        let touches = combined_touches(topo, &obs_int, &touch);
+        let touches = &touches;
+        let mut engines: Vec<(Engine, Vec<u32>)> = planes
+            .iter()
+            .map(|shard| {
+                let filter = |i: usize, _: &FlowObs| shard.relevant_combined(touches[i]);
+                let mut e = Engine::new_filtered(topo, &obs_int, params, Some(&filter));
+                let (picked, _) = greedy.search(&mut e);
+                let seed: Vec<u32> = picked.iter().map(|(c, _)| *c).collect();
+                (e, seed)
+            })
+            .collect();
+        println!(
+            "spine tier (traced): {} planes, per-plane super-flows {:?}",
+            planes.len(),
+            engines.iter().map(|(e, _)| e.n_flows()).collect::<Vec<_>>()
+        );
+        let obs_ref = &obs_int;
+        let greedy = &greedy;
+        // One thread per plane — the deployment shape. On a single-core
+        // runner the wall time degenerates to the sum of plane costs;
+        // `bench-report`'s `planes` section also reports the critical
+        // path (max per-plane engine time), which is what a machine
+        // with one core per plane sees.
+        group.bench_function("spine_tier_planes", |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (shard, (engine, seed)) in planes.iter().zip(engines.iter_mut()) {
+                        scope.spawn(move || {
+                            let filter =
+                                |i: usize, _: &FlowObs| shard.relevant_combined(touches[i]);
+                            engine.rebind_filtered(topo, obs_ref, Some(&filter));
+                            greedy.search_warm(engine, seed)
+                        });
+                    }
+                });
             });
         });
     }

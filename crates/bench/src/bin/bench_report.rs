@@ -9,14 +9,32 @@
 //! * flip throughput (JLE flips/s on a built engine);
 //! * evidence coalescing on the spine-heavy fixture: sharded epoch time
 //!   coalesced vs raw, the spine-shard engine alone, and the spine
-//!   shard's coalesce ratio (raw observations per super-flow).
+//!   shard's coalesce ratio (raw observations per super-flow);
+//! * spine-plane sharding on the same fixture with traced evidence:
+//!   the spine-tier epoch cost as one engine vs one per plane (in
+//!   parallel), plus the plane count and per-plane evidence counts.
 //!
 //! ```text
 //! cargo run --release -p flock-bench --bin bench-report -- \
 //!     [--scale smoke|small|medium] [--samples N] [--out BENCH_stream.json]
 //! ```
+//!
+//! The `bench-diff` subcommand is the CI perf-regression gate: it
+//! compares a fresh report against the committed baseline and exits
+//! non-zero when the warm-epoch or flip-throughput *best-observed*
+//! values (min time / max throughput — robust to co-tenant noise on
+//! shared runners, where medians flap) regress more than the allowed
+//! fraction (default 15%):
+//!
+//! ```text
+//! bench-report bench-diff --baseline ci/BENCH_baseline_smoke.json \
+//!     --current BENCH_stream.json [--max-regress 0.15]
+//! ```
 
-use flock_bench::{arena_warmed_obs, spine_heavy_epochs, spine_shard, steady_epochs};
+use flock_bench::{
+    arena_warmed_obs, combined_touches, plane_shards, spine_heavy_epochs, spine_shard,
+    steady_epochs,
+};
 use flock_core::{Engine, EngineOptions, FlockGreedy, HyperParams};
 use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
 use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
@@ -56,8 +74,12 @@ const SCALES: &[Scale] = &[
     },
 ];
 
-/// Median of timed runs of `f`, in milliseconds.
-fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+/// Median and minimum of timed runs of `f`, in milliseconds. The
+/// median is the representative datapoint; the minimum is the
+/// noise-robust estimator the regression gate compares (external
+/// interference only ever inflates a CPU-bound sample, so the best
+/// observed run tracks the code's true cost across busy machines).
+fn time_ms(samples: usize, mut f: impl FnMut()) -> (f64, f64) {
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
             let t = Instant::now();
@@ -66,14 +88,23 @@ fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
         })
         .collect();
     times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    (times[times.len() / 2], times[0])
+}
+
+/// Median of timed runs of `f`, in milliseconds.
+fn median_ms(samples: usize, f: impl FnMut()) -> f64 {
+    time_ms(samples, f).0
 }
 
 fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("bench-diff") {
+        args.next();
+        std::process::exit(bench_diff(args));
+    }
     let mut out_path = "BENCH_stream.json".to_string();
     let mut scale_name = "small".to_string();
     let mut samples = 9usize;
-    let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |flag: &str| {
             args.next()
@@ -105,15 +136,20 @@ fn main() {
         ..StreamConfig::paper_default()
     };
     let mut epoch_ms = [0.0f64; 2]; // [cold, warm]
+    let mut warm_epoch_ms_min = 0.0f64;
     for (slot, warm) in [(0usize, false), (1usize, true)] {
         let mut pipe = StreamPipeline::new(topo, mk_cfg(warm));
         pipe.run_flows(0, 0, 1_000, &fixture.epochs[0]);
         let mut i = 1u64;
-        epoch_ms[slot] = median_ms(samples, || {
+        let (median, min) = time_ms(samples, || {
             let flows = &fixture.epochs[(i as usize) % fixture.epochs.len()];
             pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
             i += 1;
         });
+        epoch_ms[slot] = median;
+        if warm {
+            warm_epoch_ms_min = min;
+        }
     }
 
     // ---- Engine layer alone on identical observations. ----
@@ -131,13 +167,14 @@ fn main() {
     let stride = (n / 512).max(1);
     let comps: Vec<u32> = (0..n).step_by(stride as usize).collect();
     let flips_per_sample = (comps.len() * 2) as f64;
-    let flip_ms = median_ms(samples, || {
+    let (flip_ms, flip_ms_min) = time_ms(samples, || {
         for &c in &comps {
             engine.flip(c);
             engine.flip(c);
         }
     });
     let flip_throughput = flips_per_sample / (flip_ms / 1e3);
+    let flip_throughput_max = flips_per_sample / (flip_ms_min / 1e3);
     let coalesce_ratio_steady = obs.flows.len() as f64 / obs.coalesced_count().max(1) as f64;
 
     // ---- Evidence coalescing on the spine-heavy fixture. ----
@@ -155,6 +192,7 @@ fn main() {
                 mode: AnalysisMode::PerPacket,
                 warm_start: true,
                 shard_by_pod: true,
+                spine_planes: false,
                 coalesce,
                 ..StreamConfig::paper_default()
             },
@@ -181,10 +219,8 @@ fn main() {
     // the same harness the `evidence_coalesce` bench times.
     let sobs = arena_warmed_obs(&spine_fixture, &KINDS);
     let (spine, touch) = spine_shard(stopo, &sobs);
-    let filter = |o: &FlowObs| {
-        let (set_touch, prefix_touch) = touch.flow_touch(stopo, o);
-        spine.relevant(set_touch, prefix_touch)
-    };
+    let stouches = combined_touches(stopo, &sobs, &touch);
+    let filter = |i: usize, _: &FlowObs| spine.relevant_combined(stouches[i]);
     let greedy = FlockGreedy::default();
     let mut spine_engine_ms = [0.0f64; 2]; // [raw, coalesced]
     for (slot, coalesce) in [(0usize, false), (1usize, true)] {
@@ -200,22 +236,100 @@ fn main() {
         });
     }
 
+    // ---- Spine-plane sharding on traced evidence (same fixture). ----
+    // Traced (INT-kind) path sets are plane-disjoint, so the per-plane
+    // engines see a clean partition of the spine evidence. Reported:
+    // the per-plane *critical path* (max of the per-plane medians —
+    // the spine-tier epoch time on a machine with one core per plane,
+    // which is the deployment shape) and the parallel wall time on
+    // this machine (degenerate on single-core runners).
+    let pobs = arena_warmed_obs(&spine_fixture, &[InputKind::Int]);
+    let greedy = FlockGreedy::default();
+    let spine_tier_single_ms;
+    {
+        let (spine, touch) = spine_shard(stopo, &pobs);
+        let touches = combined_touches(stopo, &pobs, &touch);
+        let filter = |i: usize, _: &FlowObs| spine.relevant_combined(touches[i]);
+        let mut e = Engine::new_filtered(stopo, &pobs, params, Some(&filter));
+        let seed: Vec<u32> = {
+            let (picked, _) = greedy.search(&mut e);
+            picked.iter().map(|(c, _)| *c).collect()
+        };
+        spine_tier_single_ms = median_ms(samples, || {
+            e.rebind_filtered(stopo, &pobs, Some(&filter));
+            greedy.search_warm(&mut e, &seed);
+        });
+    }
+    let (planes, ptouch) = plane_shards(stopo, &pobs);
+    let ptouches = combined_touches(stopo, &pobs, &ptouch);
+    let ptouches = &ptouches;
+    let n_planes = planes.len();
+    let mut plane_engines: Vec<(Engine, Vec<u32>)> = planes
+        .iter()
+        .map(|shard| {
+            let filter = |i: usize, _: &FlowObs| shard.relevant_combined(ptouches[i]);
+            let mut e = Engine::new_filtered(stopo, &pobs, params, Some(&filter));
+            let (picked, _) = greedy.search(&mut e);
+            let seed: Vec<u32> = picked.iter().map(|(c, _)| *c).collect();
+            (e, seed)
+        })
+        .collect();
+    let plane_flows: Vec<usize> = plane_engines.iter().map(|(e, _)| e.n_flows()).collect();
+    let per_plane_ms: Vec<f64> = planes
+        .iter()
+        .zip(plane_engines.iter_mut())
+        .map(|(shard, (engine, seed))| {
+            median_ms(samples, || {
+                let filter = |i: usize, _: &FlowObs| shard.relevant_combined(ptouches[i]);
+                engine.rebind_filtered(stopo, &pobs, Some(&filter));
+                greedy.search_warm(engine, seed);
+            })
+        })
+        .collect();
+    let spine_tier_plane_critical_ms = per_plane_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    let pobs_ref = &pobs;
+    let greedy_ref = &greedy;
+    let spine_tier_planes_wall_ms = median_ms(samples, || {
+        std::thread::scope(|scope| {
+            for (shard, (engine, seed)) in planes.iter().zip(plane_engines.iter_mut()) {
+                scope.spawn(move || {
+                    let filter = |i: usize, _: &FlowObs| shard.relevant_combined(ptouches[i]);
+                    engine.rebind_filtered(stopo, pobs_ref, Some(&filter));
+                    greedy_ref.search_warm(engine, seed);
+                });
+            }
+        });
+    });
+    let plane_flows_json = plane_flows
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let json = format!(
-        "{{\n  \"schema\": \"flock-bench-report/v1\",\n  \"scale\": \"{scale_name}\",\n  \
+        "{{\n  \"schema\": \"flock-bench-report/v2\",\n  \"scale\": \"{scale_name}\",\n  \
          \"samples\": {samples},\n  \"stream\": {{\n    \"cold_epoch_ms\": {:.4},\n    \
-         \"warm_epoch_ms\": {:.4},\n    \"engine_cold_build_ms\": {:.4},\n    \
+         \"warm_epoch_ms\": {:.4},\n    \"warm_epoch_ms_min\": {:.4},\n    \
+         \"engine_cold_build_ms\": {:.4},\n    \
          \"engine_rebind_ms\": {:.4},\n    \"flip_throughput_per_s\": {:.0},\n    \
+         \"flip_throughput_per_s_max\": {:.0},\n    \
          \"coalesce_ratio\": {:.3}\n  }},\n  \"coalesce\": {{\n    \
          \"sharded_epoch_raw_ms\": {:.4},\n    \"sharded_epoch_coalesced_ms\": {:.4},\n    \
          \"sharded_epoch_speedup\": {:.3},\n    \"spine_engine_raw_ms\": {:.4},\n    \
          \"spine_engine_coalesced_ms\": {:.4},\n    \"spine_engine_speedup\": {:.3},\n    \
          \"spine_raw_observations\": {spine_raw_obs},\n    \
-         \"spine_super_flows\": {spine_super_flows},\n    \"spine_coalesce_ratio\": {:.3}\n  }}\n}}\n",
+         \"spine_super_flows\": {spine_super_flows},\n    \"spine_coalesce_ratio\": {:.3}\n  }},\n  \
+         \"planes\": {{\n    \"n_planes\": {n_planes},\n    \
+         \"spine_tier_single_ms\": {:.4},\n    \"spine_tier_plane_critical_ms\": {:.4},\n    \
+         \"spine_tier_planes_wall_ms\": {:.4},\n    \"spine_tier_plane_speedup\": {:.3},\n    \
+         \"per_plane_super_flows\": [{plane_flows_json}]\n  }}\n}}\n",
         epoch_ms[0],
         epoch_ms[1],
+        warm_epoch_ms_min,
         cold_build_ms,
         rebind_ms,
         flip_throughput,
+        flip_throughput_max,
         coalesce_ratio_steady,
         sharded_ms[0],
         sharded_ms[1],
@@ -224,8 +338,126 @@ fn main() {
         spine_engine_ms[1],
         spine_engine_ms[0] / spine_engine_ms[1],
         spine_raw_obs as f64 / spine_super_flows.max(1) as f64,
+        spine_tier_single_ms,
+        spine_tier_plane_critical_ms,
+        spine_tier_planes_wall_ms,
+        spine_tier_single_ms / spine_tier_plane_critical_ms,
     );
     std::fs::write(&out_path, &json).expect("write report");
     print!("{json}");
     eprintln!("bench-report: wrote {out_path}");
+}
+
+/// Extract the number following `"key":` in a report (the reports are
+/// emitted by this binary, so a flat string scan is reliable — no JSON
+/// dependency needed in the offline build environment).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the string following `"key":` in a report.
+fn json_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The CI perf-regression gate. Exit codes: 0 = within budget, 1 = a
+/// gated metric regressed beyond the budget, 2 = the comparison is
+/// invalid (missing file/metric or mismatched scales).
+fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i32 {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regress = 0.15f64;
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = Some(val("--baseline")),
+            "--current" => current_path = Some(val("--current")),
+            "--max-regress" => {
+                max_regress = val("--max-regress").parse().expect("--max-regress: float")
+            }
+            other => panic!("unknown bench-diff argument {other}"),
+        }
+    }
+    let baseline_path = baseline_path.expect("bench-diff requires --baseline");
+    let current_path = current_path.expect("bench-diff requires --current");
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("bench-diff: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(base), Some(cur)) = (read(&baseline_path), read(&current_path)) else {
+        return 2;
+    };
+    let (bs, cs) = (json_string(&base, "scale"), json_string(&cur, "scale"));
+    if bs.is_none() || bs != cs {
+        eprintln!(
+            "bench-diff: scale mismatch (baseline {bs:?} vs current {cs:?}) — \
+             the gate only compares reports of the same --scale"
+        );
+        return 2;
+    }
+
+    // Gated metrics: (key, higher-is-worse). Warm epoch is the online
+    // pipeline's steady-state cost; flip throughput is the inference
+    // hot path. The gate compares the best-observed variants (min time
+    // / max throughput): external load on a shared runner only ever
+    // inflates a CPU-bound sample, so best-observed tracks the code's
+    // true cost where the median flaps with machine noise.
+    let gates: [(&str, bool); 2] = [
+        ("warm_epoch_ms_min", true),
+        ("flip_throughput_per_s_max", false),
+    ];
+    let mut failed = false;
+    println!(
+        "bench-diff: {current_path} vs {baseline_path} (budget {:.0}%)",
+        max_regress * 100.0
+    );
+    for (key, higher_is_worse) in gates {
+        let (Some(b), Some(c)) = (json_number(&base, key), json_number(&cur, key)) else {
+            eprintln!("bench-diff: metric {key} missing from one of the reports");
+            return 2;
+        };
+        let regression = if higher_is_worse {
+            c / b - 1.0
+        } else {
+            b / c - 1.0
+        };
+        let verdict = if regression > max_regress {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {key:>24}: baseline {b:>12.3}  current {c:>12.3}  ({:+.1}% {}) {verdict}",
+            regression * 100.0,
+            if higher_is_worse { "slower" } else { "lost" },
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench-diff: perf regression beyond the {:.0}% budget — if intentional, \
+             regenerate the baseline with `bench-report --scale <scale> --out <baseline>`",
+            max_regress * 100.0
+        );
+        1
+    } else {
+        0
+    }
 }

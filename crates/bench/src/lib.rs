@@ -5,7 +5,7 @@
 use flock_netsim::failure::{self, FailureScenario, DEFAULT_NOISE_MAX};
 use flock_netsim::flowsim::{run_probes, simulate_flows, FlowSimConfig};
 use flock_netsim::traffic::{generate_demands, FlowDemand, TrafficConfig, TrafficPattern};
-use flock_stream::{SetTouchIndex, Shard, ShardPlan};
+use flock_stream::{SetTouch, SetTouchIndex, Shard, ShardPlan};
 use flock_telemetry::input::{assemble, AnalysisMode, InputKind, ObservationSet};
 use flock_telemetry::{plan_a1_probes, Assembler, MonitoredFlow};
 use flock_topology::{ClosParams, GroundTruth, NodeRole, Router, Topology};
@@ -87,12 +87,14 @@ pub fn arena_warmed_obs(fixture: &SteadyEpochs, kinds: &[InputKind]) -> Observat
     )
 }
 
-/// The pod plan's spine shard plus a touch index covering `obs` — the
-/// parts of the spine shard's relevance filter, shared by the
-/// `evidence_coalesce` bench and `bench-report` so the criterion numbers
-/// and the JSON perf trajectory measure the same protocol.
+/// The single-spine-shard plan's spine shard plus a touch index covering
+/// `obs` — the parts of the spine shard's relevance filter, shared by
+/// the `evidence_coalesce` bench and `bench-report` so the criterion
+/// numbers and the JSON perf trajectory measure the same protocol. This
+/// is the pre-plane-sharding baseline the per-plane numbers compare
+/// against.
 pub fn spine_shard(topo: &Topology, obs: &ObservationSet) -> (Shard, SetTouchIndex) {
-    let plan = ShardPlan::by_pod(topo);
+    let plan = ShardPlan::by_pod_single_spine(topo);
     let shard = plan
         .shards
         .iter()
@@ -102,6 +104,43 @@ pub fn spine_shard(topo: &Topology, obs: &ObservationSet) -> (Shard, SetTouchInd
     let mut touch = SetTouchIndex::new();
     touch.extend(topo, obs);
     (shard, touch)
+}
+
+/// The spine-plane shards of the pod plan plus a touch index covering
+/// `obs` — one entry per spine plane, in plane order. The per-plane
+/// engines built from these filters are what replace the single spine
+/// engine of [`spine_shard`].
+pub fn plane_shards(topo: &Topology, obs: &ObservationSet) -> (Vec<Shard>, SetTouchIndex) {
+    let plan = ShardPlan::by_pod(topo);
+    let shards: Vec<Shard> = plan
+        .shards
+        .iter()
+        .filter(|s| matches!(s.kind, flock_stream::ShardKind::SpinePlane(_)))
+        .cloned()
+        .collect();
+    assert!(!shards.is_empty(), "topology has no spine planes");
+    let mut touch = SetTouchIndex::new();
+    touch.extend(topo, obs);
+    (shards, touch)
+}
+
+/// Combined (set ∪ prefix) touch signature per observation, in
+/// `obs.flows` order — the pipeline derives these once per epoch and
+/// answers every shard's relevance filter from them in O(1); the
+/// benches mirror that protocol so engine-layer numbers measure engine
+/// work, not per-engine signature derivation.
+pub fn combined_touches(
+    topo: &Topology,
+    obs: &ObservationSet,
+    touch: &SetTouchIndex,
+) -> Vec<SetTouch> {
+    obs.flows
+        .iter()
+        .map(|o| {
+            let (set_touch, prefix_touch) = touch.flow_touch(topo, o);
+            set_touch.union(prefix_touch)
+        })
+        .collect()
 }
 
 /// Quantized flow sizes (packets) for the spine-heavy fixture: RPC-style

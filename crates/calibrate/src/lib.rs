@@ -10,7 +10,7 @@
 //! of Fig. 2.
 //!
 //! * [`scheme`] — a serializable parameterization of each scheme that can
-//!   instantiate the corresponding [`Localizer`].
+//!   instantiate the corresponding [`Localizer`](flock_core::Localizer).
 //! * [`grid`] — the paper-shaped parameter grids (Fig. 8 ranges).
 //! * [`search`] — parallel grid evaluation over training traces, Pareto
 //!   front extraction, and the §5.2 selection rule.

@@ -234,8 +234,23 @@ pub struct Engine {
 
 /// Predicate selecting the observations an engine sees (sharded
 /// executors build several engines over one `ObservationSet`, each
-/// restricted to the flows that can implicate its components).
-pub type FlowFilter<'a> = &'a dyn Fn(&FlowObs) -> bool;
+/// restricted to the flows that can implicate its components). The
+/// first argument is the observation's index in `obs.flows`, so
+/// executors that precompute a per-flow relevance signature *once* per
+/// epoch (e.g. `flock-stream`'s pod/plane touch masks) can answer in
+/// O(1) per shard instead of re-deriving the signature per engine —
+/// with one engine per spine plane, that per-engine derivation would
+/// otherwise dominate the plane engines' (much smaller) real work.
+///
+/// Because the total log-likelihood is a sum of independent per-flow
+/// terms, filters that *partition* the observations yield engines whose
+/// likelihoods and Δ arrays sum exactly to the unfiltered engine's —
+/// the invariant per-plane spine sharding relies on: traced evidence
+/// splits by plane losslessly, and each plane engine's Δ entries for
+/// its own components equal the full engine's whenever the filter
+/// accepts every flow containing those components (see
+/// `filtered_engines_partition_evidence`).
+pub type FlowFilter<'a> = &'a dyn Fn(usize, &FlowObs) -> bool;
 
 impl Engine {
     /// Build an engine for `obs` over `topo`.
@@ -431,9 +446,9 @@ impl Engine {
         self.pair_set_flows.clear();
         self.pair_extra_members.clear();
         let mut last_key: Option<(u32, u64, u64)> = None;
-        for o in &obs.flows {
+        for (i, o) in obs.flows.iter().enumerate() {
             if let Some(keep) = filter {
-                if !keep(o) {
+                if !keep(i, o) {
                     continue;
                 }
             }
@@ -1388,15 +1403,73 @@ mod tests {
     #[test]
     fn filtered_engine_sees_only_selected_flows() {
         let (topo, obs) = small_obs(6);
-        let all = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_| true));
+        let all = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_, _| true));
         let full = Engine::new(&topo, &obs, HyperParams::default());
         assert_eq!(all.n_flows(), full.n_flows());
         for (a, b) in all.delta().iter().zip(full.delta()) {
             assert!((a - b).abs() < 1e-12);
         }
-        let none = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_| false));
+        let none = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_, _| false));
         assert_eq!(none.n_flows(), 0);
         assert!(none.delta().iter().all(|&d| d == 0.0));
+    }
+
+    /// Filters that partition the observation set produce engines whose
+    /// evidence is exactly additive: at any hypothesis reached by the
+    /// same flip sequence, the partial likelihoods (and likelihood
+    /// changes) sum to the full engine's. This is the engine-level
+    /// foundation of per-plane spine sharding, where each plane engine
+    /// is constructed from a plane-filtered slice of the evidence.
+    #[test]
+    fn filtered_engines_partition_evidence() {
+        let (topo, obs) = small_obs(8);
+        let params = HyperParams::default();
+        let mut full = Engine::new(&topo, &obs, params);
+        // A 3-way partition by path-set id (arbitrary but disjoint and
+        // exhaustive, like plane membership is for traced evidence).
+        let parts: Vec<Engine> = (0..3u32)
+            .map(|k| {
+                Engine::new_filtered(
+                    &topo,
+                    &obs,
+                    params,
+                    Some(&|_, o: &FlowObs| o.set.0 % 3 == k),
+                )
+            })
+            .collect();
+        let mut parts: Vec<Engine> = parts;
+        assert_eq!(
+            parts.iter().map(Engine::n_observations).sum::<usize>(),
+            full.n_observations(),
+            "partition must be lossless"
+        );
+        let agree = |full: &Engine, parts: &[Engine]| {
+            let ll: f64 = parts.iter().map(Engine::log_likelihood).sum();
+            assert!(
+                (ll - full.log_likelihood()).abs() < 1e-8 * (1.0 + full.log_likelihood().abs()),
+                "partial lls sum to {ll}, full {}",
+                full.log_likelihood()
+            );
+            for c in 0..full.n_comps() {
+                let d: f64 = parts.iter().map(|e| e.delta()[c]).sum();
+                assert!(
+                    (d - full.delta()[c]).abs() < 1e-8 * (1.0 + full.delta()[c].abs()),
+                    "delta[{c}]: partial sum {d} vs full {}",
+                    full.delta()[c]
+                );
+            }
+        };
+        agree(&full, &parts);
+        let n = full.n_comps() as u32;
+        for c in [n / 5, n / 2, n - 2, n / 2] {
+            let dll_full = full.flip(c);
+            let dll_parts: f64 = parts.iter_mut().map(|e| e.flip(c)).sum();
+            assert!(
+                (dll_full - dll_parts).abs() < 1e-8 * (1.0 + dll_full.abs()),
+                "flip({c}): partial sum {dll_parts} vs full {dll_full}"
+            );
+            agree(&full, &parts);
+        }
     }
 
     #[test]

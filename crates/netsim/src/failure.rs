@@ -6,7 +6,7 @@
 //! optional latency faults, and records the [`GroundTruth`] an evaluation
 //! scores against.
 
-use flock_topology::{GroundTruth, LinkId, NodeId, Topology};
+use flock_topology::{GroundTruth, LinkId, NodeId, SpinePlanes, Topology};
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
@@ -168,6 +168,71 @@ pub fn device_failure<R: Rng + ?Sized>(
     sc
 }
 
+/// All directed links incident to the spines of one plane, sorted and
+/// deduplicated — the candidate set of the plane-confined scenarios.
+fn plane_incident_links(topo: &Topology, planes: &SpinePlanes, plane: u16) -> Vec<LinkId> {
+    let mut links: Vec<LinkId> = planes
+        .spines_in(plane)
+        .iter()
+        .flat_map(|&s| topo.links_of_node(s))
+        .collect();
+    links.sort_unstable();
+    links.dedup();
+    links
+}
+
+/// Plane-confined gray failures: fail `n_failed` random links incident
+/// to the spines of one plane, with drop rates from `fail_range`.
+///
+/// Because a striped Clos carries disjoint ECMP slices per plane, every
+/// flow that can observe these failures crosses exactly this plane —
+/// the workload the per-plane spine shards of `flock-stream` localize
+/// without consulting any other plane's engine.
+pub fn plane_link_drops<R: Rng + ?Sized>(
+    topo: &Topology,
+    planes: &SpinePlanes,
+    plane: u16,
+    n_failed: usize,
+    fail_range: (f64, f64),
+    noise_max: f64,
+    rng: &mut R,
+) -> FailureScenario {
+    let mut sc = FailureScenario::noise_only(topo, noise_max, rng);
+    let mut candidates = plane_incident_links(topo, planes, plane);
+    candidates.shuffle(rng);
+    for l in candidates.into_iter().take(n_failed) {
+        let rate = fail_range.0 + rng.random::<f64>() * (fail_range.1 - fail_range.0);
+        sc.drop_rate[l.idx()] = rate;
+        sc.truth.failed_links.push(l);
+    }
+    sc.truth.failed_links.sort_unstable();
+    sc
+}
+
+/// A whole spine plane going dark (a maintenance window gone wrong, or
+/// a shared-power/line-card failure taking out one stripe): every link
+/// incident to every spine of the plane drops all traffic, in both
+/// directions, and the plane's spine devices are the ground truth.
+pub fn plane_down<R: Rng + ?Sized>(
+    topo: &Topology,
+    planes: &SpinePlanes,
+    plane: u16,
+    noise_max: f64,
+    rng: &mut R,
+) -> FailureScenario {
+    let mut sc = FailureScenario::noise_only(topo, noise_max, rng);
+    for l in plane_incident_links(topo, planes, plane) {
+        sc.drop_rate[l.idx()] = 1.0;
+        sc.truth.failed_links.push(l);
+    }
+    sc.truth
+        .failed_devices
+        .extend_from_slice(planes.spines_in(plane));
+    sc.truth.failed_links.sort_unstable();
+    sc.truth.failed_devices.sort_unstable();
+    sc
+}
+
 /// A link-flap latency fault on a random fabric link (§7.5): no extra
 /// packet loss, but affected flows see a large RTT spike.
 pub fn link_flap<R: Rng + ?Sized>(
@@ -257,6 +322,56 @@ mod tests {
         let l = sc.latency_faults[0].link;
         assert!(sc.drop_rate[l.idx()] <= DEFAULT_NOISE_MAX);
         assert_eq!(sc.truth.failed_links, vec![l]);
+    }
+
+    #[test]
+    fn plane_link_drops_stay_in_their_plane() {
+        let t = topo();
+        let planes = SpinePlanes::derive(&t);
+        assert_eq!(planes.n_planes(), 2);
+        for plane in 0..planes.n_planes() as u16 {
+            let mut rng = StdRng::seed_from_u64(10 + u64::from(plane));
+            let sc = plane_link_drops(&t, &planes, plane, 3, (0.01, 0.02), 0.0, &mut rng);
+            assert_eq!(sc.truth.failed_links.len(), 3);
+            for l in &sc.truth.failed_links {
+                let link = t.link(*l);
+                let touched = [link.src, link.dst]
+                    .into_iter()
+                    .find_map(|n| planes.plane_of(n));
+                assert_eq!(
+                    touched,
+                    Some(plane),
+                    "failed link {l:?} is not incident to plane {plane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plane_down_fails_every_incident_link_hard() {
+        let t = topo();
+        let planes = SpinePlanes::derive(&t);
+        let mut rng = StdRng::seed_from_u64(12);
+        let sc = plane_down(&t, &planes, 1, DEFAULT_NOISE_MAX, &mut rng);
+        // Truth: the plane's spines, and both directions of each of
+        // their cables at drop rate 1.
+        assert_eq!(sc.truth.failed_devices, planes.spines_in(1));
+        let expected: usize = planes
+            .spines_in(1)
+            .iter()
+            .map(|&s| t.links_of_node(s).len())
+            .sum();
+        assert_eq!(sc.truth.failed_links.len(), expected);
+        for l in &sc.truth.failed_links {
+            assert_eq!(sc.drop_rate[l.idx()], 1.0);
+            assert!(sc.truth.failed_links.contains(&t.link(*l).reverse));
+        }
+        // The other plane is untouched.
+        for &s in planes.spines_in(0) {
+            for l in t.links_of_node(s) {
+                assert!(sc.drop_rate[l.idx()] <= DEFAULT_NOISE_MAX);
+            }
+        }
     }
 
     #[test]

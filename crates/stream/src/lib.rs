@@ -13,14 +13,18 @@
 //!   watermark, with an O(buckets) fast path for wire-v2 input the
 //!   collector reactor already grouped by agent-stamped epoch;
 //! * [`shard`] — partitions blame ownership over the component space
-//!   (per pod + spine) so per-epoch inference can run shard-parallel on
-//!   a thread pool;
+//!   (per pod, plus one shard per spine *plane*, derived from the
+//!   fabric's stripe structure via [`flock_topology::SpinePlanes`]) so
+//!   per-epoch inference can run shard-parallel on a thread pool with
+//!   no single spine engine on the critical path;
 //! * [`pipeline`] — the driver: per epoch it assembles observations
 //!   against a persistent arena ([`flock_telemetry::Assembler`]),
 //!   **warm-starts** each shard's engine from the previous epoch
 //!   ([`flock_core::Engine::rebind_filtered`] +
 //!   [`flock_core::FlockGreedy::search_warm`], with removal moves so
-//!   healed faults are dropped), and merges shard verdicts into one
+//!   healed faults are dropped), arbitrates spine blame across planes
+//!   with a cross-plane refinement pass when several planes hypothesize
+//!   at once, and merges shard verdicts into one
 //!   [`flock_core::LocalizationResult`] per epoch.
 //!
 //! The end-to-end wiring (agents → TCP collector → stream →

@@ -4,7 +4,7 @@
 //! deployment loop between collector and operator:
 //!
 //! 1. drained [`StampedRecord`]s are windowed by an
-//!    [`EpochManager`](crate::epoch::EpochManager) — wire-v2 input
+//!    [`EpochManager`] — wire-v2 input
 //!    arrives pre-bucketed by the collector reactor and is handed over
 //!    bucket-at-a-time ([`StreamPipeline::ingest_bucketed`]), skipping
 //!    per-record window assignment;
@@ -21,12 +21,20 @@
 //!    (reusing all arena-derived structure) and the greedy search is
 //!    seeded with the previous hypothesis, with removals enabled so heals
 //!    are detected ([`FlockGreedy::search_warm`]);
-//! 4. shard verdicts are merged under blame ownership into one
+//! 4. when two or more spine-*plane* shards blame components — each from
+//!    its plane-filtered slice of the evidence — a **cross-plane
+//!    refinement pass** re-searches the union of their hypotheses over
+//!    the full spine evidence, so a flow pinned to one plane by ECMP
+//!    hashing is never double-blamed when its passive path set straddles
+//!    planes (the refined verdict supersedes the per-plane ones);
+//! 5. shard verdicts are merged under blame ownership into one
 //!    [`LocalizationResult`] per epoch.
 
 use crate::epoch::{Epoch, EpochConfig, EpochManager};
-use crate::shard::{SetTouchIndex, Shard, ShardPlan};
-use flock_core::{CompIdx, Engine, EngineOptions, FlockGreedy, HyperParams, LocalizationResult};
+use crate::shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};
+use flock_core::{
+    CompIdx, ComponentSpace, Engine, EngineOptions, FlockGreedy, HyperParams, LocalizationResult,
+};
 use flock_telemetry::{
     AnalysisMode, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow, ObservationSet,
     StampedRecord,
@@ -53,6 +61,13 @@ pub struct StreamConfig {
     /// Partition the component space by pod and run shards on separate
     /// threads (`false` = one shard owning everything).
     pub shard_by_pod: bool,
+    /// Split the spine tier into one shard per spine *plane* (requires
+    /// `shard_by_pod`; `false` = the single-spine-shard plan, the
+    /// baseline the `evidence_coalesce` bench measures against). Plane
+    /// membership is derived from the topology
+    /// ([`flock_topology::SpinePlanes`]); non-striped fabrics collapse
+    /// to one plane, making this equivalent to the single spine shard.
+    pub spine_planes: bool,
     /// Coalesce observations sharing the same `(path set, sent, bad)`
     /// evidence key into weighted super-flows inside each shard engine
     /// (exact; `false` = one engine flow per observation, the raw
@@ -71,6 +86,7 @@ impl StreamConfig {
             params: HyperParams::default(),
             warm_start: true,
             shard_by_pod: false,
+            spine_planes: true,
             coalesce: true,
         }
     }
@@ -79,9 +95,15 @@ impl StreamConfig {
 /// Per-shard outcome inside an [`EpochReport`].
 #[derive(Debug, Clone)]
 pub struct ShardOutcome {
-    /// Shard label (`pod3`, `spine`, `all`).
+    /// Shard label (`pod3`, `spine`, `spine-p0`, `spine-refine`, `all`).
+    /// Unique within a report.
     pub label: String,
-    /// Components the shard blamed *and owns* (what the merge kept).
+    /// What the shard covered (refinement reports [`ShardKind::Spine`],
+    /// since it re-searches the whole spine tier).
+    pub kind: ShardKind,
+    /// Components the shard blamed *and owns* — what the merge keeps,
+    /// unless a cross-plane refinement pass superseded the plane shards
+    /// this epoch (see [`EpochReport::refined`]).
     pub kept: usize,
     /// Super-flows the shard's engine built this epoch (distinct evidence
     /// keys when coalescing is on).
@@ -115,6 +137,21 @@ pub struct EpochReport {
     pub result: LocalizationResult,
     /// Per-shard accounting.
     pub shards: Vec<ShardOutcome>,
+    /// Cross-plane refinement accounting — present only on epochs where
+    /// two or more spine-plane shards blamed components and the
+    /// refinement pass re-searched the union of their hypotheses over
+    /// the full spine evidence. When present, the refined picks replace
+    /// the plane shards' in the merged verdict.
+    pub refined: Option<ShardOutcome>,
+}
+
+impl EpochReport {
+    /// Outcomes of the spine-plane shards, in plane order.
+    pub fn spine_planes(&self) -> impl Iterator<Item = &ShardOutcome> {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.kind, ShardKind::SpinePlane(_)))
+    }
 }
 
 /// Per-shard persistent inference state.
@@ -149,13 +186,29 @@ pub struct StreamPipeline<'t> {
     plan: ShardPlan,
     shards: Vec<ShardState>,
     touch: SetTouchIndex,
+    /// Dense↔topology component translation for the merge (identical to
+    /// every shard engine's space — `ComponentSpace::new` is a pure
+    /// function of the topology).
+    space: ComponentSpace,
+    /// Union of the spine-plane shards' ownership (empty mask for plans
+    /// without plane shards) — the blame scope of the refinement pass.
+    spine_owned: Vec<bool>,
+    /// Persistent engine of the cross-plane refinement pass, built
+    /// lazily on the first epoch that triggers it.
+    refine_engine: Option<Engine>,
+    /// Per-epoch scratch: each observation's combined (set ∪ prefix)
+    /// touch signature, derived once and consulted by every shard's
+    /// evidence filter in O(1).
+    flow_touches: Vec<SetTouch>,
 }
 
 impl<'t> StreamPipeline<'t> {
     /// Build a pipeline over `topo`.
     pub fn new(topo: &'t Topology, cfg: StreamConfig) -> Self {
-        let plan = if cfg.shard_by_pod {
+        let plan = if cfg.shard_by_pod && cfg.spine_planes {
             ShardPlan::by_pod(topo)
+        } else if cfg.shard_by_pod {
+            ShardPlan::by_pod_single_spine(topo)
         } else {
             ShardPlan::single(topo)
         };
@@ -167,6 +220,15 @@ impl<'t> StreamPipeline<'t> {
                 prev: Vec::new(),
             })
             .collect();
+        let space = ComponentSpace::new(topo);
+        let mut spine_owned = vec![false; space.n_comps()];
+        for s in &plan.shards {
+            if matches!(s.kind, ShardKind::SpinePlane(_)) {
+                for (c, &owned) in s.owned.iter().enumerate() {
+                    spine_owned[c] = spine_owned[c] || owned;
+                }
+            }
+        }
         StreamPipeline {
             topo,
             router: Router::new(topo),
@@ -176,6 +238,10 @@ impl<'t> StreamPipeline<'t> {
             plan,
             shards,
             touch: SetTouchIndex::new(),
+            space,
+            spine_owned,
+            refine_engine: None,
+            flow_touches: Vec::new(),
         }
     }
 
@@ -243,22 +309,30 @@ impl<'t> StreamPipeline<'t> {
             self.cfg.mode,
         );
         self.touch.extend(self.topo, &obs);
+        // Derive each observation's combined touch signature once;
+        // every shard filter below is then an O(1) mask test instead of
+        // a per-engine walk over the flow's links.
+        self.flow_touches.clear();
+        self.flow_touches.extend(obs.flows.iter().map(|o| {
+            let (set_touch, prefix_touch) = self.touch.flow_touch(self.topo, o);
+            set_touch.union(prefix_touch)
+        }));
 
         // Run every shard, one thread each (shard counts are small: pods
-        // + spine). Each thread owns its shard's state mutably; shared
-        // inputs are borrowed immutably.
+        // + spine planes). Each thread owns its shard's state mutably;
+        // shared inputs are borrowed immutably.
         let topo = self.topo;
         let cfg = &self.cfg;
-        let touch = &self.touch;
+        let touches: &[SetTouch] = &self.flow_touches;
         let obs_ref = &obs;
-        let outcomes: Vec<(Vec<(Component, f64)>, ShardOutcome)> = std::thread::scope(|scope| {
+        let outcomes: Vec<(Vec<(CompIdx, f64)>, ShardOutcome)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .plan
                 .shards
                 .iter()
                 .zip(self.shards.iter_mut())
                 .map(|(shard, state)| {
-                    scope.spawn(move || run_shard(topo, cfg, shard, state, obs_ref, touch))
+                    scope.spawn(move || run_shard(topo, cfg, shard, state, obs_ref, touches))
                 })
                 .collect();
             handles
@@ -267,27 +341,73 @@ impl<'t> StreamPipeline<'t> {
                 .collect()
         });
 
-        // Merge under blame ownership: max score wins on overlap.
+        // Cross-plane refinement: when two or more plane shards blame
+        // spine components — each having seen only its plane-filtered
+        // slice of the evidence — re-search the union of their
+        // hypotheses over the *full* spine evidence, with removals, so
+        // blame duplicated across planes by straddling path sets is
+        // dropped. Epochs where at most one plane blames (the common
+        // case) skip this entirely, which is what lets plane sharding
+        // scale the spine tier.
+        let mut refined: Option<(Vec<(CompIdx, f64)>, ShardOutcome)> = None;
+        let blaming_planes = outcomes
+            .iter()
+            .zip(&self.plan.shards)
+            .filter(|((kept, _), s)| matches!(s.kind, ShardKind::SpinePlane(_)) && !kept.is_empty())
+            .count();
+        if blaming_planes >= 2 {
+            let mut seed: Vec<CompIdx> = outcomes
+                .iter()
+                .zip(&self.plan.shards)
+                .filter(|(_, s)| matches!(s.kind, ShardKind::SpinePlane(_)))
+                .flat_map(|((kept, _), _)| kept.iter().map(|&(c, _)| c))
+                .collect();
+            seed.sort_unstable();
+            seed.dedup();
+            refined = Some(self.refine_spine(&obs, &seed));
+        }
+        let refine_ran = refined.is_some();
+
+        // Merge under blame ownership: max score wins on overlap; plane
+        // shards are superseded by the refinement pass when it ran.
         let mut merged: HashMap<Component, f64> = HashMap::new();
         let mut scanned = 0u64;
         let mut log_likelihood = 0.0f64;
         let mut shard_outcomes = Vec::with_capacity(outcomes.len());
-        for (kept, outcome) in outcomes {
+        for ((kept, outcome), shard) in outcomes.into_iter().zip(&self.plan.shards) {
             scanned += outcome.hypotheses_scanned;
             // Sum of shard-local normalized LLs. With one shard this is
             // the engine's LL exactly; with several it sums over the
             // shard-filtered flow subsets (flows relevant to multiple
             // shards contribute once per shard), so it is comparable
-            // across epochs of the same plan, not across plans.
+            // across epochs of the same plan, not across plans. The
+            // refinement pass is excluded for the same reason: it runs
+            // only on some epochs.
             log_likelihood += outcome.log_likelihood;
-            for (comp, score) in kept {
-                let e = merged.entry(comp).or_insert(f64::NEG_INFINITY);
-                if score > *e {
-                    *e = score;
+            if !(refine_ran && matches!(shard.kind, ShardKind::SpinePlane(_))) {
+                for (c, score) in kept {
+                    let e = merged
+                        .entry(self.space.component(c))
+                        .or_insert(f64::NEG_INFINITY);
+                    if score > *e {
+                        *e = score;
+                    }
                 }
             }
             shard_outcomes.push(outcome);
         }
+        let refined_outcome = refined.map(|(kept, outcome)| {
+            scanned += outcome.hypotheses_scanned;
+            for (c, score) in kept {
+                let e = merged
+                    .entry(self.space.component(c))
+                    .or_insert(f64::NEG_INFINITY);
+                if score > *e {
+                    *e = score;
+                }
+            }
+            outcome
+        });
         let mut predicted: Vec<(Component, f64)> = merged.into_iter().collect();
         predicted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -309,25 +429,74 @@ impl<'t> StreamPipeline<'t> {
                 runtime: started.elapsed(),
             },
             shards: shard_outcomes,
+            refined: refined_outcome,
         }
+    }
+
+    /// The cross-plane refinement pass: warm-rebind (or build) the
+    /// persistent spine-union engine over every spine-relevant
+    /// observation and re-search from the union of the plane shards'
+    /// hypotheses, keeping only spine-tier components.
+    fn refine_spine(
+        &mut self,
+        obs: &ObservationSet,
+        seed: &[CompIdx],
+    ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
+        let topo = self.topo;
+        let touches = &self.flow_touches;
+        let filter = |i: usize, _: &flock_telemetry::FlowObs| touches[i].spine;
+        let warm = self.cfg.warm_start && self.refine_engine.is_some();
+        let opts = EngineOptions {
+            coalesce: self.cfg.coalesce,
+        };
+        match &mut self.refine_engine {
+            Some(engine) if self.cfg.warm_start => engine.rebind_filtered(topo, obs, Some(&filter)),
+            slot => {
+                *slot = Some(Engine::with_options(
+                    topo,
+                    obs,
+                    self.cfg.params,
+                    Some(&filter),
+                    opts,
+                ))
+            }
+        }
+        let engine = self.refine_engine.as_mut().expect("engine just installed");
+        let greedy = FlockGreedy::new(self.cfg.params);
+        let (picked, scanned) = greedy.search_warm(engine, seed);
+        let kept: Vec<(CompIdx, f64)> = picked
+            .iter()
+            .filter(|&&(c, _)| self.spine_owned[c as usize])
+            .copied()
+            .collect();
+        let outcome = ShardOutcome {
+            label: "spine-refine".into(),
+            kind: ShardKind::Spine,
+            kept: kept.len(),
+            flows: engine.n_flows(),
+            raw_flows: engine.n_observations(),
+            warm,
+            hypotheses_scanned: scanned,
+            log_likelihood: engine.log_likelihood(),
+        };
+        (kept, outcome)
     }
 }
 
 /// Localize one epoch on one shard: rebind or build the engine over the
 /// shard-relevant observations, search warm from the previous verdict,
-/// and return the owned predictions.
+/// and return the owned predictions (as dense component indices — the
+/// caller's [`ComponentSpace`] translates, and the cross-plane
+/// refinement seeds directly from them).
 fn run_shard(
     topo: &Topology,
     cfg: &StreamConfig,
     shard: &Shard,
     state: &mut ShardState,
     obs: &ObservationSet,
-    touch: &SetTouchIndex,
-) -> (Vec<(Component, f64)>, ShardOutcome) {
-    let filter = |o: &flock_telemetry::FlowObs| {
-        let (set_touch, prefix_touch) = touch.flow_touch(topo, o);
-        shard.relevant(set_touch, prefix_touch)
-    };
+    touches: &[SetTouch],
+) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
+    let filter = |i: usize, _: &flock_telemetry::FlowObs| shard.relevant_combined(touches[i]);
 
     let warm = cfg.warm_start && state.engine.is_some();
     let opts = EngineOptions {
@@ -356,13 +525,14 @@ fn run_shard(
     let (picked, scanned) = greedy.search_warm(engine, &seed);
     state.prev = picked.iter().map(|(c, _)| *c).collect();
 
-    let kept: Vec<(Component, f64)> = picked
+    let kept: Vec<(CompIdx, f64)> = picked
         .iter()
-        .filter(|(c, _)| shard.owns(*c))
-        .map(|(c, score)| (engine.space().component(*c), *score))
+        .filter(|&&(c, _)| shard.owns(c))
+        .copied()
         .collect();
     let outcome = ShardOutcome {
         label: shard.label.clone(),
+        kind: shard.kind,
         kept: kept.len(),
         flows: engine.n_flows(),
         raw_flows: engine.n_observations(),

@@ -25,7 +25,7 @@
 //!   (007-style A2).
 //! * [`input`] — assembly of inference inputs: given monitored flows and a
 //!   set of telemetry kinds (A1 / A2 / P / INT), produce the
-//!   [`ObservationSet`](input::ObservationSet) consumed by every inference
+//!   [`ObservationSet`] consumed by every inference
 //!   scheme, with interned fabric paths and ECMP path sets.
 
 #![forbid(unsafe_code)]

@@ -80,7 +80,7 @@ pub enum WireError {
         /// Length actually consumed.
         consumed: u32,
     },
-    /// A path attachment exceeded [`MAX_PATH_LEN`] entries.
+    /// A path attachment exceeded `MAX_PATH_LEN` entries.
     PathTooLong(u16),
     /// The message was truncated mid-record.
     Truncated,

@@ -9,6 +9,9 @@
 //!   the environments of §6.3 of the paper).
 //! * [`irregular`] — derivation of "irregular" topologies by omitting a
 //!   fraction of fabric links (§7.6), preserving host reachability.
+//! * [`planes`] — spine-plane membership recovered from the stripe
+//!   structure of the graph (with a validated single-plane fallback),
+//!   the partition behind per-plane spine sharding in `flock-stream`.
 //! * [`routing`] — valley-free (up–down) ECMP shortest-path enumeration
 //!   with per-pair caching, producing the path sets that define the PGM's
 //!   path layer (§3.2).
@@ -29,10 +32,12 @@ pub mod equivalence;
 pub mod faults;
 pub mod graph;
 pub mod irregular;
+pub mod planes;
 pub mod routing;
 
 pub use clos::{ClosParams, LeafSpineParams};
 pub use equivalence::{EquivalenceClasses, LinkSignature};
 pub use faults::{Component, GroundTruth};
 pub use graph::{Link, LinkId, Node, NodeId, NodeRole, Topology};
+pub use planes::SpinePlanes;
 pub use routing::{FabricPath, PathSetHandle, Router};

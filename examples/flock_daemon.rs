@@ -199,9 +199,17 @@ fn print_report(
     // epoch's assembled observation count — that is `report.observations`.
     let raw: usize = report.shards.iter().map(|s| s.raw_flows).sum();
     let sflows: usize = report.shards.iter().map(|s| s.flows).sum();
+    // The spine tier's plane dimension: how many plane engines ran and
+    // how much evidence each saw (plus whether the cross-plane
+    // refinement pass had to arbitrate this epoch).
+    let plane_flows: Vec<String> = report.spine_planes().map(|s| s.flows.to_string()).collect();
+    let refine = match &report.refined {
+        Some(r) => format!(" | refine kept {}", r.kept),
+        None => String::new(),
+    };
     println!(
         "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | shard evidence \
-         {:>5} → {:>4} super-flows (x{:.1}) | blamed {:?} \
+         {:>5} → {:>4} super-flows (x{:.1}) | {} planes [{}]{refine} | blamed {:?} \
          | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | conns {} up / {} closed | {:?}",
         report.epoch_index,
         report.start_ms,
@@ -211,6 +219,8 @@ fn print_report(
         raw,
         sflows,
         raw as f64 / sflows.max(1) as f64,
+        plane_flows.len(),
+        plane_flows.join("/"),
         report.result.predicted,
         truth.failed_links,
         pr.precision,
