@@ -12,7 +12,13 @@
 //!   shard's coalesce ratio (raw observations per super-flow);
 //! * spine-plane sharding on the same fixture with traced evidence:
 //!   the spine-tier epoch cost as one engine vs one per plane (in
-//!   parallel), plus the plane count and per-plane evidence counts.
+//!   parallel), plus the plane count and per-plane evidence counts;
+//! * **fixed costs** (schema v3): per-engine rebind time at *zero arena
+//!   growth* (the pure per-epoch reset cost the arena-view layer made
+//!   shard-local), per-engine resident state sizes (local comps / sets /
+//!   super-flows vs the global component space), and the steady
+//!   two-plane-fault epoch cost under the narrow (blaming-planes)
+//!   refinement scope vs the historical full-spine scope.
 //!
 //! ```text
 //! cargo run --release -p flock-bench --bin bench-report -- \
@@ -30,12 +36,20 @@
 //! bench-report bench-diff --baseline ci/BENCH_baseline_smoke.json \
 //!     --current BENCH_stream.json [--max-regress 0.15]
 //! ```
+//!
+//! `--baseline` may be omitted when the `FLOCK_BENCH_BASELINE`
+//! environment variable names the baseline report — the hook for a
+//! *rolling* baseline: CI downloads a recent main-branch
+//! `BENCH_stream.json` artifact from the same runner class, points
+//! `FLOCK_BENCH_BASELINE` at it, and falls back to the committed
+//! machine-specific smoke baseline only when no artifact is available
+//! (see `.github/workflows/ci.yml`).
 
 use flock_bench::{
     arena_warmed_obs, combined_touches, plane_shards, spine_heavy_epochs, spine_shard,
-    steady_epochs,
+    steady_epochs, two_plane_fault_epochs,
 };
-use flock_core::{Engine, EngineOptions, FlockGreedy, HyperParams};
+use flock_core::{Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams};
 use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
 use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
 use std::time::Instant;
@@ -246,6 +260,8 @@ fn main() {
     let pobs = arena_warmed_obs(&spine_fixture, &[InputKind::Int]);
     let greedy = FlockGreedy::default();
     let spine_tier_single_ms;
+    let spine_single_rebind_ms;
+    let spine_single_state: EngineStateSizes;
     {
         let (spine, touch) = spine_shard(stopo, &pobs);
         let touches = combined_touches(stopo, &pobs, &touch);
@@ -259,6 +275,12 @@ fn main() {
             e.rebind_filtered(stopo, &pobs, Some(&filter));
             greedy.search_warm(&mut e, &seed);
         });
+        // Rebind alone at zero arena growth: the per-epoch fixed cost
+        // (state resets + flow-layer rebuild, no search).
+        spine_single_rebind_ms = median_ms(samples, || {
+            e.rebind_filtered(stopo, &pobs, Some(&filter));
+        });
+        spine_single_state = e.state_sizes();
     }
     let (planes, ptouch) = plane_shards(stopo, &pobs);
     let ptouches = combined_touches(stopo, &pobs, &ptouch);
@@ -287,6 +309,22 @@ fn main() {
         })
         .collect();
     let spine_tier_plane_critical_ms = per_plane_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    // Fixed cost per plane engine: rebind alone at zero arena growth,
+    // plus resident state sizes — both must track plane-local evidence
+    // (≈ 1/n_planes of the single-spine engine), not the global arena.
+    let per_plane_rebind_ms: Vec<f64> = planes
+        .iter()
+        .zip(plane_engines.iter_mut())
+        .map(|(shard, (engine, _))| {
+            median_ms(samples, || {
+                let filter = |i: usize, _: &FlowObs| shard.relevant_combined(ptouches[i]);
+                engine.rebind_filtered(stopo, &pobs, Some(&filter));
+            })
+        })
+        .collect();
+    let plane_rebind_max_ms = per_plane_rebind_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    let plane_states: Vec<EngineStateSizes> =
+        plane_engines.iter().map(|(e, _)| e.state_sizes()).collect();
     let pobs_ref = &pobs;
     let greedy_ref = &greedy;
     let spine_tier_planes_wall_ms = median_ms(samples, || {
@@ -300,14 +338,91 @@ fn main() {
             }
         });
     });
+    // ---- Steady two-plane fault: refinement-pass scope cost. ----
+    // With a persistent fault in each of two planes, the cross-plane
+    // refinement runs every epoch; the narrow (blaming-planes) evidence
+    // scope vs the historical full-spine scope is the whole difference
+    // between the two pipelines.
+    let two_plane = two_plane_fault_epochs(scale.spine_servers, scale.spine_flows, 4, 13);
+    let tp_topo = &two_plane.topo;
+    let mut refine_ms = [0.0f64; 2]; // [narrow, full]
+    let mut refine_raw_obs = [0usize; 2];
+    for (slot, full) in [(0usize, false), (1usize, true)] {
+        let mut pipe = StreamPipeline::new(
+            tp_topo,
+            StreamConfig {
+                epoch: EpochConfig::tumbling(1_000),
+                kinds: vec![InputKind::Int],
+                mode: AnalysisMode::PerPacket,
+                warm_start: true,
+                shard_by_pod: true,
+                spine_planes: true,
+                refine_full_spine: full,
+                ..StreamConfig::paper_default()
+            },
+        );
+        let mut primed = pipe.run_flows(0, 0, 1_000, &two_plane.epochs[0]);
+        let mut i = 1u64;
+        refine_ms[slot] = median_ms(samples, || {
+            let flows = &two_plane.epochs[(i as usize) % two_plane.epochs.len()];
+            primed = pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
+            i += 1;
+        });
+        refine_raw_obs[slot] = primed.refined.as_ref().map_or(0, |r| r.raw_flows);
+    }
+    // The refinement *engine* alone (rebind + warm re-search), narrow
+    // blaming-planes scope vs full spine — the per-epoch cost a steady
+    // two-plane fault adds on top of the plane engines. Planes 0 and 1
+    // carry the fixture's faults, so they are the blaming planes.
+    let tpobs = arena_warmed_obs(&two_plane, &[InputKind::Int]);
+    let (_, tptouch) = spine_shard(tp_topo, &tpobs);
+    let tptouches = combined_touches(tp_topo, &tpobs, &tptouch);
+    let blame_mask = 0b11u64;
+    let mut refine_engine_ms = [0.0f64; 2]; // [narrow, full]
+    for (slot, full) in [(0usize, false), (1usize, true)] {
+        let filter = |i: usize, _: &FlowObs| {
+            if full {
+                tptouches[i].spine
+            } else {
+                tptouches[i].planes & blame_mask != 0
+            }
+        };
+        let mut e = Engine::new_filtered(tp_topo, &tpobs, params, Some(&filter));
+        let seed: Vec<u32> = {
+            let (picked, _) = greedy.search(&mut e);
+            picked.iter().map(|(c, _)| *c).collect()
+        };
+        refine_engine_ms[slot] = median_ms(samples, || {
+            e.rebind_filtered(tp_topo, &tpobs, Some(&filter));
+            greedy.search_warm(&mut e, &seed);
+        });
+    }
+
     let plane_flows_json = plane_flows
         .iter()
         .map(usize::to_string)
         .collect::<Vec<_>>()
         .join(", ");
+    let fmt_ms_list = |xs: &[f64]| {
+        xs.iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let per_plane_rebind_json = fmt_ms_list(&per_plane_rebind_ms);
+    let plane_comps_json = plane_states
+        .iter()
+        .map(|s| s.comps.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let plane_sets_json = plane_states
+        .iter()
+        .map(|s| s.sets.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
 
     let json = format!(
-        "{{\n  \"schema\": \"flock-bench-report/v2\",\n  \"scale\": \"{scale_name}\",\n  \
+        "{{\n  \"schema\": \"flock-bench-report/v3\",\n  \"scale\": \"{scale_name}\",\n  \
          \"samples\": {samples},\n  \"stream\": {{\n    \"cold_epoch_ms\": {:.4},\n    \
          \"warm_epoch_ms\": {:.4},\n    \"warm_epoch_ms_min\": {:.4},\n    \
          \"engine_cold_build_ms\": {:.4},\n    \
@@ -322,7 +437,19 @@ fn main() {
          \"planes\": {{\n    \"n_planes\": {n_planes},\n    \
          \"spine_tier_single_ms\": {:.4},\n    \"spine_tier_plane_critical_ms\": {:.4},\n    \
          \"spine_tier_planes_wall_ms\": {:.4},\n    \"spine_tier_plane_speedup\": {:.3},\n    \
-         \"per_plane_super_flows\": [{plane_flows_json}]\n  }}\n}}\n",
+         \"per_plane_super_flows\": [{plane_flows_json}]\n  }},\n  \
+         \"fixed_cost\": {{\n    \
+         \"single_spine_rebind_ms\": {:.4},\n    \"plane_rebind_max_ms\": {:.4},\n    \
+         \"plane_rebind_speedup\": {:.3},\n    \
+         \"per_plane_rebind_ms\": [{per_plane_rebind_json}],\n    \
+         \"single_spine_state_comps\": {},\n    \"single_spine_state_sets\": {},\n    \
+         \"global_comps\": {},\n    \
+         \"per_plane_state_comps\": [{plane_comps_json}],\n    \
+         \"per_plane_state_sets\": [{plane_sets_json}],\n    \
+         \"refine_narrow_epoch_ms\": {:.4},\n    \"refine_full_epoch_ms\": {:.4},\n    \
+         \"refine_engine_narrow_ms\": {:.4},\n    \"refine_engine_full_ms\": {:.4},\n    \
+         \"refine_engine_speedup\": {:.3},\n    \
+         \"refine_narrow_raw_obs\": {},\n    \"refine_full_raw_obs\": {}\n  }}\n}}\n",
         epoch_ms[0],
         epoch_ms[1],
         warm_epoch_ms_min,
@@ -342,6 +469,19 @@ fn main() {
         spine_tier_plane_critical_ms,
         spine_tier_planes_wall_ms,
         spine_tier_single_ms / spine_tier_plane_critical_ms,
+        spine_single_rebind_ms,
+        plane_rebind_max_ms,
+        spine_single_rebind_ms / plane_rebind_max_ms.max(1e-9),
+        spine_single_state.comps,
+        spine_single_state.sets,
+        spine_single_state.global_comps,
+        refine_ms[0],
+        refine_ms[1],
+        refine_engine_ms[0],
+        refine_engine_ms[1],
+        refine_engine_ms[1] / refine_engine_ms[0].max(1e-9),
+        refine_raw_obs[0],
+        refine_raw_obs[1],
     );
     std::fs::write(&out_path, &json).expect("write report");
     print!("{json}");
@@ -390,7 +530,19 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
             other => panic!("unknown bench-diff argument {other}"),
         }
     }
-    let baseline_path = baseline_path.expect("bench-diff requires --baseline");
+    // Baseline resolution order: explicit --baseline flag, then the
+    // FLOCK_BENCH_BASELINE environment variable. The env hook is what
+    // makes the gate portable across runner generations: CI can point it
+    // at a rolling baseline (a recent main-branch BENCH_stream.json
+    // artifact from the same runner class) instead of the committed
+    // machine-specific smoke file.
+    let baseline_path = baseline_path
+        .or_else(|| {
+            std::env::var("FLOCK_BENCH_BASELINE")
+                .ok()
+                .filter(|s| !s.is_empty())
+        })
+        .expect("bench-diff requires --baseline or FLOCK_BENCH_BASELINE");
     let current_path = current_path.expect("bench-diff requires --current");
     let read = |path: &str| -> Option<String> {
         match std::fs::read_to_string(path) {

@@ -202,6 +202,62 @@ pub fn spine_heavy_epochs(
     }
 }
 
+/// Build `n_epochs` epochs of inter-pod traffic under one *steady fault
+/// in each of two spine planes* — the workload where the cross-plane
+/// refinement pass runs every epoch, so its evidence scope (blaming
+/// planes vs full spine) dominates the refining epochs' cost
+/// (`bench-report`'s `fixed_cost.refine_*` numbers).
+pub fn two_plane_fault_epochs(
+    servers: u32,
+    flows_per_epoch: usize,
+    n_epochs: usize,
+    seed: u64,
+) -> SteadyEpochs {
+    let topo = flock_topology::clos::three_tier(ClosParams::with_servers(servers));
+    let planes = flock_topology::SpinePlanes::derive(&topo);
+    assert!(
+        planes.n_planes() >= 2,
+        "two-plane fixture needs a striped spine"
+    );
+    let router = Router::new(&topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One gray link in each of the first two planes.
+    let scenario = failure::multi_plane_link_drops(
+        &topo,
+        &planes,
+        &[0, 1],
+        1,
+        (0.015, 0.02),
+        DEFAULT_NOISE_MAX,
+        &mut rng,
+    );
+
+    let hosts = topo.hosts().to_vec();
+    let pod_of = |h| topo.node(topo.host_leaf(h)).pod;
+    let cfg = FlowSimConfig::default();
+    let epochs = (0..n_epochs)
+        .map(|_| {
+            let demands: Vec<FlowDemand> = (0..flows_per_epoch)
+                .map(|_| {
+                    let src = hosts[rng.random_range(0..hosts.len())];
+                    let mut dst = hosts[rng.random_range(0..hosts.len())];
+                    while pod_of(dst) == pod_of(src) {
+                        dst = hosts[rng.random_range(0..hosts.len())];
+                    }
+                    let packets = RPC_PACKET_PALETTE[rng.random_range(0..RPC_PACKET_PALETTE.len())];
+                    FlowDemand { src, dst, packets }
+                })
+                .collect();
+            simulate_flows(&topo, &router, &scenario, &demands, &cfg, &mut rng)
+        })
+        .collect();
+    SteadyEpochs {
+        truth: scenario.truth,
+        topo,
+        epochs,
+    }
+}
+
 /// Build `n_epochs` epochs of traffic under one unchanged silent-drop
 /// fault — the steady state where warm-start inference should shine.
 pub fn steady_epochs(

@@ -1,13 +1,40 @@
 //! The shared inference engine: hypothesis state plus the Δ array of
-//! Joint Likelihood Exploration (JLE, §3.3).
+//! Joint Likelihood Exploration (JLE, §3.3), running over a *local*
+//! projection of the evidence.
+//!
+//! # Local vs global ids
+//!
+//! A sharded executor builds many engines over one shared, append-only
+//! [`flock_telemetry::PathArena`]. If every engine indexed its state by
+//! global arena/component ids, each would pay O(total arena) fixed costs
+//! per epoch — full-array resets on rebind, all-sets sweeps, strided
+//! access over fleet-wide arrays — regardless of how little evidence its
+//! shard actually sees. Instead, every engine is bound to an
+//! [`ArenaView`]: a persistent dense projection of the arena onto the
+//! paths/sets its accepted observations touch. **All internal state and
+//! every public index on this type — `delta()`, `flip()`, `hypothesis()`
+//! — is a dense local id**, assigned in first-touch order and stable for
+//! the engine's lifetime (views are append-only). Components are
+//! localized the same way as paths bring them in; translate at the
+//! boundary with [`Engine::global_comp`] / [`Engine::local_comp`] /
+//! [`Engine::component`]. [`Engine::n_comps`] is therefore the number of
+//! components *with evidence in this shard's history*, not the topology's
+//! component count ([`Engine::n_global_comps`]) — which is exactly what
+//! makes a plane engine's Δ scans, resets, and searches O(its own
+//! evidence).
+//!
+//! Engines built through the plain constructors ([`Engine::new`],
+//! [`Engine::new_filtered`], [`Engine::with_options`]) own a private view
+//! internally; sharded executors that maintain one view per shard bind
+//! externally via [`Engine::with_view`] / [`Engine::try_rebind_view`].
 //!
 //! # State
 //!
 //! The engine mirrors the observation set's structure:
 //!
-//! * per interned fabric path: its (deduplicated) component list and the
+//! * per viewed fabric path: its (deduplicated) component list and the
 //!   current *fail count* — how many hypothesis components lie on it;
-//! * per interned path set: the number of member paths with a non-zero
+//! * per viewed path set: the number of member paths with a non-zero
 //!   fail count (`set_bad`), shared by every flow using the set;
 //! * per **super-flow**: all observations sharing the same evidence key
 //!   `(path set, sent, bad)`, collapsed into one weighted record. The
@@ -26,16 +53,17 @@
 //!
 //! # The Δ array
 //!
-//! `delta[c] = LL(H ⊕ c) − LL(H)` for every component `c` (likelihood
-//! part only; priors are added by the search layers, keeping Δ independent
-//! of hypothesis size). [`Engine::flip`] toggles one component and updates
-//! the *entire* array by visiting only the super-flows that intersect the
-//! flipped component — Theorem 1 guarantees every other entry's terms are
-//! unchanged. Per flip this costs `O(D·T)` (super-flows touching the
-//! component × their path-set sizes) instead of the `O(n·D·T)` a
-//! from-scratch recomputation would need: the `O(n)` JLE speedup — with
-//! `D` counting *distinct evidence keys*, not raw flows, when coalescing
-//! is on (the default; see [`EngineOptions`]).
+//! `delta[c] = LL(H ⊕ c) − LL(H)` for every local component `c`
+//! (likelihood part only; priors are added by the search layers, keeping
+//! Δ independent of hypothesis size). [`Engine::flip`] toggles one
+//! component and updates the *entire* array by visiting only the
+//! super-flows that intersect the flipped component — Theorem 1
+//! guarantees every other entry's terms are unchanged. Per flip this
+//! costs `O(D·T)` (super-flows touching the component × their path-set
+//! sizes) instead of the `O(n·D·T)` a from-scratch recomputation would
+//! need: the `O(n)` JLE speedup — with `D` counting *distinct evidence
+//! keys*, not raw flows, when coalescing is on (the default; see
+//! [`EngineOptions`]).
 //!
 //! The flip path is allocation-free in steady state: counter snapshots,
 //! inverted-index walks, and per-set scratch all reuse persistent arenas
@@ -49,8 +77,8 @@
 use crate::likelihood::{flow_score, llf};
 use crate::params::HyperParams;
 use crate::space::{CompIdx, ComponentSpace};
-use flock_telemetry::{FlowObs, ObservationSet};
-use flock_topology::Topology;
+use flock_telemetry::{ArenaView, DenseRemap, FlowObs, ObservationSet, ViewError};
+use flock_topology::{Component, Topology};
 
 /// One set counter entry: `(comp, g, s)` — member paths with fail count 0
 /// (`g`) / exactly 1 (`s`) containing `comp`.
@@ -101,13 +129,17 @@ impl Csr {
         let hi = self.offsets[bucket as usize + 1] as usize;
         &self.items[lo..hi]
     }
+
+    fn n_buckets(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
 }
 
 /// One weighted super-flow: every observation of the epoch sharing the
 /// evidence key `(set, sent, bad)` (when coalescing is on).
 #[derive(Debug, Clone)]
 struct SFlow {
-    /// Path-set index.
+    /// Local path-set index.
     set: u32,
     /// Flow score `s` (see [`crate::likelihood`]); equal `(sent, bad)`
     /// implies equal score, so the key collapse loses nothing.
@@ -131,7 +163,8 @@ struct SFlow {
 struct SMember {
     /// Owning super-flow.
     flow: u32,
-    /// Extra components on every path (host links + intra-rack ToR).
+    /// Extra components (local ids) on every path (host links +
+    /// intra-rack ToR).
     extras: [CompIdx; 4],
     n_extras: u8,
     /// How many extras are currently in the hypothesis.
@@ -173,22 +206,58 @@ pub struct EngineStats {
     pub flow_updates: u64,
 }
 
-/// Shared inference state over one [`ObservationSet`]. See the module
-/// docs for the data layout.
+/// Resident state sizes of one engine — every entry scales with the
+/// engine's *own* (shard-local) evidence history, not the shared arena,
+/// which is the invariant the per-shard view layer exists to provide
+/// (asserted by `flock-stream`'s state-sparsity tests and reported in
+/// `bench-report`'s `fixed_cost` section).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStateSizes {
+    /// Local components (length of the Δ array, `in_h`, and the per-flip
+    /// scratch counters).
+    pub comps: usize,
+    /// Local paths (length of `path_fail` and the per-path structure).
+    pub paths: usize,
+    /// Local sets (length of `set_bad` and the per-set structure).
+    pub sets: usize,
+    /// Super-flows this epoch.
+    pub flows: usize,
+    /// Extras-carrying members this epoch.
+    pub members: usize,
+    /// Width of the full topology component space, for ratio reporting.
+    pub global_comps: usize,
+}
+
+/// Shared inference state over one shard's slice of an
+/// [`ObservationSet`]. See the module docs for the data layout and the
+/// local-id conventions.
 pub struct Engine {
     space: ComponentSpace,
     params: HyperParams,
     opts: EngineOptions,
 
-    // Paths.
+    /// The engine's private view (plain constructors); `None` when bound
+    /// to an externally maintained view ([`Engine::with_view`]).
+    own_view: Option<ArenaView>,
+    /// Identity of the view the structures were built over.
+    bound_view: Option<u64>,
+
+    /// Component localization: dense local ids in first-touch order,
+    /// sharing the [`DenseRemap`] implementation with the view's
+    /// path/set projections. The global→local side is id-width (one
+    /// global-sized table of remap ids, never reset per epoch); every
+    /// evidence-width structure is local.
+    comps: DenseRemap,
+
+    // Paths (local ids).
     path_comps: Vec<Vec<CompIdx>>,
     path_fail: Vec<u32>,
     comp_to_paths: Csr,
     /// Cumulative `(comp, path)` pairs backing `comp_to_paths`; appended
-    /// as the arena grows so a rebind never re-derives history.
+    /// as the view grows so a rebind never re-derives history.
     comp_path_pairs: Vec<(u32, u32)>,
 
-    // Sets.
+    // Sets (local ids).
     sets: Vec<Vec<u32>>,
     set_comps: Vec<Vec<CompIdx>>,
     set_bad: Vec<u32>,
@@ -205,7 +274,7 @@ pub struct Engine {
     /// coalescing) — `n_obs / sflows.len()` is the epoch's coalesce ratio.
     n_obs: usize,
 
-    // Hypothesis state.
+    // Hypothesis state (local ids).
     in_h: Vec<bool>,
     hypothesis: Vec<CompIdx>,
     delta: Vec<f64>,
@@ -244,12 +313,12 @@ pub struct Engine {
 ///
 /// Because the total log-likelihood is a sum of independent per-flow
 /// terms, filters that *partition* the observations yield engines whose
-/// likelihoods and Δ arrays sum exactly to the unfiltered engine's —
-/// the invariant per-plane spine sharding relies on: traced evidence
-/// splits by plane losslessly, and each plane engine's Δ entries for
-/// its own components equal the full engine's whenever the filter
-/// accepts every flow containing those components (see
-/// `filtered_engines_partition_evidence`).
+/// likelihoods and Δ arrays sum exactly to the unfiltered engine's
+/// (projected onto global component ids) — the invariant per-plane spine
+/// sharding relies on: traced evidence splits by plane losslessly, and
+/// each plane engine's Δ entries for its own components equal the full
+/// engine's whenever the filter accepts every flow containing those
+/// components (see `filtered_engines_partition_evidence`).
 pub type FlowFilter<'a> = &'a dyn Fn(usize, &FlowObs) -> bool;
 
 impl Engine {
@@ -259,8 +328,8 @@ impl Engine {
     }
 
     /// Build an engine over the subset of `obs` selected by `filter`
-    /// (`None` = all observations). The component space always covers the
-    /// full topology; the filter restricts evidence, not blame targets.
+    /// (`None` = all observations). The filter restricts evidence; blame
+    /// targets are whatever components that evidence touches.
     pub fn new_filtered(
         topo: &Topology,
         obs: &ObservationSet,
@@ -270,7 +339,10 @@ impl Engine {
         Self::with_options(topo, obs, params, filter, EngineOptions::default())
     }
 
-    /// [`Engine::new_filtered`] with explicit [`EngineOptions`].
+    /// [`Engine::new_filtered`] with explicit [`EngineOptions`]. The
+    /// engine owns a private [`ArenaView`] projecting the accepted
+    /// evidence; use [`Engine::with_view`] to bind an externally
+    /// maintained view instead.
     pub fn with_options(
         topo: &Topology,
         obs: &ObservationSet,
@@ -278,13 +350,61 @@ impl Engine {
         filter: Option<FlowFilter<'_>>,
         opts: EngineOptions,
     ) -> Engine {
+        let mut engine = Self::empty(topo, params, opts, Some(ArenaView::new()));
+        engine
+            .try_rebind_filtered(topo, obs, filter)
+            .expect("a fresh view accepts any arena");
+        engine
+    }
+
+    /// Build an engine over the evidence recorded in `view` (which must
+    /// have been bound to `obs` via [`ArenaView::bind_epoch`] already).
+    /// The caller keeps ownership of the view and passes it back on every
+    /// [`Engine::try_rebind_view`]; this is how `flock-stream` maintains
+    /// one view per shard.
+    ///
+    /// # Panics
+    /// If the view has never been bound to an arena (a programming
+    /// error; epoch binding also records the epoch's accepted flows,
+    /// without which the engine has no evidence to build from).
+    pub fn with_view(
+        topo: &Topology,
+        obs: &ObservationSet,
+        params: HyperParams,
+        opts: EngineOptions,
+        view: &ArenaView,
+    ) -> Engine {
+        assert!(
+            view.lineage().is_some(),
+            "bind_epoch the view before building an engine over it"
+        );
+        let mut engine = Self::empty(topo, params, opts, None);
+        engine
+            .try_rebind_view(topo, obs, view)
+            .expect("the view must have been bound to this observation set's arena");
+        engine
+    }
+
+    fn empty(
+        topo: &Topology,
+        params: HyperParams,
+        opts: EngineOptions,
+        own_view: Option<ArenaView>,
+    ) -> Engine {
         params.validate();
         let space = ComponentSpace::new(topo);
-        let n_comps = space.n_comps();
-        let mut engine = Engine {
+        let n_global = space.n_comps();
+        Engine {
             space,
             params,
             opts,
+            own_view,
+            bound_view: None,
+            comps: {
+                let mut m = DenseRemap::new();
+                m.ensure_ids(n_global);
+                m
+            },
             path_comps: Vec::new(),
             path_fail: Vec::new(),
             comp_to_paths: Csr::default(),
@@ -299,13 +419,13 @@ impl Engine {
             members: Vec::new(),
             comp_extra_members: Csr::default(),
             n_obs: 0,
-            in_h: vec![false; n_comps],
+            in_h: Vec::new(),
             hypothesis: Vec::new(),
-            delta: vec![0.0; n_comps],
+            delta: Vec::new(),
             ll: 0.0,
             stats: EngineStats::default(),
-            scratch_g: vec![0; n_comps],
-            scratch_s: vec![0; n_comps],
+            scratch_g: Vec::new(),
+            scratch_s: Vec::new(),
             snap_ctr: Vec::new(),
             snap_off: Vec::new(),
             new_ctr: Vec::new(),
@@ -313,11 +433,7 @@ impl Engine {
             scratch_sums: Vec::new(),
             pair_set_flows: Vec::new(),
             pair_extra_members: Vec::new(),
-        };
-        engine.extend_structures(topo, obs);
-        engine.rebuild_flows(topo, obs, filter);
-        engine.compute_initial_delta();
-        engine
+        }
     }
 
     /// Rebind the engine to a *new* observation set whose arena extends
@@ -327,28 +443,86 @@ impl Engine {
     ///
     /// This is the warm-start fast path of the online pipeline: per-path
     /// and per-set component structures — the dominant cost of
-    /// [`Engine::new`] — are reused and only *extended* for newly interned
+    /// [`Engine::new`] — are reused and only *extended* for newly viewed
     /// paths; the per-flow layer is rebuilt for the epoch. The hypothesis
     /// is cleared and the Δ array recomputed; re-seed via
-    /// [`Engine::flip`] (see `FlockGreedy::search_warm`).
+    /// [`Engine::flip`] (see `FlockGreedy::search_warm`). Every reset in
+    /// this path is O(the engine's own evidence), not O(total arena).
     ///
     /// # Panics
-    /// Debug-asserts that the arena has not shrunk; binding an arena from
-    /// a different lineage is a logic error the engine cannot detect
-    /// beyond that.
+    /// On a shrunk or foreign-lineage arena — the conditions
+    /// [`Engine::try_rebind_filtered`] reports as a typed [`ViewError`].
     pub fn rebind(&mut self, topo: &Topology, obs: &ObservationSet) {
         self.rebind_filtered(topo, obs, None)
     }
 
     /// [`Engine::rebind`] restricted to the observations selected by
     /// `filter`.
+    ///
+    /// # Panics
+    /// See [`Engine::rebind`]; the fallible variant is
+    /// [`Engine::try_rebind_filtered`].
     pub fn rebind_filtered(
         &mut self,
         topo: &Topology,
         obs: &ObservationSet,
         filter: Option<FlowFilter<'_>>,
     ) {
-        // Reset hypothesis-dependent state.
+        if let Err(e) = self.try_rebind_filtered(topo, obs, filter) {
+            panic!("Engine::rebind: {e}");
+        }
+    }
+
+    /// Fallible [`Engine::rebind_filtered`]: the engine's view validates
+    /// the arena and rejects a shrunk or foreign-lineage one with a
+    /// typed error, leaving the engine's previous state intact (the
+    /// epoch's flow layer is untouched on error).
+    pub fn try_rebind_filtered(
+        &mut self,
+        topo: &Topology,
+        obs: &ObservationSet,
+        filter: Option<FlowFilter<'_>>,
+    ) -> Result<(), ViewError> {
+        let mut view = self
+            .own_view
+            .take()
+            .expect("engine bound to an external view must rebind via try_rebind_view");
+        let bound = view.bind_epoch(obs, |i, o| match filter {
+            Some(keep) => keep(i, o),
+            None => true,
+        });
+        let result = bound.and_then(|()| self.try_rebind_view(topo, obs, &view));
+        self.own_view = Some(view);
+        result
+    }
+
+    /// Rebind over an externally maintained view (already
+    /// [bound](ArenaView::bind_epoch) to `obs` for this epoch). Rejects
+    /// a view other than the one the engine's local ids were assigned by
+    /// with [`ViewError::ForeignView`], and an observation set whose
+    /// arena the view does not cover (foreign lineage, or an earlier
+    /// state of the right lineage) with the matching [`ViewError`] —
+    /// indexing `obs` with another arena's view ids would be silent
+    /// misindexing, the exact failure class the typed errors exist for.
+    pub fn try_rebind_view(
+        &mut self,
+        topo: &Topology,
+        obs: &ObservationSet,
+        view: &ArenaView,
+    ) -> Result<(), ViewError> {
+        match self.bound_view {
+            None => self.bound_view = Some(view.id()),
+            Some(expected) if expected != view.id() => {
+                return Err(ViewError::ForeignView {
+                    expected,
+                    got: view.id(),
+                });
+            }
+            Some(_) => {}
+        }
+        view.covers(&obs.arena)?;
+
+        // Reset hypothesis-dependent state — all O(local).
         self.in_h.fill(false);
         self.hypothesis.clear();
         self.path_fail.fill(0);
@@ -356,53 +530,81 @@ impl Engine {
         self.delta.fill(0.0);
         self.ll = 0.0;
 
-        self.extend_structures(topo, obs);
-        self.rebuild_flows(topo, obs, filter);
+        let structures_grew = self.extend_structures(topo, obs, view);
+        self.rebuild_flows(topo, obs, view);
+
+        // Component-indexed arrays and inverted indexes span the local
+        // component space, which extras may have widened just now.
+        let n = self.comps.len();
+        self.in_h.resize(n, false);
+        self.delta.resize(n, 0.0);
+        self.scratch_g.resize(n, 0);
+        self.scratch_s.resize(n, 0);
+        if structures_grew || self.comp_to_paths.n_buckets() != n {
+            self.comp_to_paths.rebuild(n, &self.comp_path_pairs);
+            self.comp_to_sets.rebuild(n, &self.comp_set_pairs);
+        }
+        self.set_flows
+            .rebuild(self.sets.len(), &self.pair_set_flows);
+        self.comp_extra_members.rebuild(n, &self.pair_extra_members);
+
         self.compute_initial_delta();
+        Ok(())
     }
 
-    /// Extend the arena-derived structural layer (per-path and per-set
-    /// component lists plus their inverted indexes) to cover `obs`'s
-    /// arena. No-op when the arena has not grown — the steady-state case
-    /// that makes warm rebinding cheap.
-    fn extend_structures(&mut self, topo: &Topology, obs: &ObservationSet) {
+    /// Local id of a global component, assigning the next dense id on
+    /// first touch.
+    #[inline]
+    fn localize(&mut self, g: CompIdx) -> CompIdx {
+        self.comps.assign(g)
+    }
+
+    /// Extend the view-derived structural layer (per-path and per-set
+    /// component lists plus their localization) to cover the view's
+    /// current projection. No-op when the view has not grown — the
+    /// steady-state case that makes warm rebinding cheap.
+    fn extend_structures(
+        &mut self,
+        topo: &Topology,
+        obs: &ObservationSet,
+        view: &ArenaView,
+    ) -> bool {
         let old_paths = self.path_comps.len();
-        let n_paths = obs.arena.path_count();
-        debug_assert!(
-            n_paths >= old_paths,
-            "rebind requires an arena extending the engine's lineage"
-        );
-        // Interned fabric paths → component lists (links + their switch
-        // endpoints, deduplicated; round-trip probe paths visit a device
-        // twice but it is one component).
-        for pid in old_paths as u32..n_paths as u32 {
-            let links = obs.arena.path(flock_telemetry::PathId(pid));
+        let n_paths = view.n_paths();
+        // Viewed fabric paths → local component lists (links + their
+        // switch endpoints, deduplicated; round-trip probe paths visit a
+        // device twice but it is one component).
+        for lp in old_paths as u32..n_paths as u32 {
+            let links = obs.arena.path(view.global_path(lp));
             let mut comps: Vec<CompIdx> = Vec::with_capacity(links.len() * 2 + 1);
             for &l in links {
-                comps.push(self.space.link_comp(l));
+                comps.push(self.localize_link(l));
                 let link = topo.link(l);
                 for end in [link.src, link.dst] {
                     if let Some(d) = self.space.device_comp(end) {
-                        comps.push(d);
+                        comps.push(self.localize(d));
                     }
                 }
             }
             comps.sort_unstable();
             comps.dedup();
-            self.comp_path_pairs.extend(comps.iter().map(|&c| (c, pid)));
+            self.comp_path_pairs.extend(comps.iter().map(|&c| (c, lp)));
             self.path_comps.push(comps);
         }
         self.path_fail.resize(n_paths, 0);
 
         // Sets and their component unions.
         let old_sets = self.sets.len();
-        let n_sets = obs.arena.set_count();
-        for sid in old_sets as u32..n_sets as u32 {
+        let n_sets = view.n_sets();
+        for ls in old_sets as u32..n_sets as u32 {
             let members: Vec<u32> = obs
                 .arena
-                .set(flock_telemetry::PathSetId(sid))
+                .set(view.global_set(ls))
                 .iter()
-                .map(|p| p.0)
+                .map(|p| {
+                    view.local_path(*p)
+                        .expect("a view projects every member path of its sets")
+                })
                 .collect();
             let mut comps: Vec<CompIdx> = members
                 .iter()
@@ -410,49 +612,40 @@ impl Engine {
                 .collect();
             comps.sort_unstable();
             comps.dedup();
-            self.comp_set_pairs.extend(comps.iter().map(|&c| (c, sid)));
+            self.comp_set_pairs.extend(comps.iter().map(|&c| (c, ls)));
             self.sets.push(members);
             self.set_comps.push(comps);
         }
         self.set_bad.resize(n_sets, 0);
 
-        // Inverted indexes: rebuilt on growth (from the cumulative pair
-        // lists, by linear counting scatter — no per-epoch re-derivation
-        // or sort of history), and on the first build even when the arena
-        // is empty — `flip`/`delta_single` index the CSR offset tables
-        // unconditionally, so they must always span the component space.
-        let unbuilt = self.comp_to_paths.offsets.is_empty();
-        if n_paths > old_paths || n_sets > old_sets || unbuilt {
-            let n_comps = self.space.n_comps();
-            self.comp_to_paths.rebuild(n_comps, &self.comp_path_pairs);
-            self.comp_to_sets.rebuild(n_comps, &self.comp_set_pairs);
-        }
+        n_paths > old_paths || n_sets > old_sets
     }
 
-    /// Rebuild the per-epoch flow layer from `obs`, collapsing runs of
-    /// observations sharing the `(set, sent, bad)` evidence key into
-    /// weighted super-flows (the assembler sorts observations by exactly
-    /// that key, so equal keys are adjacent; out-of-order input merely
-    /// coalesces less — never incorrectly).
-    fn rebuild_flows(
-        &mut self,
-        topo: &Topology,
-        obs: &ObservationSet,
-        filter: Option<FlowFilter<'_>>,
-    ) {
+    #[inline]
+    fn localize_link(&mut self, l: flock_topology::LinkId) -> CompIdx {
+        let g = self.space.link_comp(l);
+        self.localize(g)
+    }
+
+    /// Rebuild the per-epoch flow layer from the view's accepted
+    /// observations, collapsing runs sharing the `(set, sent, bad)`
+    /// evidence key into weighted super-flows (the assembler sorts
+    /// observations by exactly that key and the view preserves
+    /// observation order, so equal keys are adjacent; out-of-order input
+    /// merely coalesces less — never incorrectly).
+    fn rebuild_flows(&mut self, topo: &Topology, obs: &ObservationSet, view: &ArenaView) {
         self.sflows.clear();
         self.members.clear();
         self.n_obs = 0;
         self.pair_set_flows.clear();
         self.pair_extra_members.clear();
         let mut last_key: Option<(u32, u64, u64)> = None;
-        for (i, o) in obs.flows.iter().enumerate() {
-            if let Some(keep) = filter {
-                if !keep(i, o) {
-                    continue;
-                }
-            }
-            let w = self.sets[o.set.0 as usize].len() as u32;
+        for &i in view.epoch_flows() {
+            let o = &obs.flows[i as usize];
+            let ls = view
+                .local_set(o.set)
+                .expect("bind_epoch projected every accepted set");
+            let w = self.sets[ls as usize].len() as u32;
             if w == 0 {
                 continue; // unroutable flow carries no information
             }
@@ -460,10 +653,10 @@ impl Engine {
             let key = o.evidence_key();
             if !(self.opts.coalesce && last_key == Some(key)) {
                 let fi = self.sflows.len() as u32;
-                self.pair_set_flows.push((o.set.0, fi));
+                self.pair_set_flows.push((ls, fi));
                 let at = self.members.len() as u32;
                 self.sflows.push(SFlow {
-                    set: o.set.0,
+                    set: ls,
                     score: flow_score(&self.params, o.sent, o.bad),
                     w,
                     weight: 0.0,
@@ -474,7 +667,7 @@ impl Engine {
             }
             let fi = self.sflows.len() - 1;
             self.sflows[fi].weight += f64::from(o.weight);
-            let extras = flow_extras(topo, &self.space, &self.set_comps[o.set.0 as usize], o);
+            let extras = self.flow_extras(topo, ls, o);
             if extras.1 > 0 {
                 let mi = self.members.len() as u32;
                 for &e in &extras.0[..extras.1 as usize] {
@@ -490,13 +683,45 @@ impl Engine {
                 self.sflows[fi].members.1 = mi + 1;
             }
         }
-        self.set_flows
-            .rebuild(self.sets.len(), &self.pair_set_flows);
-        self.comp_extra_members
-            .rebuild(self.space.n_comps(), &self.pair_extra_members);
     }
 
-    /// The component space (for translating indices).
+    /// Extract the extra components (local ids) of a flow: its prefix
+    /// links plus any switch devices incident to prefix links that do
+    /// not already appear in the set's component union (the intra-rack
+    /// ToR case).
+    fn flow_extras(&mut self, topo: &Topology, ls: u32, o: &FlowObs) -> ([CompIdx; 4], u8) {
+        let mut extras = [0 as CompIdx; 4];
+        let mut n = 0u8;
+        let push = |extras: &mut [CompIdx; 4], n: &mut u8, c: CompIdx| {
+            if !extras[..*n as usize].contains(&c) {
+                extras[*n as usize] = c;
+                *n += 1;
+            }
+        };
+        for link in o.prefix.iter().flatten() {
+            let lc = self.localize_link(*link);
+            push(&mut extras, &mut n, lc);
+            let lk = topo.link(*link);
+            for end in [lk.src, lk.dst] {
+                // Hosts yield None; switch devices already covered by the
+                // fabric path set stay out of the extras (they are counted
+                // through the set's path components).
+                if let Some(d) = self.space.device_comp(end) {
+                    let in_set = self.comps.local(d).is_some_and(|known| {
+                        self.set_comps[ls as usize].binary_search(&known).is_ok()
+                    });
+                    if !in_set {
+                        let ld = self.localize(d);
+                        push(&mut extras, &mut n, ld);
+                    }
+                }
+            }
+        }
+        (extras, n)
+    }
+
+    /// The full-topology component space (indices on it are *global*;
+    /// translate with [`Engine::global_comp`] / [`Engine::local_comp`]).
     pub fn space(&self) -> &ComponentSpace {
         &self.space
     }
@@ -511,9 +736,72 @@ impl Engine {
         self.opts
     }
 
-    /// Number of components.
+    /// Number of *local* components — components touched by this
+    /// engine's evidence history. Every index-taking method on the
+    /// engine speaks this dense space.
     pub fn n_comps(&self) -> usize {
-        self.delta.len()
+        self.comps.len()
+    }
+
+    /// Width of the full topology component space.
+    pub fn n_global_comps(&self) -> usize {
+        self.space.n_comps()
+    }
+
+    /// Number of locally-projected paths.
+    pub fn n_paths(&self) -> usize {
+        self.path_comps.len()
+    }
+
+    /// Number of locally-projected sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Global (dense topology-wide) id of a local component.
+    #[inline]
+    pub fn global_comp(&self, c: CompIdx) -> CompIdx {
+        self.comps.global(c)
+    }
+
+    /// Local id of a global component, if this engine's evidence ever
+    /// touched it.
+    #[inline]
+    pub fn local_comp(&self, g: CompIdx) -> Option<CompIdx> {
+        self.comps.local(g)
+    }
+
+    /// The topology component behind a *local* id — the report-time
+    /// translation.
+    #[inline]
+    pub fn component(&self, c: CompIdx) -> Component {
+        self.space.component(self.global_comp(c))
+    }
+
+    /// Local id of a topology component, if evidence ever touched it.
+    /// The inverse of [`Engine::component`]; used to seed warm-start
+    /// inference from a previous epoch's predictions.
+    #[inline]
+    pub fn comp_of(&self, c: Component) -> Option<CompIdx> {
+        self.space.comp_of(c).and_then(|g| self.local_comp(g))
+    }
+
+    /// Whether local component `c` denotes a switch device.
+    #[inline]
+    pub fn is_device(&self, c: CompIdx) -> bool {
+        self.space.is_device(self.global_comp(c))
+    }
+
+    /// Resident state sizes (see [`EngineStateSizes`]).
+    pub fn state_sizes(&self) -> EngineStateSizes {
+        EngineStateSizes {
+            comps: self.comps.len(),
+            paths: self.path_comps.len(),
+            sets: self.sets.len(),
+            flows: self.sflows.len(),
+            members: self.members.len(),
+            global_comps: self.space.n_comps(),
+        }
     }
 
     /// Number of engine super-flows (distinct evidence keys this epoch
@@ -533,12 +821,12 @@ impl Engine {
         self.members.len()
     }
 
-    /// The current hypothesis (components currently failed).
+    /// The current hypothesis (local ids of components currently failed).
     pub fn hypothesis(&self) -> &[CompIdx] {
         &self.hypothesis
     }
 
-    /// Whether `c` is in the current hypothesis.
+    /// Whether local component `c` is in the current hypothesis.
     #[inline]
     pub fn in_hypothesis(&self, c: CompIdx) -> bool {
         self.in_h[c as usize]
@@ -549,16 +837,17 @@ impl Engine {
         self.ll
     }
 
-    /// The Δ array: `delta()[c] = LL(H ⊕ c) − LL(H)` (likelihood only).
+    /// The Δ array over local components:
+    /// `delta()[c] = LL(H ⊕ c) − LL(H)` (likelihood only).
     pub fn delta(&self) -> &[f64] {
         &self.delta
     }
 
-    /// Prior log-odds contribution of *adding* component `c` to the
-    /// hypothesis (negative). Removal contributes the negation.
+    /// Prior log-odds contribution of *adding* local component `c` to
+    /// the hypothesis (negative). Removal contributes the negation.
     #[inline]
     pub fn prior_logodds(&self, c: CompIdx) -> f64 {
-        if self.space.is_device(c) {
+        if self.is_device(c) {
             self.params.device_prior_logodds()
         } else {
             self.params.link_prior_logodds()
@@ -570,15 +859,16 @@ impl Engine {
         self.stats
     }
 
-    /// Toggle component `c`, maintaining the full Δ array (JLE update).
-    /// Returns the likelihood change `LL(H') − LL(H)`.
+    /// Toggle local component `c`, maintaining the full Δ array (JLE
+    /// update). Returns the likelihood change `LL(H') − LL(H)`.
     pub fn flip(&mut self, c: CompIdx) -> f64 {
         self.flip_inner(c, true)
     }
 
-    /// Toggle component `c`, updating state and total likelihood but *not*
-    /// the Δ array (which becomes stale — callers must not read it until
-    /// the state is restored). Used by the non-JLE baselines.
+    /// Toggle local component `c`, updating state and total likelihood
+    /// but *not* the Δ array (which becomes stale — callers must not
+    /// read it until the state is restored). Used by the non-JLE
+    /// baselines.
     pub fn flip_ll_only(&mut self, c: CompIdx) -> f64 {
         self.flip_inner(c, false)
     }
@@ -859,14 +1149,15 @@ impl Engine {
 
     /// Initial Δ array for the empty hypothesis (`ComputeInitialDelta` of
     /// Algorithm 2): grouped per set so that super-flows sharing a path
-    /// set evaluate each distinct failed-path count once.
+    /// set evaluate each distinct failed-path count once. Sweeps the
+    /// *view's* sets only — the fleet-wide arena never enters this loop.
     fn compute_initial_delta(&mut self) {
         let mut gs = std::mem::take(&mut self.scratch_gs);
         let mut sums = std::mem::take(&mut self.scratch_sums);
         // Per set: g(c) = member paths containing c (all paths good).
         for s in 0..self.sets.len() as u32 {
             // Sets with no flows this epoch contribute nothing; skipping
-            // them keeps rebinding cheap as the shared arena accumulates
+            // them keeps rebinding cheap as the shard's view accumulates
             // sets across epochs.
             if self.set_flows.get(s).is_empty() {
                 continue;
@@ -960,9 +1251,9 @@ impl Engine {
         dll
     }
 
-    /// Brute-force `LL(H)` from scratch for an arbitrary hypothesis —
-    /// `O(m·T)`. Reference implementation used by tests and available for
-    /// cross-checking; never on the hot path.
+    /// Brute-force `LL(H)` from scratch for an arbitrary hypothesis (of
+    /// local ids) — `O(m·T)`. Reference implementation used by tests and
+    /// available for cross-checking; never on the hot path.
     pub fn ll_of(&self, hypothesis: &[CompIdx]) -> f64 {
         let in_h: std::collections::HashSet<CompIdx> = hypothesis.iter().copied().collect();
         let set_bad_h: Vec<u32> = (0..self.sets.len())
@@ -1035,40 +1326,6 @@ fn collect_counters_into(
     }
 }
 
-/// Extract the extra components of a flow: its prefix links plus any
-/// switch devices incident to prefix links that do not already appear in
-/// the set's component union (the intra-rack ToR case).
-fn flow_extras(
-    topo: &Topology,
-    space: &ComponentSpace,
-    set_comps: &[CompIdx],
-    o: &FlowObs,
-) -> ([CompIdx; 4], u8) {
-    let mut extras = [0 as CompIdx; 4];
-    let mut n = 0u8;
-    let push = |extras: &mut [CompIdx; 4], n: &mut u8, c: CompIdx| {
-        if !extras[..*n as usize].contains(&c) {
-            extras[*n as usize] = c;
-            *n += 1;
-        }
-    };
-    for link in o.prefix.iter().flatten() {
-        push(&mut extras, &mut n, space.link_comp(*link));
-        let lk = topo.link(*link);
-        for end in [lk.src, lk.dst] {
-            // Hosts yield None; switch devices already covered by the
-            // fabric path set stay out of the extras (they are counted
-            // through the set's path components).
-            if let Some(d) = space.device_comp(end) {
-                if set_comps.binary_search(&d).is_err() {
-                    push(&mut extras, &mut n, d);
-                }
-            }
-        }
-    }
-    (extras, n)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1135,6 +1392,7 @@ mod tests {
         let (topo, obs) = small_obs(1);
         let mut engine = Engine::new(&topo, &obs, HyperParams::default());
         let n = engine.n_comps() as u32;
+        assert!(n > 0);
         let mut rng = StdRng::seed_from_u64(99);
 
         let check = |engine: &Engine| {
@@ -1297,35 +1555,40 @@ mod tests {
             })
             .unwrap();
         assert_eq!(
-            engine.space().component(best),
+            engine.component(best),
             flock_topology::Component::Link(bad_link),
             "the dropping link should have the highest delta"
         );
     }
 
+    /// With no evidence the local spaces are empty: the engine allocates
+    /// nothing and a search over it terminates immediately — the
+    /// structural form of the old "zero deltas" guarantee.
     #[test]
-    fn empty_observation_set_yields_zero_deltas() {
+    fn empty_observation_set_has_empty_local_space() {
         let topo = three_tier(ClosParams::tiny());
         let obs = ObservationSet {
             arena: flock_telemetry::PathArena::new(),
             flows: Vec::new(),
             mode: AnalysisMode::PerPacket,
         };
-        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
-        assert!(engine.delta().iter().all(|&d| d == 0.0));
+        let engine = Engine::new(&topo, &obs, HyperParams::default());
+        assert_eq!(engine.n_comps(), 0);
+        assert_eq!(engine.n_paths(), 0);
+        assert_eq!(engine.n_sets(), 0);
+        assert!(engine.delta().is_empty());
         assert_eq!(engine.log_likelihood(), 0.0);
-        // The inverted indexes must be usable even with an empty arena:
-        // flips and single-neighbor evaluation walk them unconditionally.
-        for c in 0..engine.n_comps() as u32 {
-            assert_eq!(engine.delta_single(c), 0.0);
-        }
-        engine.flip(0);
-        engine.flip_ll_only(1);
-        assert_eq!(engine.log_likelihood(), 0.0);
+        assert!(engine.n_global_comps() > 0);
+        let sizes = engine.state_sizes();
+        assert_eq!(sizes.comps, 0);
+        assert_eq!(sizes.global_comps, engine.n_global_comps());
     }
 
-    /// A rebound engine must be indistinguishable from one built fresh on
-    /// the same (lineage-extending) observation set.
+    /// A rebound engine must be indistinguishable (under the global-id
+    /// projection) from one built fresh on the same lineage-extending
+    /// observation set: equal likelihood, and equal Δ per global
+    /// component — the warm engine may carry extra zero-evidence local
+    /// comps from earlier epochs, which must all sit at Δ = 0.
     #[test]
     fn rebind_matches_fresh_build() {
         use flock_telemetry::Assembler;
@@ -1385,10 +1648,14 @@ mod tests {
         assert_eq!(warm.n_observations(), fresh.n_observations());
         assert!(warm.hypothesis().is_empty());
         assert!((warm.log_likelihood() - fresh.log_likelihood()).abs() < 1e-12);
-        for (i, (a, b)) in warm.delta().iter().zip(fresh.delta()).enumerate() {
+        for g in 0..warm.n_global_comps() as u32 {
+            let a = warm.local_comp(g).map_or(0.0, |l| warm.delta()[l as usize]);
+            let b = fresh
+                .local_comp(g)
+                .map_or(0.0, |l| fresh.delta()[l as usize]);
             assert!(
                 (a - b).abs() < 1e-9 * (1.0 + b.abs()),
-                "delta[{i}]: rebound {a} vs fresh {b}"
+                "global comp {g}: rebound {a} vs fresh {b}"
             );
         }
         // And the JLE invariant still holds after flips on the rebound
@@ -1406,20 +1673,23 @@ mod tests {
         let all = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_, _| true));
         let full = Engine::new(&topo, &obs, HyperParams::default());
         assert_eq!(all.n_flows(), full.n_flows());
+        assert_eq!(all.n_comps(), full.n_comps());
         for (a, b) in all.delta().iter().zip(full.delta()) {
             assert!((a - b).abs() < 1e-12);
         }
         let none = Engine::new_filtered(&topo, &obs, HyperParams::default(), Some(&|_, _| false));
         assert_eq!(none.n_flows(), 0);
-        assert!(none.delta().iter().all(|&d| d == 0.0));
+        assert_eq!(none.n_comps(), 0, "no evidence, no local components");
     }
 
     /// Filters that partition the observation set produce engines whose
     /// evidence is exactly additive: at any hypothesis reached by the
-    /// same flip sequence, the partial likelihoods (and likelihood
-    /// changes) sum to the full engine's. This is the engine-level
-    /// foundation of per-plane spine sharding, where each plane engine
-    /// is constructed from a plane-filtered slice of the evidence.
+    /// same (global-id) flip sequence, the partial likelihoods and
+    /// per-global-component Δs sum to the full engine's. This is the
+    /// engine-level foundation of per-plane spine sharding, where each
+    /// plane engine is constructed from a plane-filtered slice of the
+    /// evidence. Components absent from a part's local space contribute
+    /// zero from that part.
     #[test]
     fn filtered_engines_partition_evidence() {
         let (topo, obs) = small_obs(8);
@@ -1427,7 +1697,7 @@ mod tests {
         let mut full = Engine::new(&topo, &obs, params);
         // A 3-way partition by path-set id (arbitrary but disjoint and
         // exhaustive, like plane membership is for traced evidence).
-        let parts: Vec<Engine> = (0..3u32)
+        let mut parts: Vec<Engine> = (0..3u32)
             .map(|k| {
                 Engine::new_filtered(
                     &topo,
@@ -1437,7 +1707,6 @@ mod tests {
                 )
             })
             .collect();
-        let mut parts: Vec<Engine> = parts;
         assert_eq!(
             parts.iter().map(Engine::n_observations).sum::<usize>(),
             full.n_observations(),
@@ -1450,23 +1719,32 @@ mod tests {
                 "partial lls sum to {ll}, full {}",
                 full.log_likelihood()
             );
-            for c in 0..full.n_comps() {
-                let d: f64 = parts.iter().map(|e| e.delta()[c]).sum();
+            for g in 0..full.n_global_comps() as u32 {
+                let d: f64 = parts
+                    .iter()
+                    .filter_map(|e| e.local_comp(g).map(|l| e.delta()[l as usize]))
+                    .sum();
+                let f = full.local_comp(g).map_or(0.0, |l| full.delta()[l as usize]);
                 assert!(
-                    (d - full.delta()[c]).abs() < 1e-8 * (1.0 + full.delta()[c].abs()),
-                    "delta[{c}]: partial sum {d} vs full {}",
-                    full.delta()[c]
+                    (d - f).abs() < 1e-8 * (1.0 + f.abs()),
+                    "global comp {g}: partial sum {d} vs full {f}"
                 );
             }
         };
         agree(&full, &parts);
         let n = full.n_comps() as u32;
+        // Flip by *global* id: each engine translates to its own local
+        // space; engines without the component skip (zero evidence).
         for c in [n / 5, n / 2, n - 2, n / 2] {
+            let g = full.global_comp(c);
             let dll_full = full.flip(c);
-            let dll_parts: f64 = parts.iter_mut().map(|e| e.flip(c)).sum();
+            let dll_parts: f64 = parts
+                .iter_mut()
+                .filter_map(|e| e.local_comp(g).map(|l| e.flip(l)))
+                .sum();
             assert!(
                 (dll_full - dll_parts).abs() < 1e-8 * (1.0 + dll_full.abs()),
-                "flip({c}): partial sum {dll_parts} vs full {dll_full}"
+                "flip(global {g}): partial sum {dll_parts} vs full {dll_full}"
             );
             agree(&full, &parts);
         }
@@ -1505,7 +1783,9 @@ mod tests {
         );
         let engine = Engine::new(&topo, &obs, HyperParams::default());
         let tor = topo.host_leaf(a);
-        let tor_comp = engine.space().device_comp(tor).unwrap();
+        let tor_comp = engine
+            .comp_of(flock_topology::Component::Device(tor))
+            .expect("the ToR is implicated, so it has a local id");
         assert!(
             engine.delta()[tor_comp as usize] > 0.0,
             "ToR device must be implicated by the intra-rack flow"
@@ -1560,7 +1840,8 @@ mod tests {
 
     /// Coalescing is exact: the coalesced and raw engines agree on the
     /// likelihood and the entire Δ array, initially and along a flip walk
-    /// that exercises both fabric comps and extras.
+    /// that exercises both fabric comps and extras. Both engines project
+    /// the same view order, so local ids line up one-to-one.
     #[test]
     fn coalesced_engine_matches_raw_engine() {
         let (topo, obs) = coalescable_obs(31);
@@ -1576,6 +1857,7 @@ mod tests {
             raw.n_flows()
         );
         assert_eq!(co.n_observations(), raw.n_observations());
+        assert_eq!(co.n_comps(), raw.n_comps());
 
         let agree = |co: &Engine, raw: &Engine| {
             assert!(
@@ -1619,7 +1901,7 @@ mod tests {
         let mut engine = Engine::new(&topo, &obs, HyperParams::default());
         // Flip every host-attachment link component on, then off.
         let host_comps: Vec<u32> = (0..engine.n_comps() as u32)
-            .filter(|&c| !engine.space().is_device(c))
+            .filter(|&c| !engine.is_device(c))
             .take(24)
             .collect();
         for &c in &host_comps {
@@ -1638,5 +1920,139 @@ mod tests {
         for m in &engine.members {
             assert_eq!(m.extra_fail, 0);
         }
+    }
+
+    /// The engine's resident state scales with the *filtered* evidence:
+    /// an engine that accepts a third of the flows projects only the
+    /// sets/paths/components that third touches.
+    #[test]
+    fn filtered_engine_state_is_local() {
+        let (topo, obs) = small_obs(12);
+        let full = Engine::new(&topo, &obs, HyperParams::default());
+        let part = Engine::new_filtered(
+            &topo,
+            &obs,
+            HyperParams::default(),
+            Some(&|i, _| i % 7 == 0),
+        );
+        let fs = full.state_sizes();
+        let ps = part.state_sizes();
+        assert!(ps.sets < fs.sets, "sets {} !< {}", ps.sets, fs.sets);
+        assert!(ps.paths < fs.paths, "paths {} !< {}", ps.paths, fs.paths);
+        assert!(ps.comps < fs.comps, "comps {} !< {}", ps.comps, fs.comps);
+        assert!(ps.comps < ps.global_comps);
+        assert_eq!(part.delta().len(), ps.comps);
+    }
+
+    /// Rebinding against a foreign-lineage or rolled-back arena is a
+    /// typed error (not release-mode UB), and the engine stays usable on
+    /// its own lineage afterwards.
+    #[test]
+    fn rebind_rejects_foreign_and_shrunk_arenas() {
+        let (topo, obs) = small_obs(13);
+        let mut engine = Engine::new(&topo, &obs, HyperParams::default());
+
+        // Foreign lineage: a fresh assembly of the same flows.
+        let (_, foreign) = small_obs(13);
+        let err = engine
+            .try_rebind_filtered(&topo, &foreign, None)
+            .unwrap_err();
+        assert!(matches!(err, ViewError::ForeignLineage { .. }), "{err}");
+
+        // Shrunk same-lineage arena: bind to an extended clone first,
+        // then offer the original.
+        let mut extended = obs.clone();
+        extended
+            .arena
+            .intern_single(&[flock_topology::LinkId(0), flock_topology::LinkId(1)]);
+        engine.try_rebind_filtered(&topo, &extended, None).unwrap();
+        let err = engine.try_rebind_filtered(&topo, &obs, None).unwrap_err();
+        assert!(matches!(err, ViewError::ArenaShrunk { .. }), "{err}");
+
+        // Still fully usable on the valid lineage.
+        engine.try_rebind_filtered(&topo, &extended, None).unwrap();
+        let fresh = Engine::new(&topo, &extended, HyperParams::default());
+        assert!((engine.log_likelihood() - fresh.log_likelihood()).abs() < 1e-12);
+    }
+
+    /// An engine bound to an external view matches one built through the
+    /// legacy filter API, and rejects a different view with a typed
+    /// error.
+    #[test]
+    fn external_view_matches_internal_and_rejects_foreign_view() {
+        let (topo, obs) = small_obs(14);
+        let params = HyperParams::default();
+        let keep = |i: usize, _: &FlowObs| i % 2 == 0;
+
+        let mut view = ArenaView::new();
+        view.bind_epoch(&obs, keep).unwrap();
+        let mut viewed = Engine::with_view(&topo, &obs, params, EngineOptions::default(), &view);
+        let legacy = Engine::new_filtered(&topo, &obs, params, Some(&keep));
+
+        assert_eq!(viewed.n_flows(), legacy.n_flows());
+        assert_eq!(viewed.n_comps(), legacy.n_comps());
+        assert!((viewed.log_likelihood() - legacy.log_likelihood()).abs() < 1e-12);
+        for (a, b) in viewed.delta().iter().zip(legacy.delta()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+
+        // Rebinding through a *different* view is rejected: local ids
+        // belong to the view that assigned them.
+        let mut other = ArenaView::new();
+        other.bind_epoch(&obs, keep).unwrap();
+        let err = viewed.try_rebind_view(&topo, &obs, &other).unwrap_err();
+        assert!(matches!(err, ViewError::ForeignView { .. }), "{err}");
+
+        // Rebinding through the right view works and is idempotent.
+        view.bind_epoch(&obs, keep).unwrap();
+        viewed.try_rebind_view(&topo, &obs, &view).unwrap();
+        assert!((viewed.log_likelihood() - legacy.log_likelihood()).abs() < 1e-12);
+    }
+
+    /// The engine validates that the offered observation set is one the
+    /// view actually covers — handing obs from another assembly would
+    /// index the wrong arena with the view's ids.
+    #[test]
+    fn rebind_view_rejects_uncovered_observation_set() {
+        let (topo, obs) = small_obs(15);
+        let mut view = ArenaView::new();
+        view.bind_epoch(&obs, |_, _| true).unwrap();
+        let mut engine = Engine::with_view(
+            &topo,
+            &obs,
+            HyperParams::default(),
+            EngineOptions::default(),
+            &view,
+        );
+
+        // Same flows, fresh assembly: different arena lineage.
+        let (_, foreign) = small_obs(15);
+        let err = engine.try_rebind_view(&topo, &foreign, &view).unwrap_err();
+        assert!(matches!(err, ViewError::ForeignLineage { .. }), "{err}");
+
+        // The engine is still usable against the covered set.
+        view.bind_epoch(&obs, |_, _| true).unwrap();
+        engine.try_rebind_view(&topo, &obs, &view).unwrap();
+    }
+
+    /// Cloning a view stamps a fresh identity: clones serve new
+    /// consumers, never an engine bound to the original (diverging
+    /// clones would assign conflicting local ids).
+    #[test]
+    fn cloned_view_is_foreign_to_the_original_engine() {
+        let (topo, obs) = small_obs(16);
+        let mut view = ArenaView::new();
+        view.bind_epoch(&obs, |_, _| true).unwrap();
+        let mut engine = Engine::with_view(
+            &topo,
+            &obs,
+            HyperParams::default(),
+            EngineOptions::default(),
+            &view,
+        );
+        let clone = view.clone();
+        assert_ne!(view.id(), clone.id());
+        let err = engine.try_rebind_view(&topo, &obs, &clone).unwrap_err();
+        assert!(matches!(err, ViewError::ForeignView { .. }), "{err}");
     }
 }

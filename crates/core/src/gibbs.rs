@@ -123,10 +123,7 @@ impl Localizer for GibbsSampler {
         marginal.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
         LocalizationResult {
-            predicted: marginal
-                .iter()
-                .map(|(c, _)| engine.space().component(*c))
-                .collect(),
+            predicted: marginal.iter().map(|(c, _)| engine.component(*c)).collect(),
             scores: marginal.iter().map(|(_, m)| *m).collect(),
             log_likelihood: engine.log_likelihood(),
             hypotheses_scanned: scanned,

@@ -122,7 +122,13 @@ impl FlockGreedy {
                 (c, -removal_gain)
             })
             .collect();
-        picked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // Ties ordered by *global* id: local id order varies with the
+        // engine's evidence history, global order does not.
+        picked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then(engine.global_comp(a.0).cmp(&engine.global_comp(b.0)))
+        });
         (picked, scanned)
     }
 
@@ -156,6 +162,22 @@ impl FlockGreedy {
     }
 }
 
+/// Whether a candidate `(comp, gain)` beats the current best. Exact gain
+/// ties (observationally equivalent components, Fig. 5c) break toward
+/// the smaller *global* id: local id order depends on each engine's
+/// evidence history, so breaking ties locally would let two engines over
+/// the same evidence (e.g. a plane-sharded and a single-spine plan) pick
+/// different members of an equivalence class.
+#[inline]
+fn beats(engine: &Engine, cand: (CompIdx, f64), best: Option<(CompIdx, f64)>) -> bool {
+    match best {
+        None => true,
+        Some((bc, bg)) => {
+            cand.1 > bg || (cand.1 == bg && engine.global_comp(cand.0) < engine.global_comp(bc))
+        }
+    }
+}
+
 /// Best component to *add* under the current Δ array, with its
 /// prior-inclusive gain.
 fn argmax_addable(engine: &Engine) -> Option<(CompIdx, f64)> {
@@ -166,7 +188,7 @@ fn argmax_addable(engine: &Engine) -> Option<(CompIdx, f64)> {
             continue;
         }
         let gain = delta[c as usize] + engine.prior_logodds(c);
-        if best.is_none_or(|(_, g)| gain > g) {
+        if beats(engine, (c, gain), best) {
             best = Some((c, gain));
         }
     }
@@ -185,7 +207,7 @@ fn argmax_move(engine: &Engine) -> Option<(CompIdx, f64)> {
         } else {
             delta[c as usize] + engine.prior_logodds(c)
         };
-        if best.is_none_or(|(_, g)| gain > g) {
+        if beats(engine, (c, gain), best) {
             best = Some((c, gain));
         }
     }
@@ -201,7 +223,7 @@ fn argmax_move_no_jle(engine: &Engine) -> Option<(CompIdx, f64)> {
         } else {
             engine.delta_single(c) + engine.prior_logodds(c)
         };
-        if best.is_none_or(|(_, g)| gain > g) {
+        if beats(engine, (c, gain), best) {
             best = Some((c, gain));
         }
     }
@@ -216,7 +238,7 @@ fn argmax_addable_no_jle(engine: &Engine) -> Option<(CompIdx, f64)> {
             continue;
         }
         let gain = engine.delta_single(c) + engine.prior_logodds(c);
-        if best.is_none_or(|(_, g)| gain > g) {
+        if beats(engine, (c, gain), best) {
             best = Some((c, gain));
         }
     }
@@ -240,10 +262,7 @@ impl Localizer for FlockGreedy {
         let start = Instant::now();
         let mut engine = Engine::new(topo, obs, self.params);
         let (picked, scanned) = self.search(&mut engine);
-        let predicted = picked
-            .iter()
-            .map(|(c, _)| engine.space().component(*c))
-            .collect();
+        let predicted = picked.iter().map(|(c, _)| engine.component(*c)).collect();
         let scores = picked.iter().map(|(_, g)| *g).collect();
         LocalizationResult {
             predicted,
@@ -428,19 +447,14 @@ mod tests {
         let mut engine = Engine::new(&topo, &obs, flock.params);
         let seed = [
             engine
-                .space()
                 .comp_of(flock_topology::Component::Link(still_bad))
                 .unwrap(),
             engine
-                .space()
                 .comp_of(flock_topology::Component::Link(healed))
                 .unwrap(),
         ];
         let (picked, _) = flock.search_warm(&mut engine, &seed);
-        let comps: Vec<Component> = picked
-            .iter()
-            .map(|(c, _)| engine.space().component(*c))
-            .collect();
+        let comps: Vec<Component> = picked.iter().map(|(c, _)| engine.component(*c)).collect();
         assert_eq!(
             comps,
             vec![Component::Link(still_bad)],

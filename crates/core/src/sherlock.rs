@@ -148,7 +148,7 @@ impl Localizer for SherlockFerret {
         let best = search.best_hypothesis.clone();
         let scanned = search.scanned;
         let posterior = search.best_posterior;
-        let predicted: Vec<_> = best.iter().map(|c| engine.space().component(*c)).collect();
+        let predicted: Vec<_> = best.iter().map(|c| engine.component(*c)).collect();
         LocalizationResult {
             scores: vec![posterior; predicted.len()],
             predicted,

@@ -168,17 +168,10 @@ pub fn device_failure<R: Rng + ?Sized>(
     sc
 }
 
-/// All directed links incident to the spines of one plane, sorted and
-/// deduplicated — the candidate set of the plane-confined scenarios.
+/// All directed links incident to the spines of one plane — the
+/// candidate set of the plane-confined scenarios.
 fn plane_incident_links(topo: &Topology, planes: &SpinePlanes, plane: u16) -> Vec<LinkId> {
-    let mut links: Vec<LinkId> = planes
-        .spines_in(plane)
-        .iter()
-        .flat_map(|&s| topo.links_of_node(s))
-        .collect();
-    links.sort_unstable();
-    links.dedup();
-    links
+    planes.incident_links(topo, plane)
 }
 
 /// Plane-confined gray failures: fail `n_failed` random links incident
@@ -197,13 +190,34 @@ pub fn plane_link_drops<R: Rng + ?Sized>(
     noise_max: f64,
     rng: &mut R,
 ) -> FailureScenario {
+    multi_plane_link_drops(topo, planes, &[plane], n_failed, fail_range, noise_max, rng)
+}
+
+/// [`plane_link_drops`] across several planes at once: `n_failed` links
+/// in *each* listed plane, one shared noise floor. Simultaneous faults
+/// in two or more planes are the workload that forces the cross-plane
+/// refinement pass of `flock-stream` every epoch — the property tests
+/// and the `fixed_cost` bench both build their scenarios through this
+/// helper so the composition (noise applied once, per-plane candidate
+/// selection, merged ground truth) cannot drift between them.
+pub fn multi_plane_link_drops<R: Rng + ?Sized>(
+    topo: &Topology,
+    planes: &SpinePlanes,
+    fault_planes: &[u16],
+    n_failed: usize,
+    fail_range: (f64, f64),
+    noise_max: f64,
+    rng: &mut R,
+) -> FailureScenario {
     let mut sc = FailureScenario::noise_only(topo, noise_max, rng);
-    let mut candidates = plane_incident_links(topo, planes, plane);
-    candidates.shuffle(rng);
-    for l in candidates.into_iter().take(n_failed) {
-        let rate = fail_range.0 + rng.random::<f64>() * (fail_range.1 - fail_range.0);
-        sc.drop_rate[l.idx()] = rate;
-        sc.truth.failed_links.push(l);
+    for &plane in fault_planes {
+        let mut candidates = plane_incident_links(topo, planes, plane);
+        candidates.shuffle(rng);
+        for l in candidates.into_iter().take(n_failed) {
+            let rate = fail_range.0 + rng.random::<f64>() * (fail_range.1 - fail_range.0);
+            sc.drop_rate[l.idx()] = rate;
+            sc.truth.failed_links.push(l);
+        }
     }
     sc.truth.failed_links.sort_unstable();
     sc

@@ -15,29 +15,38 @@
 //!    engine coalesces equal-key runs into weighted super-flows — the
 //!    spine shard, which sees nearly all inter-pod traffic, drops from
 //!    O(inter-pod flows) to O(distinct evidence keys) per epoch;
-//! 3. one engine per shard localizes the epoch, **warm-started** from the
-//!    shard's previous verdict: the engine is
-//!    [rebound](flock_core::Engine::rebind_filtered) instead of rebuilt
-//!    (reusing all arena-derived structure) and the greedy search is
-//!    seeded with the previous hypothesis, with removals enabled so heals
-//!    are detected ([`FlockGreedy::search_warm`]);
+//! 3. one engine per shard localizes the epoch over the shard's
+//!    persistent [`ArenaView`] — a dense local projection of the shared
+//!    arena onto the evidence the shard has ever accepted — so every
+//!    per-epoch reset, sweep, and Δ scan inside the engine is O(the
+//!    shard's own evidence), not O(total arena). Engines are
+//!    **warm-started** from the shard's previous verdict: rebound
+//!    ([`flock_core::Engine::try_rebind_view`]) instead of rebuilt, and
+//!    the greedy search is seeded with the previous hypothesis, with
+//!    removals enabled so heals are detected
+//!    ([`FlockGreedy::search_warm`]);
 //! 4. when two or more spine-*plane* shards blame components — each from
 //!    its plane-filtered slice of the evidence — a **cross-plane
 //!    refinement pass** re-searches the union of their hypotheses over
-//!    the full spine evidence, so a flow pinned to one plane by ECMP
-//!    hashing is never double-blamed when its passive path set straddles
-//!    planes (the refined verdict supersedes the per-plane ones);
+//!    the evidence touching the *blaming planes only* (its own
+//!    persistent view; [`StreamConfig::refine_full_spine`] restores the
+//!    historical full-spine scope), so a flow pinned to one plane by
+//!    ECMP hashing is never double-blamed when its passive path set
+//!    straddles planes (the refined verdict supersedes the blaming
+//!    planes' own), and a steady multi-plane fault no longer re-pays
+//!    full single-spine cost every epoch;
 //! 5. shard verdicts are merged under blame ownership into one
 //!    [`LocalizationResult`] per epoch.
 
 use crate::epoch::{Epoch, EpochConfig, EpochManager};
 use crate::shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};
 use flock_core::{
-    CompIdx, ComponentSpace, Engine, EngineOptions, FlockGreedy, HyperParams, LocalizationResult,
+    CompIdx, ComponentSpace, Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams,
+    LocalizationResult,
 };
 use flock_telemetry::{
-    AnalysisMode, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow, ObservationSet,
-    StampedRecord,
+    AnalysisMode, ArenaView, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow,
+    ObservationSet, StampedRecord,
 };
 use flock_topology::{Component, Router, Topology};
 use std::collections::HashMap;
@@ -73,6 +82,13 @@ pub struct StreamConfig {
     /// (exact; `false` = one engine flow per observation, the raw
     /// baseline the `evidence_coalesce` bench measures against).
     pub coalesce: bool,
+    /// Run the cross-plane refinement pass over the *full* spine
+    /// evidence (the pre-view historical scope) instead of only the
+    /// evidence touching the blaming planes. Default `false`: the
+    /// narrow scope produces identical verdicts (property-tested
+    /// against this flag) at a fraction of the steady multi-plane-fault
+    /// cost; the flag exists as the comparison baseline.
+    pub refine_full_spine: bool,
 }
 
 impl StreamConfig {
@@ -88,6 +104,7 @@ impl StreamConfig {
             shard_by_pod: false,
             spine_planes: true,
             coalesce: true,
+            refine_full_spine: false,
         }
     }
 }
@@ -118,6 +135,11 @@ pub struct ShardOutcome {
     /// Final normalized log-likelihood of the shard's hypothesis over the
     /// shard-relevant observations.
     pub log_likelihood: f64,
+    /// Resident state sizes of the shard's engine — each entry scales
+    /// with the shard's own evidence history, not the shared arena (the
+    /// sparsity invariant of the per-shard view layer, asserted by the
+    /// `state_sparsity` tests and reported by `bench-report`).
+    pub state: EngineStateSizes,
 }
 
 /// One epoch's merged verdict.
@@ -157,7 +179,14 @@ impl EpochReport {
 /// Per-shard persistent inference state.
 struct ShardState {
     engine: Option<Engine>,
-    /// Previous epoch's (shard-local) hypothesis, the warm seed.
+    /// The shard's persistent arena view: the dense projection of the
+    /// shared arena onto the evidence this shard has ever accepted. The
+    /// engine's local ids are assigned by (and only valid against) this
+    /// view.
+    view: ArenaView,
+    /// Previous epoch's hypothesis as *global* component ids (stable
+    /// across engine rebuilds), translated into the engine's local space
+    /// when seeding the warm search.
     prev: Vec<CompIdx>,
 }
 
@@ -191,11 +220,19 @@ pub struct StreamPipeline<'t> {
     /// function of the topology).
     space: ComponentSpace,
     /// Union of the spine-plane shards' ownership (empty mask for plans
-    /// without plane shards) — the blame scope of the refinement pass.
+    /// without plane shards) — the blame scope of the full-spine
+    /// refinement mode.
     spine_owned: Vec<bool>,
     /// Persistent engine of the cross-plane refinement pass, built
     /// lazily on the first epoch that triggers it.
     refine_engine: Option<Engine>,
+    /// The refinement engine's persistent view: accumulates evidence
+    /// from whichever planes have ever blamed (narrow mode) or the whole
+    /// spine tier (full mode).
+    refine_view: ArenaView,
+    /// Scratch for the narrow refinement's blame scope (comps owned by
+    /// the epoch's blaming planes).
+    refine_owned: Vec<bool>,
     /// Per-epoch scratch: each observation's combined (set ∪ prefix)
     /// touch signature, derived once and consulted by every shard's
     /// evidence filter in O(1).
@@ -217,6 +254,7 @@ impl<'t> StreamPipeline<'t> {
             .iter()
             .map(|_| ShardState {
                 engine: None,
+                view: ArenaView::new(),
                 prev: Vec::new(),
             })
             .collect();
@@ -241,6 +279,8 @@ impl<'t> StreamPipeline<'t> {
             space,
             spine_owned,
             refine_engine: None,
+            refine_view: ArenaView::new(),
+            refine_owned: Vec::new(),
             flow_touches: Vec::new(),
         }
     }
@@ -344,18 +384,23 @@ impl<'t> StreamPipeline<'t> {
         // Cross-plane refinement: when two or more plane shards blame
         // spine components — each having seen only its plane-filtered
         // slice of the evidence — re-search the union of their
-        // hypotheses over the *full* spine evidence, with removals, so
-        // blame duplicated across planes by straddling path sets is
-        // dropped. Epochs where at most one plane blames (the common
-        // case) skip this entirely, which is what lets plane sharding
-        // scale the spine tier.
+        // hypotheses over the evidence touching the blaming planes,
+        // with removals, so blame duplicated across planes by straddling
+        // path sets is dropped. Epochs where at most one plane blames
+        // (the common case) skip this entirely, which is what lets plane
+        // sharding scale the spine tier; the narrow evidence scope keeps
+        // even the refining epochs O(blaming planes' evidence) instead
+        // of full single-spine cost.
         let mut refined: Option<(Vec<(CompIdx, f64)>, ShardOutcome)> = None;
-        let blaming_planes = outcomes
+        let blaming: Vec<u16> = outcomes
             .iter()
             .zip(&self.plan.shards)
-            .filter(|((kept, _), s)| matches!(s.kind, ShardKind::SpinePlane(_)) && !kept.is_empty())
-            .count();
-        if blaming_planes >= 2 {
+            .filter_map(|((kept, _), s)| match s.kind {
+                ShardKind::SpinePlane(p) if !kept.is_empty() => Some(p),
+                _ => None,
+            })
+            .collect();
+        if blaming.len() >= 2 {
             let mut seed: Vec<CompIdx> = outcomes
                 .iter()
                 .zip(&self.plan.shards)
@@ -364,7 +409,7 @@ impl<'t> StreamPipeline<'t> {
                 .collect();
             seed.sort_unstable();
             seed.dedup();
-            refined = Some(self.refine_spine(&obs, &seed));
+            refined = Some(self.refine_spine(&obs, &seed, &blaming));
         }
         let refine_ran = refined.is_some();
 
@@ -434,40 +479,87 @@ impl<'t> StreamPipeline<'t> {
     }
 
     /// The cross-plane refinement pass: warm-rebind (or build) the
-    /// persistent spine-union engine over every spine-relevant
-    /// observation and re-search from the union of the plane shards'
-    /// hypotheses, keeping only spine-tier components.
+    /// persistent refinement engine over the evidence touching the
+    /// epoch's blaming planes (or the whole spine tier under
+    /// [`StreamConfig::refine_full_spine`]) and re-search from the union
+    /// of the blaming planes' hypotheses (`seed`, global component ids).
+    ///
+    /// Blame scope follows the evidence scope: narrow mode keeps only
+    /// components owned by the blaming planes, full mode keeps the whole
+    /// spine tier. Verdict identity between the two scopes — and against
+    /// the single-spine plan — is property-tested in `plane_sharding.rs`.
     fn refine_spine(
         &mut self,
         obs: &ObservationSet,
         seed: &[CompIdx],
+        blaming: &[u16],
     ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
         let topo = self.topo;
-        let touches = &self.flow_touches;
-        let filter = |i: usize, _: &flock_telemetry::FlowObs| touches[i].spine;
+        let full = self.cfg.refine_full_spine;
+        let blame_mask: u64 = blaming.iter().fold(0u64, |m, &p| m | 1u64 << (p % 64));
+        {
+            let touches: &[SetTouch] = &self.flow_touches;
+            self.refine_view
+                .bind_epoch(obs, |i, _| {
+                    let t = touches[i];
+                    if full {
+                        t.spine
+                    } else {
+                        t.planes & blame_mask != 0
+                    }
+                })
+                .expect("pipeline assembler keeps one arena lineage");
+        }
         let warm = self.cfg.warm_start && self.refine_engine.is_some();
         let opts = EngineOptions {
             coalesce: self.cfg.coalesce,
         };
         match &mut self.refine_engine {
-            Some(engine) if self.cfg.warm_start => engine.rebind_filtered(topo, obs, Some(&filter)),
+            Some(engine) if self.cfg.warm_start => engine
+                .try_rebind_view(topo, obs, &self.refine_view)
+                .expect("refinement view is the engine's own"),
             slot => {
-                *slot = Some(Engine::with_options(
+                *slot = Some(Engine::with_view(
                     topo,
                     obs,
                     self.cfg.params,
-                    Some(&filter),
                     opts,
+                    &self.refine_view,
                 ))
             }
         }
         let engine = self.refine_engine.as_mut().expect("engine just installed");
+        // Blame scope: comps owned by the blaming planes (narrow) or the
+        // whole spine tier (full).
+        self.refine_owned.clear();
+        self.refine_owned.resize(self.space.n_comps(), false);
+        if full {
+            self.refine_owned.copy_from_slice(&self.spine_owned);
+        } else {
+            for s in &self.plan.shards {
+                if let ShardKind::SpinePlane(p) = s.kind {
+                    if blaming.contains(&p) {
+                        for (c, &o) in s.owned.iter().enumerate() {
+                            self.refine_owned[c] = self.refine_owned[c] || o;
+                        }
+                    }
+                }
+            }
+        }
         let greedy = FlockGreedy::new(self.cfg.params);
-        let (picked, scanned) = greedy.search_warm(engine, seed);
+        // Seed with the blaming planes' picks, translated into the
+        // refinement engine's local space. A seed component always has
+        // evidence here: the flows that implicated it in its plane's
+        // engine touch that (blaming) plane, so the refinement filter
+        // accepted them.
+        let seed_local: Vec<CompIdx> = seed.iter().filter_map(|&g| engine.local_comp(g)).collect();
+        let (picked, scanned) = greedy.search_warm(engine, &seed_local);
         let kept: Vec<(CompIdx, f64)> = picked
             .iter()
-            .filter(|&&(c, _)| self.spine_owned[c as usize])
-            .copied()
+            .filter_map(|&(c, score)| {
+                let g = engine.global_comp(c);
+                self.refine_owned[g as usize].then_some((g, score))
+            })
             .collect();
         let outcome = ShardOutcome {
             label: "spine-refine".into(),
@@ -478,16 +570,18 @@ impl<'t> StreamPipeline<'t> {
             warm,
             hypotheses_scanned: scanned,
             log_likelihood: engine.log_likelihood(),
+            state: engine.state_sizes(),
         };
         (kept, outcome)
     }
 }
 
-/// Localize one epoch on one shard: rebind or build the engine over the
-/// shard-relevant observations, search warm from the previous verdict,
-/// and return the owned predictions (as dense component indices — the
-/// caller's [`ComponentSpace`] translates, and the cross-plane
-/// refinement seeds directly from them).
+/// Localize one epoch on one shard: bind the shard's persistent view to
+/// the epoch's accepted observations, rebind or build the engine over
+/// it, search warm from the previous verdict, and return the owned
+/// predictions as *global* dense component indices (the caller's
+/// [`ComponentSpace`] translates to topology components, and the
+/// cross-plane refinement seeds from them).
 fn run_shard(
     topo: &Topology,
     cfg: &StreamConfig,
@@ -496,39 +590,45 @@ fn run_shard(
     obs: &ObservationSet,
     touches: &[SetTouch],
 ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
-    let filter = |i: usize, _: &flock_telemetry::FlowObs| shard.relevant_combined(touches[i]);
+    state
+        .view
+        .bind_epoch(obs, |i, _| shard.relevant_combined(touches[i]))
+        .expect("pipeline assembler keeps one arena lineage");
 
     let warm = cfg.warm_start && state.engine.is_some();
     let opts = EngineOptions {
         coalesce: cfg.coalesce,
     };
     match &mut state.engine {
-        Some(engine) if cfg.warm_start => engine.rebind_filtered(topo, obs, Some(&filter)),
-        slot => {
-            *slot = Some(Engine::with_options(
-                topo,
-                obs,
-                cfg.params,
-                Some(&filter),
-                opts,
-            ))
-        }
+        Some(engine) if cfg.warm_start => engine
+            .try_rebind_view(topo, obs, &state.view)
+            .expect("shard view is the engine's own"),
+        slot => *slot = Some(Engine::with_view(topo, obs, cfg.params, opts, &state.view)),
     }
     let engine = state.engine.as_mut().expect("engine just installed");
 
     let greedy = FlockGreedy::new(cfg.params);
-    let seed = if cfg.warm_start {
-        std::mem::take(&mut state.prev)
+    // The warm seed persists as global ids (stable across cold rebuilds);
+    // the engine's local ids are also stable, but global ids are what the
+    // merge and refinement layers speak.
+    let seed: Vec<CompIdx> = if cfg.warm_start {
+        state
+            .prev
+            .iter()
+            .filter_map(|&g| engine.local_comp(g))
+            .collect()
     } else {
         Vec::new()
     };
     let (picked, scanned) = greedy.search_warm(engine, &seed);
-    state.prev = picked.iter().map(|(c, _)| *c).collect();
+    state.prev = picked.iter().map(|&(c, _)| engine.global_comp(c)).collect();
 
     let kept: Vec<(CompIdx, f64)> = picked
         .iter()
-        .filter(|&&(c, _)| shard.owns(c))
-        .copied()
+        .filter_map(|&(c, score)| {
+            let g = engine.global_comp(c);
+            shard.owns(g).then_some((g, score))
+        })
         .collect();
     let outcome = ShardOutcome {
         label: shard.label.clone(),
@@ -539,6 +639,7 @@ fn run_shard(
         warm,
         hypotheses_scanned: scanned,
         log_likelihood: engine.log_likelihood(),
+        state: engine.state_sizes(),
     };
     (kept, outcome)
 }

@@ -316,13 +316,14 @@ impl ShardPlan {
     }
 }
 
-/// Convenience: the dense component count a plan was built for must
-/// match the engine's.
+/// Convenience: the dense (global) component count a plan was built for
+/// must match the engine's topology (the engine's *local* component
+/// count is evidence-dependent and intentionally smaller).
 pub fn assert_plan_matches(plan: &ShardPlan, engine: &Engine) {
     for s in &plan.shards {
         assert_eq!(
             s.owned.len(),
-            engine.n_comps(),
+            engine.n_global_comps(),
             "shard plan built for a different topology"
         );
     }

@@ -5,9 +5,12 @@
 //!   plane shard (property-tested over randomized topologies/traffic);
 //! * plane-sharded pipelines produce verdicts identical to the
 //!   single-spine-shard plan on randomized inter-pod fault scenarios,
-//!   for both traced and passive telemetry;
+//!   for both traced and passive telemetry — under both refinement
+//!   scopes (narrow blaming-planes evidence, the default, and the
+//!   historical full-spine union, `refine_full_spine`);
 //! * faults in two planes at once trigger the cross-plane refinement
-//!   pass without disturbing the verdict.
+//!   pass without disturbing the verdict, and the narrow refinement
+//!   scope reproduces the full-union refinement verdict exactly.
 
 use flock_core::evaluate;
 use flock_netsim::failure::{self, FailureScenario, DEFAULT_NOISE_MAX};
@@ -106,8 +109,43 @@ proptest! {
     }
 }
 
-/// Drive plane-sharded and single-spine pipelines over the same epochs
-/// and require identical verdicts; returns how many epochs ran the
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Narrow (blaming-planes) refinement is verdict-identical to the
+    /// full-spine-union refinement on randomized simultaneous faults in
+    /// two planes — under passive telemetry, where wide path sets
+    /// straddle planes and the two scopes genuinely see different
+    /// evidence. (`assert_plans_agree` internally drives both scopes
+    /// plus the single-spine plan and asserts three-way equality.)
+    #[test]
+    fn narrow_refinement_matches_full_union(
+        aggs in 2u32..4,
+        traced in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let topo = clos(3, aggs);
+        let planes = SpinePlanes::derive(&topo);
+        prop_assert!(planes.n_planes() >= 2, "a striped 3-pod Clos has one plane per agg");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One gray link in each of two distinct planes.
+        let sc = failure::multi_plane_link_drops(
+            &topo, &planes, &[0, 1], 1, (0.02, 0.03), DEFAULT_NOISE_MAX, &mut rng,
+        );
+        let kinds: &[InputKind] = if traced {
+            &[InputKind::Int]
+        } else {
+            &[InputKind::A2, InputKind::P]
+        };
+        let refined =
+            assert_plans_agree_gated(&topo, &sc, kinds, 3, 3_000, seed ^ 0xfeed, false);
+        prop_assert!(refined >= 1, "two-plane faults must refine at least once");
+    }
+}
+
+/// Drive plane-sharded pipelines (narrow *and* full refinement scope)
+/// plus the single-spine pipeline over the same epochs and require
+/// identical verdicts from all three; returns how many epochs ran the
 /// cross-plane refinement pass.
 fn assert_plans_agree(
     topo: &Topology,
@@ -117,18 +155,38 @@ fn assert_plans_agree(
     flows_n: usize,
     seed: u64,
 ) -> usize {
+    assert_plans_agree_gated(topo, sc, kinds, epochs, flows_n, seed, true)
+}
+
+/// [`assert_plans_agree`] with the recall gate optional: the randomized
+/// refinement-scope property checks verdict *identity* across plans on
+/// scenarios where single-epoch passive evidence may genuinely miss a
+/// gray fault (identically in every plan — accuracy is a property of
+/// the shared inference, not of the sharding).
+#[allow(clippy::too_many_arguments)]
+fn assert_plans_agree_gated(
+    topo: &Topology,
+    sc: &FailureScenario,
+    kinds: &[InputKind],
+    epochs: u64,
+    flows_n: usize,
+    seed: u64,
+    require_recall: bool,
+) -> usize {
     let router = Router::new(topo);
-    let mk = |spine_planes: bool| StreamConfig {
+    let mk = |spine_planes: bool, refine_full_spine: bool| StreamConfig {
         epoch: EpochConfig::tumbling(1_000),
         kinds: kinds.to_vec(),
         mode: AnalysisMode::PerPacket,
         warm_start: true,
         shard_by_pod: true,
         spine_planes,
+        refine_full_spine,
         ..StreamConfig::paper_default()
     };
-    let mut planes_pipe = StreamPipeline::new(topo, mk(true));
-    let mut spine_pipe = StreamPipeline::new(topo, mk(false));
+    let mut planes_pipe = StreamPipeline::new(topo, mk(true, false));
+    let mut full_refine_pipe = StreamPipeline::new(topo, mk(true, true));
+    let mut spine_pipe = StreamPipeline::new(topo, mk(false, false));
     assert!(planes_pipe.plan().spine_plane_count() >= 2);
     assert_eq!(spine_pipe.plan().spine_plane_count(), 0);
 
@@ -137,26 +195,50 @@ fn assert_plans_agree(
     for epoch in 0..epochs {
         let flows = epoch_flows(topo, &router, sc, flows_n, &mut rng);
         let a = planes_pipe.run_flows(epoch, epoch * 1_000, (epoch + 1) * 1_000, &flows);
+        let f = full_refine_pipe.run_flows(epoch, epoch * 1_000, (epoch + 1) * 1_000, &flows);
         let b = spine_pipe.run_flows(epoch, epoch * 1_000, (epoch + 1) * 1_000, &flows);
         let mut pa = a.result.predicted.clone();
+        let mut pf = f.result.predicted.clone();
         let mut pb = b.result.predicted.clone();
         pa.sort();
+        pf.sort();
         pb.sort();
         assert_eq!(
             pa, pb,
             "epoch {epoch} (kinds {kinds:?}): plane-sharded verdict diverges \
              from the single-spine plan"
         );
+        assert_eq!(
+            pa, pf,
+            "epoch {epoch} (kinds {kinds:?}): narrow refinement diverges \
+             from full-union refinement"
+        );
+        assert_eq!(
+            a.refined.is_some(),
+            f.refined.is_some(),
+            "epoch {epoch}: the two refinement scopes must trigger together"
+        );
+        if let (Some(narrow), Some(full)) = (&a.refined, &f.refined) {
+            assert!(
+                narrow.raw_flows <= full.raw_flows,
+                "epoch {epoch}: narrow refinement saw {} raw observations, \
+                 full saw {}",
+                narrow.raw_flows,
+                full.raw_flows
+            );
+        }
         // Both plans must still localize every injected fault (precision
         // is a property of the underlying inference, identical across
         // plans by the equality assert above, so it is not re-gated
         // here).
-        let pr = evaluate(topo, &a.result.predicted, &sc.truth);
-        assert_eq!(
-            pr.recall, 1.0,
-            "epoch {epoch} (kinds {kinds:?}): blamed {pa:?}, truth {:?}",
-            sc.truth.failed_links
-        );
+        if require_recall {
+            let pr = evaluate(topo, &a.result.predicted, &sc.truth);
+            assert_eq!(
+                pr.recall, 1.0,
+                "epoch {epoch} (kinds {kinds:?}): blamed {pa:?}, truth {:?}",
+                sc.truth.failed_links
+            );
+        }
         refined_epochs += usize::from(a.refined.is_some());
         assert!(b.refined.is_none(), "single-spine plan never refines");
     }
@@ -198,21 +280,15 @@ fn two_plane_faults_trigger_refinement() {
     assert_eq!(planes.n_planes(), 2);
     let mut rng = StdRng::seed_from_u64(9);
     // One gray link per plane, merged into one scenario.
-    let mut sc = failure::plane_link_drops(
+    let sc = failure::multi_plane_link_drops(
         &topo,
         &planes,
-        0,
+        &[0, 1],
         1,
         (0.02, 0.03),
         DEFAULT_NOISE_MAX,
         &mut rng,
     );
-    let sc1 = failure::plane_link_drops(&topo, &planes, 1, 1, (0.02, 0.03), 0.0, &mut rng);
-    for l in &sc1.truth.failed_links {
-        sc.drop_rate[l.idx()] = sc1.drop_rate[l.idx()];
-        sc.truth.failed_links.push(*l);
-    }
-    sc.truth.failed_links.sort_unstable();
     assert_eq!(sc.truth.failed_links.len(), 2);
 
     let refined = assert_plans_agree(&topo, &sc, &[InputKind::Int], 4, 4_000, 77);

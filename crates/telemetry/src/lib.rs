@@ -27,6 +27,10 @@
 //!   set of telemetry kinds (A1 / A2 / P / INT), produce the
 //!   [`ObservationSet`] consumed by every inference
 //!   scheme, with interned fabric paths and ECMP path sets.
+//! * [`view`] — per-shard [`ArenaView`]s: persistent dense projections of
+//!   the global path arena onto one shard's evidence, the layer that lets
+//!   a sharded executor's engines allocate and iterate O(their own
+//!   evidence) instead of O(total arena).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod collector;
 pub mod flow;
 pub mod input;
 pub mod probes;
+pub mod view;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentCore, FlowSample};
@@ -47,3 +52,4 @@ pub use input::{
     AnalysisMode, Assembler, FlowObs, InputKind, ObservationSet, PathArena, PathId, PathSetId,
 };
 pub use probes::{plan_a1_probes, ProbeSpec};
+pub use view::{ArenaView, DenseRemap, ViewError};

@@ -18,7 +18,7 @@
 //! sharding to the single-spine-shard plan rather than producing an
 //! incorrect partition.
 
-use crate::graph::{NodeId, NodeRole, Topology};
+use crate::graph::{LinkId, NodeId, NodeRole, Topology};
 use std::collections::BTreeMap;
 
 /// Plane membership of the spine tier. See the module docs.
@@ -132,6 +132,32 @@ impl SpinePlanes {
         &self.members[plane as usize]
     }
 
+    /// The plane a directed link belongs to: the plane of its spine
+    /// endpoint (`None` for links not incident to the spine tier). A
+    /// link cannot span two planes — planes share no spine, and links
+    /// have at most one spine endpoint in a valley-free fabric — so this
+    /// is the link-level plane→component ownership the per-plane shard
+    /// plans and evidence views are built from.
+    #[inline]
+    pub fn plane_of_link(&self, topo: &Topology, l: LinkId) -> Option<u16> {
+        let lk = topo.link(l);
+        self.plane_of(lk.src).or_else(|| self.plane_of(lk.dst))
+    }
+
+    /// All directed links incident to the spines of one plane, sorted
+    /// and deduplicated — the component footprint of a plane, used by
+    /// plane-confined failure scenarios and state-sparsity accounting.
+    pub fn incident_links(&self, topo: &Topology, plane: u16) -> Vec<LinkId> {
+        let mut links: Vec<LinkId> = self
+            .spines_in(plane)
+            .iter()
+            .flat_map(|&s| topo.links_of_node(s))
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+
     /// Whether the derivation validated a genuine stripe structure
     /// (`false` = the fallback single plane over all spines).
     #[inline]
@@ -208,6 +234,28 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn link_planes_match_endpoint_planes() {
+        let topo = three_tier(ClosParams::tiny());
+        let planes = SpinePlanes::derive(&topo);
+        for plane in 0..planes.n_planes() as u16 {
+            let incident = planes.incident_links(&topo, plane);
+            assert!(!incident.is_empty());
+            for &l in &incident {
+                assert_eq!(planes.plane_of_link(&topo, l), Some(plane));
+            }
+        }
+        // Links with no spine endpoint have no plane.
+        for (i, _) in (0..topo.link_count()).enumerate() {
+            let l = LinkId(i as u32);
+            let lk = topo.link(l);
+            let spine_incident = [lk.src, lk.dst]
+                .iter()
+                .any(|&n| topo.node(n).role == NodeRole::Spine);
+            assert_eq!(planes.plane_of_link(&topo, l).is_some(), spine_incident);
         }
     }
 

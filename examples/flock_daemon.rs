@@ -204,12 +204,27 @@ fn print_report(
     // refinement pass had to arbitrate this epoch).
     let plane_flows: Vec<String> = report.spine_planes().map(|s| s.flows.to_string()).collect();
     let refine = match &report.refined {
-        Some(r) => format!(" | refine kept {}", r.kept),
+        Some(r) => format!(" | refine kept {} ({} obs)", r.kept, r.raw_flows),
         None => String::new(),
     };
+    // Resident-state locality: the largest shard engine's local
+    // component space vs the topology-wide one (every shard's per-epoch
+    // resets and Δ scans are bounded by its own number, not the global).
+    let max_comps = report
+        .shards
+        .iter()
+        .map(|s| s.state.comps)
+        .max()
+        .unwrap_or(0);
+    let global_comps = report
+        .shards
+        .first()
+        .map(|s| s.state.global_comps)
+        .unwrap_or(0);
     println!(
         "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | shard evidence \
-         {:>5} → {:>4} super-flows (x{:.1}) | {} planes [{}]{refine} | blamed {:?} \
+         {:>5} → {:>4} super-flows (x{:.1}) | {} planes [{}]{refine} | Δ≤{max_comps}/{global_comps} \
+         | blamed {:?} \
          | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | conns {} up / {} closed | {:?}",
         report.epoch_index,
         report.start_ms,
