@@ -18,7 +18,10 @@
 //!   shard-local), per-engine resident state sizes (local comps / sets /
 //!   super-flows vs the global component space), and the steady
 //!   two-plane-fault epoch cost under the narrow (blaming-planes)
-//!   refinement scope vs the historical full-spine scope.
+//!   refinement scope vs the historical full-spine scope;
+//! * **verdict store** (schema v4): durable-segment append latency and
+//!   on-disk size per 1k epochs, reopen/replay time, and history /
+//!   provenance query latency against the durable tier.
 //!
 //! ```text
 //! cargo run --release -p flock-bench --bin bench-report -- \
@@ -50,8 +53,10 @@ use flock_bench::{
     steady_epochs, two_plane_fault_epochs,
 };
 use flock_core::{Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams};
-use flock_stream::{EpochConfig, StreamConfig, StreamPipeline};
+use flock_store::{EpochRecord, Segment, StoreConfig, StoreQuery, Verdict, VerdictStore};
+use flock_stream::{EpochConfig, Provenance, StreamConfig, StreamPipeline};
 use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
+use flock_topology::{Component, LinkId};
 use std::time::Instant;
 
 const KINDS: [InputKind; 2] = [InputKind::A2, InputKind::P];
@@ -398,6 +403,49 @@ fn main() {
         });
     }
 
+    // ---- Verdict store (schema v4): append + query latency, size. ----
+    // A fixed synthetic verdict stream (3 verdicts/epoch, daemon-shaped
+    // provenance) keeps the datapoint comparable across PRs regardless
+    // of pipeline behavior.
+    let store_path =
+        std::env::temp_dir().join(format!("flock_bench_store_{}.seg", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let (store_append_1k_ms, store_bytes_1k) = {
+        let mut seg = Segment::create(&store_path).expect("create bench segment");
+        let t = Instant::now();
+        for e in 0..1_000u64 {
+            seg.append(&store_record(e)).expect("append");
+        }
+        seg.sync().expect("sync");
+        (t.elapsed().as_secs_f64() * 1e3, seg.file_bytes())
+    };
+    // Reopen replay: rebuild the blame index, alerts, and ring from the
+    // 1k durable epochs.
+    let store_open_1k_ms = median_ms(samples, || {
+        std::hint::black_box(
+            VerdictStore::open(StoreConfig::default(), &store_path).expect("reopen"),
+        );
+    });
+    let mut store = VerdictStore::open(StoreConfig::default(), &store_path).expect("reopen");
+    let store_comp = Component::Link(LinkId(40));
+    // Query latency, µs/query over batches of 100: history hits the
+    // in-memory blame index; provenance epochs stay far below the ring
+    // floor, so every read goes through the durable tier (seek+decode).
+    let store_history_us = median_ms(samples, || {
+        for _ in 0..100 {
+            std::hint::black_box(store.history(store_comp));
+        }
+    }) * 10.0;
+    let mut qe = 0u64;
+    let store_provenance_us = median_ms(samples, || {
+        for _ in 0..100 {
+            qe = (qe + 7) % 900;
+            std::hint::black_box(store.provenance(store_comp, qe));
+        }
+    }) * 10.0;
+    drop(store);
+    let _ = std::fs::remove_file(&store_path);
+
     let plane_flows_json = plane_flows
         .iter()
         .map(usize::to_string)
@@ -422,7 +470,7 @@ fn main() {
         .join(", ");
 
     let json = format!(
-        "{{\n  \"schema\": \"flock-bench-report/v3\",\n  \"scale\": \"{scale_name}\",\n  \
+        "{{\n  \"schema\": \"flock-bench-report/v4\",\n  \"scale\": \"{scale_name}\",\n  \
          \"samples\": {samples},\n  \"stream\": {{\n    \"cold_epoch_ms\": {:.4},\n    \
          \"warm_epoch_ms\": {:.4},\n    \"warm_epoch_ms_min\": {:.4},\n    \
          \"engine_cold_build_ms\": {:.4},\n    \
@@ -449,7 +497,12 @@ fn main() {
          \"refine_narrow_epoch_ms\": {:.4},\n    \"refine_full_epoch_ms\": {:.4},\n    \
          \"refine_engine_narrow_ms\": {:.4},\n    \"refine_engine_full_ms\": {:.4},\n    \
          \"refine_engine_speedup\": {:.3},\n    \
-         \"refine_narrow_raw_obs\": {},\n    \"refine_full_raw_obs\": {}\n  }}\n}}\n",
+         \"refine_narrow_raw_obs\": {},\n    \"refine_full_raw_obs\": {}\n  }},\n  \
+         \"store\": {{\n    \
+         \"append_ms_per_1k_epochs\": {:.3},\n    \"append_us\": {:.3},\n    \
+         \"open_replay_ms_per_1k_epochs\": {:.3},\n    \
+         \"history_query_us\": {:.3},\n    \"provenance_query_us\": {:.3},\n    \
+         \"segment_bytes_per_1k_epochs\": {}\n  }}\n}}\n",
         epoch_ms[0],
         epoch_ms[1],
         warm_epoch_ms_min,
@@ -482,10 +535,49 @@ fn main() {
         refine_engine_ms[1] / refine_engine_ms[0].max(1e-9),
         refine_raw_obs[0],
         refine_raw_obs[1],
+        store_append_1k_ms,
+        store_append_1k_ms, // µs/append == ms/1k appends
+        store_open_1k_ms,
+        store_history_us,
+        store_provenance_us,
+        store_bytes_1k,
     );
     std::fs::write(&out_path, &json).expect("write report");
     print!("{json}");
     eprintln!("bench-report: wrote {out_path}");
+}
+
+/// A synthetic daemon-shaped epoch record for the store benchmark:
+/// three verdicts, each with full provenance (8 convicting sets).
+fn store_record(epoch: u64) -> EpochRecord {
+    let verdicts = (0..3u32)
+        .map(|k| {
+            let component = Component::Link(LinkId(40 + k));
+            let score = 100.0 + epoch as f64 + k as f64;
+            Verdict {
+                component,
+                score,
+                provenance: Provenance {
+                    component,
+                    shard: format!("pod{k}"),
+                    score,
+                    super_flows: 180 + k,
+                    raw_weight: 420.0,
+                    sets: vec![1, 5, 9, 12, 20, 33, 41, 52],
+                },
+            }
+        })
+        .collect();
+    EpochRecord {
+        epoch_index: epoch,
+        start_ms: epoch * 1_000,
+        end_ms: (epoch + 1) * 1_000,
+        records: 3_000,
+        observations: 2_400,
+        hypotheses_scanned: 40_000,
+        runtime_us: 3_000,
+        verdicts,
+    }
 }
 
 /// Extract the number following `"key":` in a report (the reports are

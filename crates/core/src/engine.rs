@@ -197,6 +197,23 @@ impl Default for EngineOptions {
     }
 }
 
+/// The evidence behind one conviction, as reported by
+/// [`Engine::convicting_evidence`]: which super-flows (and through which
+/// path sets) contributed likelihood terms to the component's Δ. Set ids
+/// are *view-local*; sharded callers translate through their
+/// `ArenaView::global_set` before reporting.
+#[derive(Debug, Clone, Default)]
+pub struct ConvictingEvidence {
+    /// Distinct super-flows whose likelihood involves the component.
+    pub super_flows: usize,
+    /// Total aggregation weight behind those super-flows — the number of
+    /// raw merged observations implicating the component.
+    pub weight: f64,
+    /// Per path set touching the component: `(local set id, aggregate
+    /// super-flow weight)`, heaviest first.
+    pub sets: Vec<(u32, f64)>,
+}
+
 /// Counters reported by the engine for performance accounting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineStats {
@@ -211,7 +228,7 @@ pub struct EngineStats {
 /// which is the invariant the per-shard view layer exists to provide
 /// (asserted by `flock-stream`'s state-sparsity tests and reported in
 /// `bench-report`'s `fixed_cost` section).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
 pub struct EngineStateSizes {
     /// Local components (length of the Δ array, `in_h`, and the per-flip
     /// scratch counters).
@@ -841,6 +858,44 @@ impl Engine {
     /// `delta()[c] = LL(H ⊕ c) − LL(H)` (likelihood only).
     pub fn delta(&self) -> &[f64] {
         &self.delta
+    }
+
+    /// The evidence convicting local component `c`: every super-flow
+    /// whose likelihood term involves `c` — flows over a path set
+    /// touching `c` (via the `comp → sets → flows` inverted indexes)
+    /// plus prefix groups carrying `c` as an extra. This is exactly the
+    /// flow population a `flip(c)` visits, i.e. the observations whose
+    /// Δ contribution drove the conviction. Cold path (report/store
+    /// provenance, once per kept component per epoch), so it allocates
+    /// freely rather than borrowing the flip scratch.
+    pub fn convicting_evidence(&self, c: CompIdx) -> ConvictingEvidence {
+        let mut flows: Vec<u32> = Vec::new();
+        for &s in self.comp_to_sets.get(c) {
+            flows.extend_from_slice(self.set_flows.get(s));
+        }
+        for &mi in self.comp_extra_members.get(c) {
+            flows.push(self.members[mi as usize].flow);
+        }
+        flows.sort_unstable();
+        flows.dedup();
+        let mut weight = 0.0;
+        let mut per_set: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for &fi in &flows {
+            let f = &self.sflows[fi as usize];
+            weight += f.weight;
+            *per_set.entry(f.set).or_insert(0.0) += f.weight;
+        }
+        let mut sets: Vec<(u32, f64)> = per_set.into_iter().collect();
+        sets.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ConvictingEvidence {
+            super_flows: flows.len(),
+            weight,
+            sets,
+        }
     }
 
     /// Prior log-odds contribution of *adding* local component `c` to

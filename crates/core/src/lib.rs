@@ -50,7 +50,9 @@ pub mod params;
 pub mod sherlock;
 pub mod space;
 
-pub use engine::{Engine, EngineOptions, EngineStateSizes, EngineStats, FlowFilter};
+pub use engine::{
+    ConvictingEvidence, Engine, EngineOptions, EngineStateSizes, EngineStats, FlowFilter,
+};
 pub use gibbs::GibbsSampler;
 pub use greedy::FlockGreedy;
 pub use likelihood::{flow_score, llf};

@@ -2,10 +2,11 @@
 
 use flock_telemetry::ObservationSet;
 use flock_topology::{Component, LinkId, NodeId, Topology};
+use serde::Serialize;
 use std::time::Duration;
 
 /// Output of one localization run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct LocalizationResult {
     /// Components the scheme blames, most confident first.
     pub predicted: Vec<Component>,

@@ -1,0 +1,309 @@
+//! Alert debouncing and flap detection over the per-epoch blame stream.
+//!
+//! A raw per-epoch verdict is too noisy to page on: a transient
+//! congestion event can be blamed for one epoch, and a genuinely flapping
+//! link would page on every oscillation. The [`Debouncer`] applies
+//! hysteresis on *both* edges:
+//!
+//! * **raise**: an [`Alert`] fires only after a component is blamed in
+//!   [`AlertPolicy::raise_epochs`] *consecutive* observed epochs;
+//! * **clear**: an active alert clears only after
+//!   [`AlertPolicy::clear_epochs`] consecutive *clean* epochs — so a
+//!   fault oscillating faster than the clear window holds **one** alert
+//!   open across its oscillations instead of churning raise/clear pairs.
+//!
+//! Orthogonally, every blame↔clean transition is timestamped per
+//! component, and [`Debouncer::flapping`] reports the components with at
+//! least [`AlertPolicy::flap_transitions`] transitions inside a trailing
+//! epoch window — the flap-detection query.
+//!
+//! Epochs are the pipeline's window indexes; streak/clean counting is
+//! per *observed* epoch (the store ingests every closed window, so
+//! observed epochs are consecutive in practice).
+
+use flock_topology::Component;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+
+/// Debouncing and flap thresholds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AlertPolicy {
+    /// Consecutive blamed epochs before an alert raises.
+    pub raise_epochs: u32,
+    /// Consecutive clean epochs before an active alert clears.
+    pub clear_epochs: u32,
+    /// Blame↔clean transitions within the window that qualify as
+    /// flapping.
+    pub flap_transitions: u32,
+    /// Default trailing window (in epochs) for the flapping query.
+    pub flap_window: u64,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> Self {
+        AlertPolicy {
+            raise_epochs: 3,
+            clear_epochs: 2,
+            flap_transitions: 3,
+            flap_window: 16,
+        }
+    }
+}
+
+/// One debounced alert: raised once per persisting fault, cleared once
+/// on heal.
+#[derive(Debug, Clone, Serialize)]
+pub struct Alert {
+    /// The blamed component.
+    pub component: Component,
+    /// First epoch of the convicting streak.
+    pub first_epoch: u64,
+    /// Epoch at which the streak reached the raise threshold.
+    pub raised_epoch: u64,
+    /// Epoch at which the clean streak reached the clear threshold
+    /// (`None` while active).
+    pub cleared_epoch: Option<u64>,
+    /// Most recent conviction score while the alert was active.
+    pub last_score: f64,
+}
+
+impl Alert {
+    /// Whether the alert is still open.
+    pub fn is_active(&self) -> bool {
+        self.cleared_epoch.is_none()
+    }
+}
+
+/// What one epoch's observation did to the alert set.
+#[derive(Debug, Clone, Default)]
+pub struct AlertDelta {
+    /// Alerts raised this epoch.
+    pub raised: Vec<Alert>,
+    /// Alerts cleared this epoch.
+    pub cleared: Vec<Alert>,
+}
+
+/// Per-component debounce state.
+#[derive(Debug, Default)]
+struct CompState {
+    /// Consecutive blamed epochs ending now.
+    streak: u32,
+    /// Consecutive clean epochs ending now.
+    clean: u32,
+    /// First epoch of the current blame streak.
+    streak_start: u64,
+    /// Whether the previous observed epoch blamed this component.
+    blamed_last: bool,
+    /// Index into `alerts` of the open alert, if any.
+    active: Option<usize>,
+    /// Epochs at which the blamed bit flipped (either direction),
+    /// bounded FIFO.
+    transitions: VecDeque<u64>,
+}
+
+/// Capacity of the per-component transition history.
+const TRANSITIONS_CAP: usize = 32;
+
+/// The debouncing state machine over all components (see module docs).
+#[derive(Debug, Default)]
+pub struct Debouncer {
+    policy: AlertPolicy,
+    states: HashMap<Component, CompState>,
+    /// All alerts ever raised, in raise order.
+    alerts: Vec<Alert>,
+    /// Latest observed epoch.
+    last_epoch: Option<u64>,
+}
+
+impl Debouncer {
+    /// A debouncer with the given thresholds.
+    pub fn new(policy: AlertPolicy) -> Self {
+        Debouncer {
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn policy(&self) -> &AlertPolicy {
+        &self.policy
+    }
+
+    /// Feed one epoch's merged verdicts; returns what raised/cleared.
+    pub fn observe(&mut self, epoch: u64, blamed: &[(Component, f64)]) -> AlertDelta {
+        self.last_epoch = Some(epoch);
+        let mut delta = AlertDelta::default();
+
+        for &(comp, score) in blamed {
+            let st = self.states.entry(comp).or_default();
+            if !st.blamed_last {
+                st.streak_start = epoch;
+                push_transition(&mut st.transitions, epoch);
+            }
+            st.blamed_last = true;
+            st.clean = 0;
+            st.streak = st.streak.saturating_add(1);
+            match st.active {
+                Some(i) => self.alerts[i].last_score = score,
+                None if st.streak >= self.policy.raise_epochs => {
+                    let alert = Alert {
+                        component: comp,
+                        first_epoch: st.streak_start,
+                        raised_epoch: epoch,
+                        cleared_epoch: None,
+                        last_score: score,
+                    };
+                    st.active = Some(self.alerts.len());
+                    self.alerts.push(alert.clone());
+                    delta.raised.push(alert);
+                }
+                None => {}
+            }
+        }
+
+        // Components tracked but not blamed this epoch take the clean
+        // path; hold-down decides whether an active alert clears.
+        for (&comp, st) in self.states.iter_mut() {
+            if blamed.iter().any(|&(c, _)| c == comp) {
+                continue;
+            }
+            if st.blamed_last {
+                push_transition(&mut st.transitions, epoch);
+            }
+            st.blamed_last = false;
+            st.streak = 0;
+            st.clean = st.clean.saturating_add(1);
+            if let Some(i) = st.active {
+                if st.clean >= self.policy.clear_epochs {
+                    self.alerts[i].cleared_epoch = Some(epoch);
+                    delta.cleared.push(self.alerts[i].clone());
+                    st.active = None;
+                }
+            }
+        }
+        delta
+    }
+
+    /// Every alert ever raised, in raise order (cleared ones included —
+    /// the alert log).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The alerts currently open.
+    pub fn active_alerts(&self) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.is_active()).collect()
+    }
+
+    /// Components whose blame bit flipped at least
+    /// [`AlertPolicy::flap_transitions`] times within the trailing
+    /// `window` epochs (ending at the last observed epoch), sorted.
+    pub fn flapping(&self, window: u64) -> Vec<Component> {
+        let Some(now) = self.last_epoch else {
+            return Vec::new();
+        };
+        let lo = (now + 1).saturating_sub(window);
+        let mut out: Vec<Component> = self
+            .states
+            .iter()
+            .filter(|(_, st)| {
+                let n = st.transitions.iter().filter(|&&e| e >= lo).count();
+                n as u32 >= self.policy.flap_transitions
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+fn push_transition(q: &mut VecDeque<u64>, epoch: u64) {
+    if q.len() == TRANSITIONS_CAP {
+        q.pop_front();
+    }
+    q.push_back(epoch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_topology::LinkId;
+
+    fn link(i: u32) -> Component {
+        Component::Link(LinkId(i))
+    }
+
+    fn policy() -> AlertPolicy {
+        AlertPolicy {
+            raise_epochs: 2,
+            clear_epochs: 2,
+            flap_transitions: 3,
+            flap_window: 16,
+        }
+    }
+
+    #[test]
+    fn raises_only_after_streak() {
+        let mut d = Debouncer::new(policy());
+        assert!(d.observe(0, &[(link(1), 5.0)]).raised.is_empty());
+        let delta = d.observe(1, &[(link(1), 6.0)]);
+        assert_eq!(delta.raised.len(), 1);
+        assert_eq!(delta.raised[0].first_epoch, 0);
+        assert_eq!(delta.raised[0].raised_epoch, 1);
+        // No duplicate raise while it persists.
+        assert!(d.observe(2, &[(link(1), 7.0)]).raised.is_empty());
+        assert_eq!(d.active_alerts().len(), 1);
+        assert_eq!(d.active_alerts()[0].last_score, 7.0);
+    }
+
+    #[test]
+    fn one_epoch_blip_never_raises() {
+        let mut d = Debouncer::new(policy());
+        d.observe(0, &[(link(1), 5.0)]);
+        d.observe(1, &[]);
+        d.observe(2, &[(link(1), 5.0)]);
+        d.observe(3, &[]);
+        assert!(d.alerts().is_empty());
+    }
+
+    #[test]
+    fn clears_only_after_hold_down() {
+        let mut d = Debouncer::new(policy());
+        d.observe(0, &[(link(1), 5.0)]);
+        d.observe(1, &[(link(1), 5.0)]); // raised
+        assert!(d.observe(2, &[]).cleared.is_empty()); // 1 clean < 2
+        let delta = d.observe(3, &[]);
+        assert_eq!(delta.cleared.len(), 1);
+        assert_eq!(delta.cleared[0].cleared_epoch, Some(3));
+        assert!(d.active_alerts().is_empty());
+    }
+
+    #[test]
+    fn oscillation_inside_hold_down_keeps_one_alert_open() {
+        let mut d = Debouncer::new(policy());
+        // Blamed 0-1 (raise), clean 2 (< hold-down), blamed 3-4,
+        // clean 5, blamed 6-7, clean 8-9 (clear).
+        for (e, blamed) in [
+            (0, true),
+            (1, true),
+            (2, false),
+            (3, true),
+            (4, true),
+            (5, false),
+            (6, true),
+            (7, true),
+            (8, false),
+            (9, false),
+        ] {
+            let obs = if blamed { vec![(link(1), 5.0)] } else { vec![] };
+            d.observe(e, &obs);
+        }
+        // One alert for the whole flapping episode, no churn.
+        assert_eq!(d.alerts().len(), 1);
+        assert_eq!(d.alerts()[0].raised_epoch, 1);
+        assert_eq!(d.alerts()[0].cleared_epoch, Some(9));
+        // And the oscillation is visible to the flap query.
+        assert_eq!(d.flapping(16), vec![link(1)]);
+        assert!(d.flapping(2).is_empty());
+    }
+}

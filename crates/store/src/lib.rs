@@ -1,0 +1,32 @@
+//! Tiered verdict store and operator query layer for the streaming
+//! localization pipeline — the piece that turns per-epoch
+//! [`flock_stream::EpochReport`]s from printed-and-dropped output into a
+//! trustworthy, queryable blame history.
+//!
+//! * [`record`] — the stored projection of an epoch: merged verdicts
+//!   with [`flock_stream::Provenance`], plus window accounting.
+//! * [`segment`] — tier 2: the append-only durable segment file
+//!   (versioned binary codec, checksummed frames, torn-tail recovery
+//!   with typed errors).
+//! * [`store`] — the [`VerdictStore`] tying tier 1 (in-memory ring) and
+//!   tier 2 together, with the [`StoreQuery`] operator surface:
+//!   `history`, `flapping`, `active_alerts`, `provenance`.
+//! * [`alerts`] — debounced alerting (raise after N persisting epochs,
+//!   clear after M clean epochs) and flap detection.
+//! * [`metrics`] — the lightweight counters/gauges/histograms registry
+//!   the daemon snapshots per epoch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alerts;
+pub mod metrics;
+pub mod record;
+pub mod segment;
+pub mod store;
+
+pub use alerts::{Alert, AlertDelta, AlertPolicy, Debouncer};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use record::{EpochRecord, Verdict};
+pub use segment::{Segment, SegmentEntry, SegmentError, SEGMENT_MAGIC, SEGMENT_VERSION};
+pub use store::{BlameSample, StoreConfig, StoreQuery, VerdictStore};

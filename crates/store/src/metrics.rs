@@ -1,0 +1,170 @@
+//! A lightweight metrics registry: named counters, gauges, and
+//! log-bucketed histograms, snapshotted as one JSON-serializable value.
+//!
+//! This is deliberately not a full metrics stack: no labels, no
+//! exposition formats, no global state. The store feeds it per epoch
+//! (epochs processed, records ingested, flip throughput, per-shard
+//! engine time, alerts raised/cleared, segment growth), and the daemon
+//! serializes [`MetricsRegistry::snapshot`] periodically as its metrics
+//! line. Keys are sorted (`BTreeMap`), so snapshots are deterministic.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets; bucket `i` covers
+/// `[2^(i-LOG_OFFSET), 2^(i+1-LOG_OFFSET))` with the first and last
+/// buckets open-ended.
+const BUCKETS: usize = 24;
+/// Shift applied to the log2 of an observation so sub-unit values (ms
+/// fractions) land in real buckets: bucket 6 covers `[1, 2)`.
+const LOG_OFFSET: i32 = 6;
+
+/// A log2-bucketed histogram with running count/sum/min/max.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Power-of-two buckets; bucket 6 covers `[1, 2)`.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation (negative/NaN observations are clamped
+    /// into the lowest bucket).
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = if v <= 0.0 {
+            0
+        } else {
+            (v.log2().floor() as i32 + LOG_OFFSET).clamp(0, BUCKETS as i32 - 1) as usize
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms (see module docs).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (created at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record `v` into histogram `name` (created empty).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A point-in-time copy, for serialization.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.clone()
+    }
+}
+
+/// A point-in-time copy of the registry. Serializes as
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+pub type MetricsSnapshot = MetricsRegistry;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.inc("epochs", 1);
+        m.inc("epochs", 2);
+        m.set_gauge("active", 3.0);
+        m.observe("lat_ms", 0.5);
+        m.observe("lat_ms", 4.0);
+        assert_eq!(m.counter("epochs"), 3);
+        assert_eq!(m.gauge("active"), Some(3.0));
+        let h = m.histogram("lat_ms").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.mean(), 2.25);
+        // 0.5 → bucket 5, 4.0 → bucket 8.
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[8], 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b", 1);
+        m.inc("a", 1);
+        let json = serde::json::to_string(&m.snapshot());
+        assert!(json.starts_with(r#"{"counters":{"a":1,"b":1}"#), "{json}");
+    }
+}

@@ -1,0 +1,79 @@
+//! The stored form of one epoch's verdict: what the store keeps per
+//! epoch, in both tiers.
+//!
+//! An [`EpochRecord`] is a deliberate *projection* of
+//! [`flock_stream::EpochReport`]: the merged verdicts with their
+//! provenance plus the window accounting — not the full per-shard
+//! engine telemetry, which is ephemeral operational detail. The
+//! projection is what makes a week-long tier-2 segment bounded: a
+//! healthy epoch stores a fixed ~30-byte record regardless of fabric
+//! size.
+
+use flock_stream::{EpochReport, Provenance};
+use flock_topology::Component;
+use serde::Serialize;
+
+/// One verdict inside an [`EpochRecord`]: a blamed component, its
+/// conviction score, and the provenance of the conviction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Verdict {
+    /// The blamed component.
+    pub component: Component,
+    /// Conviction score (log-likelihood gain of including the component;
+    /// the blame-ownership merge key).
+    pub score: f64,
+    /// Which shard and which super-flows/path-sets convicted it.
+    pub provenance: Provenance,
+}
+
+/// One epoch as stored: window accounting plus the merged verdicts.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochRecord {
+    /// Window index.
+    pub epoch_index: u64,
+    /// Window start (ms, inclusive).
+    pub start_ms: u64,
+    /// Window end (ms, exclusive).
+    pub end_ms: u64,
+    /// Records the window received.
+    pub records: u64,
+    /// Aggregated observations after assembly.
+    pub observations: u64,
+    /// Hypotheses scanned by the epoch's searches (all shards).
+    pub hypotheses_scanned: u64,
+    /// Inference wall-clock for the epoch, in microseconds.
+    pub runtime_us: u64,
+    /// The merged verdicts, most confident first.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl From<&EpochReport> for EpochRecord {
+    fn from(report: &EpochReport) -> Self {
+        let verdicts = report
+            .provenance
+            .iter()
+            .map(|p| Verdict {
+                component: p.component,
+                score: p.score,
+                provenance: p.clone(),
+            })
+            .collect();
+        EpochRecord {
+            epoch_index: report.epoch_index,
+            start_ms: report.start_ms,
+            end_ms: report.end_ms,
+            records: report.records as u64,
+            observations: report.observations as u64,
+            hypotheses_scanned: report.result.hypotheses_scanned,
+            runtime_us: report.result.runtime.as_micros() as u64,
+            verdicts,
+        }
+    }
+}
+
+impl EpochRecord {
+    /// The verdict for `comp` this epoch, if blamed.
+    pub fn verdict(&self, comp: Component) -> Option<&Verdict> {
+        self.verdicts.iter().find(|v| v.component == comp)
+    }
+}

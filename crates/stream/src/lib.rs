@@ -41,5 +41,8 @@ pub mod pipeline;
 pub mod shard;
 
 pub use epoch::{Epoch, EpochConfig, EpochManager};
-pub use pipeline::{reconstruct, EpochReport, ShardOutcome, StreamConfig, StreamPipeline};
+pub use pipeline::{
+    reconstruct, EpochReport, Provenance, ShardOutcome, StreamConfig, StreamPipeline,
+    PROVENANCE_SETS_CAP,
+};
 pub use shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};

@@ -49,8 +49,9 @@ use flock_telemetry::{
     ObservationSet, StampedRecord,
 };
 use flock_topology::{Component, Router, Topology};
+use serde::Serialize;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -109,8 +110,38 @@ impl StreamConfig {
     }
 }
 
+/// Why one component was convicted: the evidence its shard engine's Δ
+/// actually aggregated over, captured at verdict time so the question
+/// "why was this link blamed in epoch E?" stays answerable after the
+/// engines have moved on. Stored per verdict by `flock-store` and
+/// surfaced through its `provenance(comp, epoch)` query.
+#[derive(Debug, Clone, Serialize)]
+pub struct Provenance {
+    /// The convicted component.
+    pub component: Component,
+    /// Label of the shard whose engine convicted it (`pod1`,
+    /// `spine-p0`, `spine-refine`, …) — after the merge, the shard
+    /// whose score won blame ownership.
+    pub shard: String,
+    /// The conviction score (log-likelihood gain; the merge key).
+    pub score: f64,
+    /// Distinct super-flows whose likelihood terms involved the
+    /// component in the convicting engine.
+    pub super_flows: u32,
+    /// Total aggregation weight behind those super-flows — raw merged
+    /// observations implicating the component.
+    pub raw_weight: f64,
+    /// Global [`flock_telemetry::PathSetId`]s of the heaviest path sets
+    /// carrying that evidence (heaviest first, capped at
+    /// [`PROVENANCE_SETS_CAP`]).
+    pub sets: Vec<u32>,
+}
+
+/// How many path-set ids a [`Provenance`] retains (heaviest first).
+pub const PROVENANCE_SETS_CAP: usize = 8;
+
 /// Per-shard outcome inside an [`EpochReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ShardOutcome {
     /// Shard label (`pod3`, `spine`, `spine-p0`, `spine-refine`, `all`).
     /// Unique within a report.
@@ -140,10 +171,16 @@ pub struct ShardOutcome {
     /// sparsity invariant of the per-shard view layer, asserted by the
     /// `state_sparsity` tests and reported by `bench-report`).
     pub state: EngineStateSizes,
+    /// Wall-clock time this shard spent binding, rebinding, and
+    /// searching this epoch (the per-shard engine-time metric).
+    pub elapsed: Duration,
+    /// Provenance for each kept component, in `kept` order (see
+    /// [`Provenance`]).
+    pub provenance: Vec<Provenance>,
 }
 
 /// One epoch's merged verdict.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct EpochReport {
     /// Window index.
     pub epoch_index: u64,
@@ -165,6 +202,10 @@ pub struct EpochReport {
     /// the full spine evidence. When present, the refined picks replace
     /// the plane shards' in the merged verdict.
     pub refined: Option<ShardOutcome>,
+    /// Provenance of each merged verdict, in `result.predicted` order:
+    /// the convicting shard's evidence for the component (the shard
+    /// whose score won blame ownership).
+    pub provenance: Vec<Provenance>,
 }
 
 impl EpochReport {
@@ -414,8 +455,23 @@ impl<'t> StreamPipeline<'t> {
         let refine_ran = refined.is_some();
 
         // Merge under blame ownership: max score wins on overlap; plane
-        // shards are superseded by the refinement pass when it ran.
-        let mut merged: HashMap<Component, f64> = HashMap::new();
+        // shards are superseded by the refinement pass when it ran. The
+        // winning shard's provenance travels with its score.
+        let mut merged: HashMap<Component, Provenance> = HashMap::new();
+        let mut merge_in = |kept: Vec<(CompIdx, f64)>, provs: &[Provenance]| {
+            for ((_, score), prov) in kept.into_iter().zip(provs) {
+                match merged.entry(prov.component) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if score > e.get().score {
+                            e.insert(prov.clone());
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(prov.clone());
+                    }
+                }
+            }
+        };
         let mut scanned = 0u64;
         let mut log_likelihood = 0.0f64;
         let mut shard_outcomes = Vec::with_capacity(outcomes.len());
@@ -430,31 +486,21 @@ impl<'t> StreamPipeline<'t> {
             // only on some epochs.
             log_likelihood += outcome.log_likelihood;
             if !(refine_ran && matches!(shard.kind, ShardKind::SpinePlane(_))) {
-                for (c, score) in kept {
-                    let e = merged
-                        .entry(self.space.component(c))
-                        .or_insert(f64::NEG_INFINITY);
-                    if score > *e {
-                        *e = score;
-                    }
-                }
+                merge_in(kept, &outcome.provenance);
             }
             shard_outcomes.push(outcome);
         }
         let refined_outcome = refined.map(|(kept, outcome)| {
             scanned += outcome.hypotheses_scanned;
-            for (c, score) in kept {
-                let e = merged
-                    .entry(self.space.component(c))
-                    .or_insert(f64::NEG_INFINITY);
-                if score > *e {
-                    *e = score;
-                }
-            }
+            merge_in(kept, &outcome.provenance);
             outcome
         });
-        let mut predicted: Vec<(Component, f64)> = merged.into_iter().collect();
-        predicted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut provenance: Vec<Provenance> = merged.into_values().collect();
+        provenance.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.component.cmp(&b.component))
+        });
 
         let observations = obs.flows.len();
         self.assembler.recycle(obs);
@@ -466,8 +512,8 @@ impl<'t> StreamPipeline<'t> {
             records: monitored.len(),
             observations,
             result: LocalizationResult {
-                scores: predicted.iter().map(|(_, s)| *s).collect(),
-                predicted: predicted.into_iter().map(|(c, _)| c).collect(),
+                scores: provenance.iter().map(|p| p.score).collect(),
+                predicted: provenance.iter().map(|p| p.component).collect(),
                 log_likelihood,
                 hypotheses_scanned: scanned,
                 iterations: shard_outcomes.len() as u64,
@@ -475,6 +521,7 @@ impl<'t> StreamPipeline<'t> {
             },
             shards: shard_outcomes,
             refined: refined_outcome,
+            provenance,
         }
     }
 
@@ -494,6 +541,7 @@ impl<'t> StreamPipeline<'t> {
         seed: &[CompIdx],
         blaming: &[u16],
     ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
+        let started = Instant::now();
         let topo = self.topo;
         let full = self.cfg.refine_full_spine;
         let blame_mask: u64 = blaming.iter().fold(0u64, |m, &p| m | 1u64 << (p % 64));
@@ -561,6 +609,7 @@ impl<'t> StreamPipeline<'t> {
                 self.refine_owned[g as usize].then_some((g, score))
             })
             .collect();
+        let provenance = collect_provenance(engine, &self.refine_view, "spine-refine", &kept);
         let outcome = ShardOutcome {
             label: "spine-refine".into(),
             kind: ShardKind::Spine,
@@ -571,6 +620,8 @@ impl<'t> StreamPipeline<'t> {
             hypotheses_scanned: scanned,
             log_likelihood: engine.log_likelihood(),
             state: engine.state_sizes(),
+            elapsed: started.elapsed(),
+            provenance,
         };
         (kept, outcome)
     }
@@ -590,6 +641,7 @@ fn run_shard(
     obs: &ObservationSet,
     touches: &[SetTouch],
 ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
+    let started = Instant::now();
     state
         .view
         .bind_epoch(obs, |i, _| shard.relevant_combined(touches[i]))
@@ -630,6 +682,7 @@ fn run_shard(
             shard.owns(g).then_some((g, score))
         })
         .collect();
+    let provenance = collect_provenance(engine, &state.view, &shard.label, &kept);
     let outcome = ShardOutcome {
         label: shard.label.clone(),
         kind: shard.kind,
@@ -640,6 +693,41 @@ fn run_shard(
         hypotheses_scanned: scanned,
         log_likelihood: engine.log_likelihood(),
         state: engine.state_sizes(),
+        elapsed: started.elapsed(),
+        provenance,
     };
     (kept, outcome)
+}
+
+/// Capture [`Provenance`] for each kept component (global ids, in `kept`
+/// order) from the engine that convicted them, translating the
+/// convicting evidence's view-local set ids to global
+/// [`flock_telemetry::PathSetId`]s.
+fn collect_provenance(
+    engine: &Engine,
+    view: &ArenaView,
+    shard_label: &str,
+    kept: &[(CompIdx, f64)],
+) -> Vec<Provenance> {
+    kept.iter()
+        .map(|&(g, score)| {
+            let c = engine
+                .local_comp(g)
+                .expect("kept components come from this engine");
+            let ev = engine.convicting_evidence(c);
+            Provenance {
+                component: engine.component(c),
+                shard: shard_label.to_string(),
+                score,
+                super_flows: ev.super_flows as u32,
+                raw_weight: ev.weight,
+                sets: ev
+                    .sets
+                    .iter()
+                    .take(PROVENANCE_SETS_CAP)
+                    .map(|&(ls, _)| view.global_set(ls).0)
+                    .collect(),
+            }
+        })
+        .collect()
 }

@@ -27,7 +27,7 @@ use flock_telemetry::{FlowObs, ObservationSet};
 use flock_topology::{NodeRole, SpinePlanes, Topology};
 
 /// What a shard is responsible for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub enum ShardKind {
     /// Everything (the single-shard plan).
     All,

@@ -3,11 +3,17 @@
 //! (wire v2, epoch-stamped) over real TCP sockets to the sharded
 //! reactor collector; the stream layer takes the pre-bucketed drain
 //! into epochs and localizes each one with warm-started, pod-sharded
-//! inference, emitting a `LocalizationResult` time-series while a fault
-//! appears, persists, and heals.
+//! inference while a fault appears, persists, and heals — and every
+//! verdict lands in a durable [`VerdictStore`]: blame history, debounced
+//! alerts, and per-verdict provenance, all queryable and all surviving
+//! a store close/reopen (asserted at the end of the run).
+//!
+//! One structured log line per epoch (human by default, one JSON object
+//! per line with `--json`), plus a periodic metrics snapshot from the
+//! store's registry.
 //!
 //! ```text
-//! cargo run --release --example flock_daemon
+//! cargo run --release --example flock_daemon [-- --json]
 //! ```
 
 use flock::prelude::*;
@@ -18,8 +24,11 @@ use std::collections::HashMap;
 const EPOCHS: u64 = 6;
 const EPOCH_MS: u64 = 1_000;
 const FLOWS_PER_EPOCH: usize = 3_000;
+/// Epochs between metrics-snapshot emissions.
+const METRICS_EVERY: u64 = 3;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let topo = flock::topology::clos::three_tier(ClosParams {
         pods: 3,
         tors_per_pod: 2,
@@ -40,19 +49,23 @@ fn main() {
         appear_epoch: 1,
         heal_epoch: Some(4),
     });
-    println!(
-        "daemon: watching {} ({} links, {} switches); fault on {faulty:?} over epochs [1, 4)",
-        topo.name,
-        topo.link_count(),
-        topo.switch_count()
-    );
+    if !json {
+        println!(
+            "daemon: watching {} ({} links, {} switches); fault on {faulty:?} over epochs [1, 4)",
+            topo.name,
+            topo.link_count(),
+            topo.switch_count()
+        );
+    }
 
     let collector = Collector::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-    println!(
-        "collector listening on {} ({} reactor shards)",
-        collector.local_addr(),
-        collector.reactor_shards()
-    );
+    if !json {
+        println!(
+            "collector listening on {} ({} reactor shards)",
+            collector.local_addr(),
+            collector.reactor_shards()
+        );
+    }
 
     let mut pipeline = StreamPipeline::new(
         &topo,
@@ -65,17 +78,42 @@ fn main() {
             ..StreamConfig::paper_default()
         },
     );
-    println!(
-        "stream: {} shards ({}), warm start on\n",
-        pipeline.plan().len(),
-        pipeline
-            .plan()
-            .shards
-            .iter()
-            .map(|s| s.label.as_str())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
+    if !json {
+        println!(
+            "stream: {} shards ({}), warm start on",
+            pipeline.plan().len(),
+            pipeline
+                .plan()
+                .shards
+                .iter()
+                .map(|s| s.label.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // The verdict store: tier 1 kept deliberately tiny so the
+    // end-of-run queries demonstrably hit the durable tier; alerts
+    // raise after 2 persisting epochs and clear after 1 clean one.
+    let store_path = std::env::temp_dir().join(format!("flock_daemon_{}.seg", std::process::id()));
+    let store_cfg = StoreConfig {
+        ring_capacity: 2,
+        policy: AlertPolicy {
+            raise_epochs: 2,
+            clear_epochs: 1,
+            ..AlertPolicy::default()
+        },
+    };
+    let mut store = VerdictStore::create(store_cfg, &store_path).unwrap();
+    if !json {
+        println!(
+            "store: durable segment at {} (ring {} epochs, raise after {}, clear after {})\n",
+            store_path.display(),
+            store_cfg.ring_capacity,
+            store_cfg.policy.raise_epochs,
+            store_cfg.policy.clear_epochs
+        );
+    }
 
     let mut reports: Vec<EpochReport> = Vec::new();
     for epoch in 0..EPOCHS {
@@ -130,7 +168,7 @@ fn main() {
             exporter.finish().unwrap();
         }
 
-        // ---- Drain, window, localize. ----
+        // ---- Drain, window, localize, store. ----
         let expected = flows.len();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while collector.pending() < expected && std::time::Instant::now() < deadline {
@@ -139,15 +177,15 @@ fn main() {
         assert_eq!(collector.pending(), expected, "collector lost records");
         pipeline.ingest_bucketed(collector.drain_buckets());
         for report in pipeline.poll((epoch + 1) * EPOCH_MS) {
-            print_report(&topo, &scenario, &report, &collector.stats().snapshot());
+            ingest_and_log(&topo, &scenario, &mut store, &report, &collector, json);
             reports.push(report);
         }
     }
-    let final_snap = collector.stats().snapshot();
     for report in pipeline.drain() {
-        print_report(&topo, &scenario, &report, &final_snap);
+        ingest_and_log(&topo, &scenario, &mut store, &report, &collector, json);
         reports.push(report);
     }
+    store.sync().unwrap();
 
     // ---- The run must have done what the paper's service does. ----
     assert!(
@@ -169,81 +207,256 @@ fn main() {
             );
         }
     }
-    let snap = collector.stats().snapshot();
-    println!(
-        "\ndaemon done: {} epochs, {} records / {} bytes over {} connections \
-         ({} decode errors, {} dropped)",
-        reports.len(),
-        snap.records,
-        snap.bytes,
-        snap.connections,
-        snap.decode_errors,
-        snap.dropped_records
+
+    // ---- And the store must answer for it — before AND after a
+    // close/reopen (history, the one debounced alert, provenance). ----
+    let comp = flock::topology::Component::Link(faulty);
+    check_store(&mut store, comp, "live store");
+    drop(store);
+    let mut reopened = VerdictStore::open(store_cfg, &store_path).unwrap();
+    assert!(
+        reopened.torn().is_none(),
+        "clean close must leave no torn tail"
     );
+    check_store(&mut reopened, comp, "reopened store");
+    let prov = reopened
+        .provenance(comp, 1)
+        .expect("epoch-1 provenance must survive reopen (durable tier: ring is 2)");
+
+    let snap = collector.stats().snapshot();
+    if json {
+        println!("{}", serde::json::to_string(&reopened.metrics_snapshot()));
+    } else {
+        println!(
+            "\ndaemon done: {} epochs, {} records / {} bytes over {} connections \
+             ({} decode errors, {} dropped)",
+            reports.len(),
+            snap.records,
+            snap.bytes,
+            snap.connections,
+            snap.decode_errors,
+            snap.dropped_records
+        );
+        let alert = &reopened.alerts()[0];
+        println!(
+            "store: blame history {:?} | alert raised @{} cleared @{:?} | provenance for \
+             epoch 1: shard {} convicted via {} super-flows (weight {:.0}, sets {:?}) | \
+             {} durable epochs, {} bytes",
+            reopened
+                .history(comp)
+                .iter()
+                .map(|s| s.epoch)
+                .collect::<Vec<_>>(),
+            alert.raised_epoch,
+            alert.cleared_epoch,
+            prov.shard,
+            prov.super_flows,
+            prov.raw_weight,
+            prov.sets,
+            reopened.durable_epochs(),
+            reopened.segment_bytes()
+        );
+    }
     collector.shutdown();
+    let _ = std::fs::remove_file(&store_path);
 }
 
-fn print_report(
+/// The acceptance checks, applied to the live store and again after
+/// close/reopen: queryable blame history, exactly one debounced alert
+/// (raised after 2 persisting epochs, cleared on heal), non-empty
+/// provenance naming the convicting super-flows and shard.
+fn check_store(store: &mut VerdictStore, comp: flock::topology::Component, what: &str) {
+    let epochs: Vec<u64> = store.history(comp).iter().map(|s| s.epoch).collect();
+    assert_eq!(epochs, vec![1, 2, 3], "{what}: blame history");
+    assert_eq!(
+        store.alerts().len(),
+        1,
+        "{what}: exactly one debounced alert"
+    );
+    let alert = &store.alerts()[0];
+    assert_eq!(alert.component, comp, "{what}: alert names the fault");
+    assert_eq!(
+        alert.raised_epoch, 2,
+        "{what}: raised after 2 persisting epochs"
+    );
+    assert_eq!(alert.cleared_epoch, Some(4), "{what}: cleared on heal");
+    assert!(
+        store.active_alerts().is_empty(),
+        "{what}: nothing left active"
+    );
+    for epoch in [1u64, 2, 3] {
+        let prov = store
+            .provenance(comp, epoch)
+            .unwrap_or_else(|| panic!("{what}: provenance for blamed epoch {epoch}"));
+        assert!(prov.super_flows > 0, "{what}: provenance names super-flows");
+        assert!(!prov.shard.is_empty(), "{what}: provenance names its shard");
+    }
+}
+
+/// One structured log line per epoch — the same fields in both modes
+/// (the PR 2–5 accounting: obs→super-flow ratio, plane evidence, Δ
+/// local/global bound, warm counts; plus the store's alert activity).
+#[derive(serde::Serialize)]
+struct EpochLog {
+    epoch: u64,
+    start_ms: u64,
+    end_ms: u64,
+    records: usize,
+    observations: usize,
+    /// Raw accepted observations summed over shard engines (an
+    /// observation counts once per shard whose filter accepts it).
+    shard_raw_obs: usize,
+    /// Weighted super-flows actually inferred over, same accounting.
+    shard_super_flows: usize,
+    coalesce_ratio: f64,
+    /// Per spine-plane super-flow counts, plane order.
+    plane_flows: Vec<usize>,
+    /// Components kept by the cross-plane refinement pass, if it ran.
+    refine_kept: Option<usize>,
+    /// Largest shard engine's local component space (the Δ bound)…
+    delta_local_comps: usize,
+    /// …vs the topology-wide component space.
+    delta_global_comps: usize,
+    blamed: Vec<flock::topology::Component>,
+    truth: Vec<LinkId>,
+    precision: f64,
+    recall: f64,
+    warm_shards: usize,
+    shards: usize,
+    /// Alerts the store raised on this epoch's ingest.
+    alerts_raised: Vec<Alert>,
+    /// Alerts it cleared.
+    alerts_cleared: Vec<Alert>,
+    active_alerts: u64,
+    conns_up: u64,
+    conns_closed: u64,
+    runtime_ms: f64,
+}
+
+fn ingest_and_log(
     topo: &Topology,
     scenario: &DynamicScenario,
+    store: &mut VerdictStore,
     report: &EpochReport,
-    snap: &flock::telemetry::StatsSnapshot,
+    collector: &Collector,
+    json: bool,
 ) {
+    let delta = store.ingest(report).expect("segment append");
+    let snap = collector.stats().snapshot();
     let truth = scenario.scenario_at(report.epoch_index).truth;
     let pr = flock::core::evaluate(topo, &report.result.predicted, &truth);
-    let warm = report.shards.iter().filter(|s| s.warm).count();
-    // Evidence coalescing across shard engines: raw accepted
-    // observations vs the weighted super-flows actually inferred over.
-    // Both sums count an observation once per shard whose filter accepts
-    // it, so they measure shard-engine work (and its reduction), not the
-    // epoch's assembled observation count — that is `report.observations`.
     let raw: usize = report.shards.iter().map(|s| s.raw_flows).sum();
     let sflows: usize = report.shards.iter().map(|s| s.flows).sum();
-    // The spine tier's plane dimension: how many plane engines ran and
-    // how much evidence each saw (plus whether the cross-plane
-    // refinement pass had to arbitrate this epoch).
-    let plane_flows: Vec<String> = report.spine_planes().map(|s| s.flows.to_string()).collect();
-    let refine = match &report.refined {
-        Some(r) => format!(" | refine kept {} ({} obs)", r.kept, r.raw_flows),
-        None => String::new(),
+    let log = EpochLog {
+        epoch: report.epoch_index,
+        start_ms: report.start_ms,
+        end_ms: report.end_ms,
+        records: report.records,
+        observations: report.observations,
+        shard_raw_obs: raw,
+        shard_super_flows: sflows,
+        coalesce_ratio: raw as f64 / sflows.max(1) as f64,
+        plane_flows: report.spine_planes().map(|s| s.flows).collect(),
+        refine_kept: report.refined.as_ref().map(|r| r.kept),
+        delta_local_comps: report
+            .shards
+            .iter()
+            .map(|s| s.state.comps)
+            .max()
+            .unwrap_or(0),
+        delta_global_comps: report
+            .shards
+            .first()
+            .map(|s| s.state.global_comps)
+            .unwrap_or(0),
+        blamed: report.result.predicted.clone(),
+        truth: truth.failed_links.clone(),
+        precision: pr.precision,
+        recall: pr.recall,
+        warm_shards: report.shards.iter().filter(|s| s.warm).count(),
+        shards: report.shards.len(),
+        alerts_raised: delta.raised,
+        alerts_cleared: delta.cleared,
+        active_alerts: store.metrics().gauge("active_alerts").unwrap_or(0.0) as u64,
+        conns_up: snap.active_connections,
+        conns_closed: snap.closed_connections,
+        runtime_ms: report.result.runtime.as_secs_f64() * 1e3,
     };
-    // Resident-state locality: the largest shard engine's local
-    // component space vs the topology-wide one (every shard's per-epoch
-    // resets and Δ scans are bounded by its own number, not the global).
-    let max_comps = report
-        .shards
-        .iter()
-        .map(|s| s.state.comps)
-        .max()
-        .unwrap_or(0);
-    let global_comps = report
-        .shards
-        .first()
-        .map(|s| s.state.global_comps)
-        .unwrap_or(0);
-    println!(
-        "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | shard evidence \
-         {:>5} → {:>4} super-flows (x{:.1}) | {} planes [{}]{refine} | Δ≤{max_comps}/{global_comps} \
-         | blamed {:?} \
-         | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | conns {} up / {} closed | {:?}",
-        report.epoch_index,
-        report.start_ms,
-        report.end_ms,
-        report.records,
-        report.observations,
-        raw,
-        sflows,
-        raw as f64 / sflows.max(1) as f64,
-        plane_flows.len(),
-        plane_flows.join("/"),
-        report.result.predicted,
-        truth.failed_links,
-        pr.precision,
-        pr.recall,
-        warm,
-        report.shards.len(),
-        snap.active_connections,
-        snap.closed_connections,
-        report.result.runtime,
-    );
+    if json {
+        println!("{}", serde::json::to_string(&log));
+    } else {
+        let planes: Vec<String> = log.plane_flows.iter().map(|f| f.to_string()).collect();
+        let refine = match log.refine_kept {
+            Some(k) => format!(" | refine kept {k}"),
+            None => String::new(),
+        };
+        let alerts = if !log.alerts_raised.is_empty() {
+            format!(
+                " | ALERT raised {:?}",
+                log.alerts_raised
+                    .iter()
+                    .map(|a| a.component)
+                    .collect::<Vec<_>>()
+            )
+        } else if !log.alerts_cleared.is_empty() {
+            format!(
+                " | alert cleared {:?}",
+                log.alerts_cleared
+                    .iter()
+                    .map(|a| a.component)
+                    .collect::<Vec<_>>()
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | shard evidence \
+             {:>5} → {:>4} super-flows (x{:.1}) | {} planes [{}]{refine} | \
+             Δ≤{}/{} | blamed {:?} | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | \
+             conns {} up / {} closed | {:.1}ms{alerts}",
+            log.epoch,
+            log.start_ms,
+            log.end_ms,
+            log.records,
+            log.observations,
+            log.shard_raw_obs,
+            log.shard_super_flows,
+            log.coalesce_ratio,
+            log.plane_flows.len(),
+            planes.join("/"),
+            log.delta_local_comps,
+            log.delta_global_comps,
+            log.blamed,
+            log.truth,
+            log.precision,
+            log.recall,
+            log.warm_shards,
+            log.shards,
+            log.conns_up,
+            log.conns_closed,
+            log.runtime_ms,
+        );
+    }
+    // The periodic metrics snapshot from the store's registry.
+    if (report.epoch_index + 1) % METRICS_EVERY == 0 {
+        if json {
+            println!("{}", serde::json::to_string(&store.metrics_snapshot()));
+        } else {
+            let m = store.metrics();
+            println!(
+                "metrics: epochs {} | records {} | flips/s {:.0} | shard engine mean {:.2}ms \
+                 | appends mean {:.3}ms | alerts {}/{} raised/cleared | segment {}B",
+                m.counter("epochs_ingested"),
+                m.counter("records_ingested"),
+                m.gauge("flip_throughput_per_s").unwrap_or(0.0),
+                m.histogram("shard_engine_ms")
+                    .map(|h| h.mean())
+                    .unwrap_or(0.0),
+                m.histogram("append_ms").map(|h| h.mean()).unwrap_or(0.0),
+                m.counter("alerts_raised"),
+                m.counter("alerts_cleared"),
+                m.gauge("segment_bytes").unwrap_or(0.0) as u64,
+            );
+        }
+    }
 }

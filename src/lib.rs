@@ -50,6 +50,7 @@
 //! | [`baselines`] | `flock-baselines` | 007 and NetBouncer |
 //! | [`calibrate`] | `flock-calibrate` | automated hyperparameter calibration |
 //! | [`stream`] | `flock-stream` | online epoch pipeline with warm-start inference |
+//! | [`store`] | `flock-store` | tiered verdict store: blame history, alerts, provenance, metrics |
 
 #![forbid(unsafe_code)]
 
@@ -57,6 +58,7 @@ pub use flock_baselines as baselines;
 pub use flock_calibrate as calibrate;
 pub use flock_core as core;
 pub use flock_netsim as netsim;
+pub use flock_store as store;
 pub use flock_stream as stream;
 pub use flock_telemetry as telemetry;
 pub use flock_topology as topology;
@@ -72,7 +74,10 @@ pub mod prelude {
         DesConfig, DesFaults, DynamicScenario, FailureScenario, FaultEvent, FlowSimConfig,
         TrafficConfig, TrafficPattern,
     };
-    pub use flock_stream::{EpochConfig, EpochReport, StreamConfig, StreamPipeline};
+    pub use flock_store::{
+        Alert, AlertPolicy, MetricsRegistry, StoreConfig, StoreQuery, VerdictStore,
+    };
+    pub use flock_stream::{EpochConfig, EpochReport, Provenance, StreamConfig, StreamPipeline};
     pub use flock_telemetry::{
         AnalysisMode, Collector, CollectorConfig, DrainBatch, FlowKey, FlowRecord, InputKind,
         MonitoredFlow, ObservationSet, StampedRecord, StatsSnapshot,
