@@ -96,7 +96,10 @@ fn bench(c: &mut Criterion) {
         ("spine_engine_coalesced", true),
         ("spine_engine_raw", false),
     ] {
-        let opts = EngineOptions { coalesce };
+        let opts = EngineOptions {
+            coalesce,
+            ..Default::default()
+        };
         let mut engine = Engine::with_options(topo, &obs, params, Some(&filter), opts);
         let seed: Vec<u32> = {
             let (picked, _) = greedy.search(&mut engine);

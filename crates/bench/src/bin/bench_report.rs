@@ -21,7 +21,13 @@
 //!   refinement scope vs the historical full-spine scope;
 //! * **verdict store** (schema v4): durable-segment append latency and
 //!   on-disk size per 1k epochs, reopen/replay time, and history /
-//!   provenance query latency against the durable tier.
+//!   provenance query latency against the durable tier;
+//! * **kernels** (schema v5): the resolved SIMD dispatch level, flip
+//!   throughput under forced-portable vs forced-SIMD engines on the same
+//!   evidence, per-kernel ns/element (fabric Δ sweep, initial-Δ
+//!   accumulate, argmax) scalar vs SIMD on synthetic arrays, and the
+//!   term-table build cost the cold path pays to make flips
+//!   transcendental-free.
 //!
 //! ```text
 //! cargo run --release -p flock-bench --bin bench-report -- \
@@ -37,8 +43,15 @@
 //!
 //! ```text
 //! bench-report bench-diff --baseline ci/BENCH_baseline_smoke.json \
-//!     --current BENCH_stream.json [--max-regress 0.15]
+//!     --current BENCH_stream.json [--max-regress 0.15] \
+//!     [--floor key=value]...
 //! ```
+//!
+//! `--floor key=value` (repeatable) is an *absolute* gate on top of the
+//! relative one: the run fails if the current report's `key` is below
+//! `value`. CI uses it to hold the SIMD flip-throughput win — a
+//! regression gate alone would happily ratchet down if a slow baseline
+//! ever got committed.
 //!
 //! `--baseline` may be omitted when the `FLOCK_BENCH_BASELINE`
 //! environment variable names the baseline report — the hook for a
@@ -52,7 +65,10 @@ use flock_bench::{
     arena_warmed_obs, combined_touches, plane_shards, spine_heavy_epochs, spine_shard,
     steady_epochs, two_plane_fault_epochs,
 };
-use flock_core::{Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams};
+use flock_core::{
+    simd, Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams, KernelDispatch,
+    TermTable,
+};
 use flock_store::{EpochRecord, Segment, StoreConfig, StoreQuery, Verdict, VerdictStore};
 use flock_stream::{EpochConfig, Provenance, StreamConfig, StreamPipeline};
 use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
@@ -196,6 +212,108 @@ fn main() {
     let flip_throughput_max = flips_per_sample / (flip_ms_min / 1e3);
     let coalesce_ratio_steady = obs.flows.len() as f64 / obs.coalesced_count().max(1) as f64;
 
+    // ---- Kernel layer (schema v5). ----
+    // Forced-dispatch flip throughput on the same engine shape as above:
+    // the scalar fallback a non-AVX2 (or FLOCK_NO_SIMD=1) deployment
+    // pays, and the SIMD payoff, on real evidence. Forcing `Avx2` clamps
+    // to portable on hosts without it (`avx2_supported` says which), so
+    // the two rows degenerate to the same number there.
+    let dispatch = KernelDispatch::resolve();
+    let avx2_supported = KernelDispatch::Avx2.is_supported();
+    let mut flip_tp_forced = [[0.0f64; 2]; 2]; // [portable, simd] × [median, max]
+    for (slot, k) in [
+        (0usize, KernelDispatch::Portable),
+        (1, KernelDispatch::Avx2),
+    ] {
+        let opts = EngineOptions {
+            kernel: Some(k),
+            ..Default::default()
+        };
+        let mut e = Engine::with_options(topo, &obs, params, None, opts);
+        let (ms, ms_min) = time_ms(samples, || {
+            for &c in &comps {
+                e.flip(c);
+                e.flip(c);
+            }
+        });
+        flip_tp_forced[slot] = [
+            flips_per_sample / (ms / 1e3),
+            flips_per_sample / (ms_min / 1e3),
+        ];
+    }
+    let (term_tables, term_entries) = engine.term_table_sizes();
+    // Term-table build cost: interning 256 distinct (sent, bad, w)
+    // tables (~40 `llf` evaluations each) — the one-time cold-build cost
+    // that buys transcendental-free flips. Best-observed, like every
+    // CPU-bound microbench here.
+    let term_table_build_ms = time_ms(samples, || {
+        let mut t = TermTable::new();
+        for k in 0..256u64 {
+            let w = 16 + (k % 48) as u32;
+            std::hint::black_box(t.intern(&params, 100 + k, k % 50, w));
+        }
+    })
+    .1;
+    // Per-kernel ns/element on synthetic arrays sized like one
+    // coalesced-set sweep (4096 lanes over a 512-entry term segment).
+    const KN: usize = 4096;
+    const KREPS: usize = 64;
+    let ktbl: Vec<f64> = (0..512)
+        .map(|i| ((i * 37) % 101) as f64 * 0.0173 - 0.9)
+        .collect();
+    let kg_old: Vec<u32> = (0..KN).map(|i| (i * 7 % 256) as u32).collect();
+    let kg_new: Vec<u32> = (0..KN).map(|i| (i * 11 % 256) as u32).collect();
+    let klanes: Vec<u32> = (0..KN).map(|i| (i * 17 % KN) as u32).collect();
+    let kgs: Vec<u32> = (0..KN).map(|i| (i * 3 % 512) as u32).collect();
+    let kglobals: Vec<u32> = (0..KN as u32).rev().collect();
+    let per_elem = |min_ms: f64| min_ms * 1e6 / ((KREPS * KN) as f64);
+    let mut fabric_ns = [0.0f64; 2]; // [scalar, simd] throughout
+    let mut initial_ns = [0.0f64; 2];
+    let mut argmax_ns = [0.0f64; 2];
+    for (slot, k) in [
+        (0usize, KernelDispatch::Portable),
+        (1, KernelDispatch::Avx2),
+    ] {
+        let mut kdelta = vec![0.0f64; KN];
+        fabric_ns[slot] = per_elem(
+            time_ms(samples, || {
+                for _ in 0..KREPS {
+                    simd::fabric_delta_sweep(
+                        k,
+                        &ktbl,
+                        3,
+                        4,
+                        &kg_old,
+                        &kg_new,
+                        &klanes,
+                        0.75,
+                        -0.5,
+                        0.25,
+                        &mut kdelta,
+                    );
+                }
+            })
+            .1,
+        );
+        let mut ksums = vec![0.0f64; KN];
+        initial_ns[slot] = per_elem(
+            time_ms(samples, || {
+                for _ in 0..KREPS {
+                    simd::weighted_table_accumulate(k, &ktbl, &kgs, 1.25, &mut ksums);
+                }
+            })
+            .1,
+        );
+        argmax_ns[slot] = per_elem(
+            time_ms(samples, || {
+                for _ in 0..KREPS {
+                    std::hint::black_box(simd::argmax_gain(k, &kdelta, &ksums, &kglobals));
+                }
+            })
+            .1,
+        );
+    }
+
     // ---- Evidence coalescing on the spine-heavy fixture. ----
     let spine_fixture = spine_heavy_epochs(scale.spine_servers, scale.spine_flows, 4, 11);
     let stopo = &spine_fixture.topo;
@@ -243,7 +361,10 @@ fn main() {
     let greedy = FlockGreedy::default();
     let mut spine_engine_ms = [0.0f64; 2]; // [raw, coalesced]
     for (slot, coalesce) in [(0usize, false), (1usize, true)] {
-        let opts = EngineOptions { coalesce };
+        let opts = EngineOptions {
+            coalesce,
+            ..Default::default()
+        };
         let mut e = Engine::with_options(stopo, &sobs, params, Some(&filter), opts);
         let seed: Vec<u32> = {
             let (picked, _) = greedy.search(&mut e);
@@ -470,13 +591,27 @@ fn main() {
         .join(", ");
 
     let json = format!(
-        "{{\n  \"schema\": \"flock-bench-report/v4\",\n  \"scale\": \"{scale_name}\",\n  \
+        "{{\n  \"schema\": \"flock-bench-report/v5\",\n  \"scale\": \"{scale_name}\",\n  \
          \"samples\": {samples},\n  \"stream\": {{\n    \"cold_epoch_ms\": {:.4},\n    \
          \"warm_epoch_ms\": {:.4},\n    \"warm_epoch_ms_min\": {:.4},\n    \
          \"engine_cold_build_ms\": {:.4},\n    \
          \"engine_rebind_ms\": {:.4},\n    \"flip_throughput_per_s\": {:.0},\n    \
          \"flip_throughput_per_s_max\": {:.0},\n    \
-         \"coalesce_ratio\": {:.3}\n  }},\n  \"coalesce\": {{\n    \
+         \"coalesce_ratio\": {:.3}\n  }},\n  \"kernels\": {{\n    \
+         \"dispatch\": \"{}\",\n    \"avx2_supported\": {avx2_supported},\n    \
+         \"flip_throughput_portable_per_s\": {:.0},\n    \
+         \"flip_throughput_portable_per_s_max\": {:.0},\n    \
+         \"flip_throughput_simd_per_s\": {:.0},\n    \
+         \"flip_throughput_simd_per_s_max\": {:.0},\n    \
+         \"fabric_sweep_ns_per_elem_scalar\": {:.3},\n    \
+         \"fabric_sweep_ns_per_elem_simd\": {:.3},\n    \
+         \"initial_delta_ns_per_elem_scalar\": {:.3},\n    \
+         \"initial_delta_ns_per_elem_simd\": {:.3},\n    \
+         \"argmax_ns_per_elem_scalar\": {:.3},\n    \
+         \"argmax_ns_per_elem_simd\": {:.3},\n    \
+         \"term_table_entries\": {term_entries},\n    \
+         \"term_table_tables\": {term_tables},\n    \
+         \"term_table_build_ms\": {:.4}\n  }},\n  \"coalesce\": {{\n    \
          \"sharded_epoch_raw_ms\": {:.4},\n    \"sharded_epoch_coalesced_ms\": {:.4},\n    \
          \"sharded_epoch_speedup\": {:.3},\n    \"spine_engine_raw_ms\": {:.4},\n    \
          \"spine_engine_coalesced_ms\": {:.4},\n    \"spine_engine_speedup\": {:.3},\n    \
@@ -511,6 +646,18 @@ fn main() {
         flip_throughput,
         flip_throughput_max,
         coalesce_ratio_steady,
+        dispatch.label(),
+        flip_tp_forced[0][0],
+        flip_tp_forced[0][1],
+        flip_tp_forced[1][0],
+        flip_tp_forced[1][1],
+        fabric_ns[0],
+        fabric_ns[1],
+        initial_ns[0],
+        initial_ns[1],
+        argmax_ns[0],
+        argmax_ns[1],
+        term_table_build_ms,
         sharded_ms[0],
         sharded_ms[1],
         sharded_ms[0] / sharded_ms[1],
@@ -608,6 +755,7 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
     let mut baseline_path = None;
     let mut current_path = None;
     let mut max_regress = 0.15f64;
+    let mut floors: Vec<(String, f64)> = Vec::new();
     while let Some(a) = args.next() {
         let mut val = |flag: &str| {
             args.next()
@@ -618,6 +766,17 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
             "--current" => current_path = Some(val("--current")),
             "--max-regress" => {
                 max_regress = val("--max-regress").parse().expect("--max-regress: float")
+            }
+            "--floor" => {
+                let spec = val("--floor");
+                let (k, v) = spec
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("--floor takes key=value, got {spec}"));
+                floors.push((
+                    k.to_string(),
+                    v.parse()
+                        .unwrap_or_else(|_| panic!("--floor value: float, got {v}")),
+                ));
             }
             other => panic!("unknown bench-diff argument {other}"),
         }
@@ -663,19 +822,40 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
     // / max throughput): external load on a shared runner only ever
     // inflates a CPU-bound sample, so best-observed tracks the code's
     // true cost where the median flaps with machine noise.
+    // Core gates existed from schema v1–v4 — missing means a broken
+    // report, so the comparison itself is invalid. The kernel gates
+    // (schema v5) are *optional*: a rolling baseline artifact can lag a
+    // schema bump by one main-branch run, so a v4 baseline downgrades
+    // them to warn+skip instead of poisoning the whole gate.
     let gates: [(&str, bool); 2] = [
         ("warm_epoch_ms_min", true),
         ("flip_throughput_per_s_max", false),
+    ];
+    let optional_gates: [(&str, bool); 5] = [
+        ("flip_throughput_portable_per_s_max", false),
+        ("flip_throughput_simd_per_s_max", false),
+        ("fabric_sweep_ns_per_elem_simd", true),
+        ("initial_delta_ns_per_elem_simd", true),
+        ("argmax_ns_per_elem_simd", true),
     ];
     let mut failed = false;
     println!(
         "bench-diff: {current_path} vs {baseline_path} (budget {:.0}%)",
         max_regress * 100.0
     );
-    for (key, higher_is_worse) in gates {
-        let (Some(b), Some(c)) = (json_number(&base, key), json_number(&cur, key)) else {
-            eprintln!("bench-diff: metric {key} missing from one of the reports");
-            return 2;
+    for (key, higher_is_worse, required) in gates
+        .iter()
+        .map(|&(k, h)| (k, h, true))
+        .chain(optional_gates.iter().map(|&(k, h)| (k, h, false)))
+    {
+        let (b, c) = (json_number(&base, key), json_number(&cur, key));
+        let (Some(b), Some(c)) = (b, c) else {
+            if required {
+                eprintln!("bench-diff: metric {key} missing from one of the reports");
+                return 2;
+            }
+            println!("  {key:>34}: missing from baseline or current (pre-v5?) — skipped");
+            continue;
         };
         let regression = if higher_is_worse {
             c / b - 1.0
@@ -689,10 +869,25 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
             "ok"
         };
         println!(
-            "  {key:>24}: baseline {b:>12.3}  current {c:>12.3}  ({:+.1}% {}) {verdict}",
+            "  {key:>34}: baseline {b:>12.3}  current {c:>12.3}  ({:+.1}% {}) {verdict}",
             regression * 100.0,
             if higher_is_worse { "slower" } else { "lost" },
         );
+    }
+    // Absolute floors: configured explicitly, so a missing metric is an
+    // invalid comparison, not a skip.
+    for (key, floor) in &floors {
+        let Some(c) = json_number(&cur, key) else {
+            eprintln!("bench-diff: --floor metric {key} missing from the current report");
+            return 2;
+        };
+        let verdict = if c < *floor {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  {key:>34}: floor    {floor:>12.3}  current {c:>12.3}  {verdict}");
     }
     if failed {
         eprintln!(

@@ -74,8 +74,9 @@
 //! and the total log-likelihood but skips the Δ bookkeeping, and
 //! [`Engine::delta_single`] evaluates one neighbor from current state.
 
-use crate::likelihood::{flow_score, llf};
+use crate::likelihood::{llf, TermTable};
 use crate::params::HyperParams;
+use crate::simd::{self, KernelDispatch};
 use crate::space::{CompIdx, ComponentSpace};
 use flock_telemetry::{ArenaView, DenseRemap, FlowObs, ObservationSet, ViewError};
 use flock_topology::{Component, Topology};
@@ -155,6 +156,9 @@ struct SFlow {
     /// Members carrying extras: the half-open range `[lo, hi)` into
     /// [`Engine::members`] (weight without a member has no extras).
     members: (u32, u32),
+    /// Offset of this flow's `(sent, bad, w)` table in the engine's
+    /// [`TermTable`]: `terms.values()[tbl + b]` is `llf(score, w, b)`.
+    tbl: u32,
 }
 
 /// One prefix group of a super-flow: the merged observations sharing both
@@ -189,11 +193,20 @@ pub struct EngineOptions {
     /// `likelihood::score_is_linear_in_counts`) — and the default; turn
     /// off only to measure the raw-flow baseline.
     pub coalesce: bool,
+    /// Kernel dispatch override. `None` (the default) resolves once per
+    /// process via [`KernelDispatch::resolve`] (runtime AVX2 detection,
+    /// honoring `FLOCK_NO_SIMD`); `Some` forces a level — used by the
+    /// scalar-vs-SIMD bit-identity property tests and the bench probes.
+    /// A forced level the CPU cannot run is clamped to portable.
+    pub kernel: Option<KernelDispatch>,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { coalesce: true }
+        EngineOptions {
+            coalesce: true,
+            kernel: None,
+        }
     }
 }
 
@@ -298,16 +311,47 @@ pub struct Engine {
     ll: f64,
     stats: EngineStats,
 
+    /// Kernel dispatch level every sweep on this engine runs at
+    /// (resolved or forced at construction; see [`EngineOptions`]).
+    dispatch: KernelDispatch,
+    /// Memoized `llf` tables per distinct `(sent, bad, w)` evidence key;
+    /// extend-only, so `SFlow::tbl` offsets survive rebinds.
+    terms: TermTable,
+    /// Per-component argmax bias for the warm-start *move* scan:
+    /// `+prior_logodds(c)` when `c` is out of the hypothesis (adding
+    /// pays the prior), `-prior_logodds(c)` when in (removal reclaims
+    /// it). Maintained O(1) per flip so the greedy argmax is one fused
+    /// `delta + bias` vector scan.
+    gain_move_bias: Vec<f64>,
+    /// Argmax bias for the cold-start *add* scan: `+prior_logodds(c)`,
+    /// or `-inf` when `c` is already in the hypothesis (not addable).
+    gain_add_bias: Vec<f64>,
+
     // Scratch arenas reused across flips and epochs: the flip path and
     // the per-epoch rebuild allocate nothing in steady state.
     scratch_g: Vec<u32>,
     scratch_s: Vec<u32>,
-    /// Flat pre-flip counter snapshots across the flip's affected sets…
-    snap_ctr: Vec<Counter>,
-    /// …with per-set offsets (`snap_off[k]..snap_off[k+1]` is set `k`).
+    // Pre-flip counter snapshots across the flip's affected sets, split
+    // into the SIMD-regular partition (components outside the hypothesis
+    // and != the flipped comp — SoA lanes for the fabric kernel) and the
+    // special partition (in-hypothesis comps plus the flipped comp,
+    // handled by the scalar branchy path). The split predicate is stable
+    // across the flip, so pre-/post-flip partitions align element-wise.
+    /// Regular partition, component lanes…
+    snap_l: Vec<u32>,
+    /// …and their fail-count-0 path counts (`g`).
+    snap_g: Vec<u32>,
+    /// Per-set offsets into `snap_l`/`snap_g`
+    /// (`snap_off[k]..snap_off[k+1]` is affected set `k`).
     snap_off: Vec<u32>,
-    /// Post-flip counters of the set currently being swept.
-    new_ctr: Vec<Counter>,
+    /// Special partition `(comp, g, s)` counters…
+    snap_sp: Vec<Counter>,
+    /// …with per-set offsets.
+    snap_sp_off: Vec<u32>,
+    /// Post-flip counters of the set currently being swept (same split).
+    new_l: Vec<u32>,
+    new_g: Vec<u32>,
+    new_sp: Vec<Counter>,
     /// Distinct `g` values / per-`g` likelihood sums of the set currently
     /// being initialized.
     scratch_gs: Vec<u32>,
@@ -441,11 +485,23 @@ impl Engine {
             delta: Vec::new(),
             ll: 0.0,
             stats: EngineStats::default(),
+            dispatch: opts
+                .kernel
+                .map(KernelDispatch::clamped)
+                .unwrap_or_else(KernelDispatch::resolve),
+            terms: TermTable::new(),
+            gain_move_bias: Vec::new(),
+            gain_add_bias: Vec::new(),
             scratch_g: Vec::new(),
             scratch_s: Vec::new(),
-            snap_ctr: Vec::new(),
+            snap_l: Vec::new(),
+            snap_g: Vec::new(),
             snap_off: Vec::new(),
-            new_ctr: Vec::new(),
+            snap_sp: Vec::new(),
+            snap_sp_off: Vec::new(),
+            new_l: Vec::new(),
+            new_g: Vec::new(),
+            new_sp: Vec::new(),
             scratch_gs: Vec::new(),
             scratch_sums: Vec::new(),
             pair_set_flows: Vec::new(),
@@ -557,6 +613,22 @@ impl Engine {
         self.delta.resize(n, 0.0);
         self.scratch_g.resize(n, 0);
         self.scratch_s.resize(n, 0);
+        // Rebuilding the argmax bias arrays is O(local): the hypothesis
+        // is empty after the reset above, so both scans start from the
+        // pure add prior.
+        self.gain_move_bias.resize(n, 0.0);
+        self.gain_add_bias.resize(n, 0.0);
+        let link_prior = self.params.link_prior_logodds();
+        let device_prior = self.params.device_prior_logodds();
+        for c in 0..n {
+            let p = if self.space.is_device(self.comps.global(c as u32)) {
+                device_prior
+            } else {
+                link_prior
+            };
+            self.gain_move_bias[c] = p;
+            self.gain_add_bias[c] = p;
+        }
         if structures_grew || self.comp_to_paths.n_buckets() != n {
             self.comp_to_paths.rebuild(n, &self.comp_path_pairs);
             self.comp_to_sets.rebuild(n, &self.comp_set_pairs);
@@ -672,13 +744,17 @@ impl Engine {
                 let fi = self.sflows.len() as u32;
                 self.pair_set_flows.push((ls, fi));
                 let at = self.members.len() as u32;
+                // One memoized llf table per distinct evidence key; the
+                // common warm-epoch case is a pure hash hit.
+                let (tbl, score) = self.terms.intern(&self.params, o.sent, o.bad, w);
                 self.sflows.push(SFlow {
                     set: ls,
-                    score: flow_score(&self.params, o.sent, o.bad),
+                    score,
                     w,
                     weight: 0.0,
                     pinned: 0.0,
                     members: (at, at),
+                    tbl,
                 });
                 last_key = Some(key);
             }
@@ -914,6 +990,50 @@ impl Engine {
         self.stats
     }
 
+    /// The kernel dispatch level this engine's sweeps run at (resolved
+    /// per process, or forced via [`EngineOptions::kernel`]).
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
+    }
+
+    /// `(distinct evidence keys, total f64 entries)` of the memoized
+    /// likelihood term table (diagnostics / bench reporting).
+    pub fn term_table_sizes(&self) -> (usize, usize) {
+        (self.terms.tables(), self.terms.entries())
+    }
+
+    /// Best component to *add* under the current Δ array, with its
+    /// prior-inclusive gain: maximizes `delta[c] + prior_logodds(c)`
+    /// over components outside the hypothesis (in-hypothesis components
+    /// carry a `-inf` bias, so they can win only when nothing is
+    /// addable — and then the `-inf` gain stops the caller's search
+    /// exactly like an empty candidate set). Exact gain ties break
+    /// toward the smallest *global* component id, so engines with
+    /// different evidence histories (hence different local id orders)
+    /// pick the same member of an observationally equivalent class.
+    /// One fused `delta + bias` scan through the dispatch kernel.
+    pub fn argmax_addable(&self) -> Option<(CompIdx, f64)> {
+        simd::argmax_gain(
+            self.dispatch,
+            &self.delta,
+            &self.gain_add_bias,
+            self.comps.globals(),
+        )
+    }
+
+    /// Best add-or-remove move under the current Δ array, with its
+    /// prior-inclusive posterior gain (adding pays the prior, removing
+    /// reclaims it); same tie-break and kernel as
+    /// [`Engine::argmax_addable`]. This is the warm-start search scan.
+    pub fn argmax_move(&self) -> Option<(CompIdx, f64)> {
+        simd::argmax_gain(
+            self.dispatch,
+            &self.delta,
+            &self.gain_move_bias,
+            self.comps.globals(),
+        )
+    }
+
     /// Toggle local component `c`, maintaining the full Δ array (JLE
     /// update). Returns the likelihood change `LL(H') − LL(H)`.
     pub fn flip(&mut self, c: CompIdx) -> f64 {
@@ -939,30 +1059,48 @@ impl Engine {
         // All of these keep their capacity — no per-flip allocation.
         let comp_to_sets = std::mem::take(&mut self.comp_to_sets);
         let comp_extra_members = std::mem::take(&mut self.comp_extra_members);
-        let mut snap_ctr = std::mem::take(&mut self.snap_ctr);
+        let mut snap_l = std::mem::take(&mut self.snap_l);
+        let mut snap_g = std::mem::take(&mut self.snap_g);
         let mut snap_off = std::mem::take(&mut self.snap_off);
-        let mut new_ctr = std::mem::take(&mut self.new_ctr);
+        let mut snap_sp = std::mem::take(&mut self.snap_sp);
+        let mut snap_sp_off = std::mem::take(&mut self.snap_sp_off);
+        let mut new_l = std::mem::take(&mut self.new_l);
+        let mut new_g = std::mem::take(&mut self.new_g);
+        let mut new_sp = std::mem::take(&mut self.new_sp);
 
         // ---- Fabric effect: sets whose paths contain `c`. ----
         let affected_sets = comp_to_sets.get(c);
 
-        // Old counters per affected set, snapshotted into the flat arena
-        // before path fail counts move.
-        snap_ctr.clear();
+        // Old counters per affected set, snapshotted into the flat arenas
+        // before path fail counts move. The regular/special split uses
+        // the predicate `l == c || in_h[l]`, which does not move during
+        // the flip (only `c`'s membership changes, and `c` tests by id),
+        // so the post-flip collection below partitions identically and
+        // the two sides align element-wise.
+        snap_l.clear();
+        snap_g.clear();
         snap_off.clear();
         snap_off.push(0);
+        snap_sp.clear();
+        snap_sp_off.clear();
+        snap_sp_off.push(0);
         if maintain_delta {
             for &s in affected_sets {
-                collect_counters_into(
+                collect_counters_partitioned(
                     &self.sets[s as usize],
                     &self.path_fail,
                     &self.path_comps,
                     &self.set_comps[s as usize],
+                    c,
+                    &self.in_h,
                     &mut self.scratch_g,
                     &mut self.scratch_s,
-                    &mut snap_ctr,
+                    &mut snap_l,
+                    &mut snap_g,
+                    &mut snap_sp,
                 );
-                snap_off.push(snap_ctr.len() as u32);
+                snap_off.push(snap_l.len() as u32);
+                snap_sp_off.push(snap_sp.len() as u32);
             }
         }
 
@@ -985,33 +1123,51 @@ impl Engine {
             let new_bad = self.recount_set_bad(s);
             self.set_bad[s as usize] = new_bad;
 
-            let old_ctr: &[Counter] = if maintain_delta {
-                &snap_ctr[snap_off[k] as usize..snap_off[k + 1] as usize]
+            let (old_l, old_g, old_sp): (&[u32], &[u32], &[Counter]) = if maintain_delta {
+                (
+                    &snap_l[snap_off[k] as usize..snap_off[k + 1] as usize],
+                    &snap_g[snap_off[k] as usize..snap_off[k + 1] as usize],
+                    &snap_sp[snap_sp_off[k] as usize..snap_sp_off[k + 1] as usize],
+                )
             } else {
-                &[]
+                (&[], &[], &[])
             };
             if maintain_delta {
-                new_ctr.clear();
-                collect_counters_into(
+                new_l.clear();
+                new_g.clear();
+                new_sp.clear();
+                collect_counters_partitioned(
                     &self.sets[s as usize],
                     &self.path_fail,
                     &self.path_comps,
                     &self.set_comps[s as usize],
+                    c,
+                    &self.in_h,
                     &mut self.scratch_g,
                     &mut self.scratch_s,
-                    &mut new_ctr,
+                    &mut new_l,
+                    &mut new_g,
+                    &mut new_sp,
+                );
+                debug_assert_eq!(old_l, &new_l[..], "regular partitions must align");
+                debug_assert!(
+                    old_sp.iter().zip(&new_sp).all(|(a, b)| a.0 == b.0),
+                    "special partitions must align"
                 );
             }
 
-            // Super-flow sweep: one visit per distinct evidence key.
+            // Super-flow sweep: one visit per distinct evidence key. All
+            // llf terms come from the flow's memoized table segment —
+            // bit-identical to direct evaluation by construction.
             for &fi in self.set_flows.get(s) {
                 let f = &self.sflows[fi as usize];
-                let (sc, w, mlo, mhi) = (f.score, f.w, f.members.0, f.members.1);
+                let (w, mlo, mhi) = (f.w, f.members.0, f.members.1);
+                let seg = &self.terms.values()[f.tbl as usize..(f.tbl + w + 1) as usize];
                 // Weights are integer-valued sums, so the subtraction is
                 // exact and `active == 0.0` means fully pinned.
                 let active = f.weight - f.pinned;
-                let ll_old = llf(sc, w, old_bad);
-                let ll_new = llf(sc, w, new_bad);
+                let ll_old = seg[old_bad as usize];
+                let ll_new = seg[new_bad as usize];
                 self.stats.flow_updates += 1;
                 if active > 0.0 {
                     dll += active * (ll_new - ll_old);
@@ -1020,22 +1176,37 @@ impl Engine {
                     continue;
                 }
                 // Fabric comps of the set: only the active (unpinned)
-                // weight responds to fabric flips.
+                // weight responds to fabric flips. The regular partition
+                // (components outside the hypothesis) goes through the
+                // dispatch kernel; the handful of special components
+                // keep the branchy scalar path below.
                 if active > 0.0 {
-                    for (i, &(l, g_old, s_old)) in old_ctr.iter().enumerate() {
-                        let (l2, g_new, s_new) = new_ctr[i];
-                        debug_assert_eq!(l, l2);
+                    simd::fabric_delta_sweep(
+                        self.dispatch,
+                        seg,
+                        old_bad,
+                        new_bad,
+                        old_g,
+                        &new_g,
+                        old_l,
+                        active,
+                        ll_old,
+                        ll_new,
+                        &mut self.delta,
+                    );
+                    for (i, &(l, g_old, s_old)) in old_sp.iter().enumerate() {
+                        let (_, g_new, s_new) = new_sp[i];
                         let in_h_new = self.in_h[l as usize];
                         let in_h_old = if l == c { !in_h_new } else { in_h_new };
                         let contrib_old = if in_h_old {
-                            llf(sc, w, old_bad - s_old) - ll_old
+                            seg[(old_bad - s_old) as usize] - ll_old
                         } else {
-                            llf(sc, w, old_bad + g_old) - ll_old
+                            seg[(old_bad + g_old) as usize] - ll_old
                         };
                         let contrib_new = if in_h_new {
-                            llf(sc, w, new_bad - s_new) - ll_new
+                            seg[(new_bad - s_new) as usize] - ll_new
                         } else {
-                            llf(sc, w, new_bad + g_new) - ll_new
+                            seg[(new_bad + g_new) as usize] - ll_new
                         };
                         self.delta[l as usize] += active * (contrib_new - contrib_old);
                     }
@@ -1072,7 +1243,15 @@ impl Engine {
 
         // ---- Extras effect: members having `c` among their extras. ----
         for &mi in comp_extra_members.get(c) {
-            dll += self.flip_extra_for_member(c, mi, adding, maintain_delta, &mut new_ctr);
+            dll += self.flip_extra_for_member(
+                c,
+                mi,
+                adding,
+                maintain_delta,
+                &mut new_l,
+                &mut new_g,
+                &mut new_sp,
+            );
         }
 
         if adding {
@@ -1082,39 +1261,58 @@ impl Engine {
         }
         self.ll += dll;
 
+        // O(1) argmax bias maintenance for the flipped component.
+        let p = self.prior_logodds(c);
+        if adding {
+            self.gain_move_bias[c as usize] = -p;
+            self.gain_add_bias[c as usize] = f64::NEG_INFINITY;
+        } else {
+            self.gain_move_bias[c as usize] = p;
+            self.gain_add_bias[c as usize] = p;
+        }
+
         self.comp_to_sets = comp_to_sets;
         self.comp_extra_members = comp_extra_members;
-        self.snap_ctr = snap_ctr;
+        self.snap_l = snap_l;
+        self.snap_g = snap_g;
         self.snap_off = snap_off;
-        self.new_ctr = new_ctr;
+        self.snap_sp = snap_sp;
+        self.snap_sp_off = snap_sp_off;
+        self.new_l = new_l;
+        self.new_g = new_g;
+        self.new_sp = new_sp;
         dll
     }
 
     /// Handle the extras side of flipping `c` for one member. `in_h[c]`
-    /// has already been set to the new value; `ctr` is the caller's
-    /// reusable counter buffer.
+    /// has already been set to the new value; `ctr_l`/`ctr_g`/`ctr_sp`
+    /// are the caller's reusable partitioned counter buffers.
+    #[allow(clippy::too_many_arguments)]
     fn flip_extra_for_member(
         &mut self,
         c: CompIdx,
         mi: u32,
         adding: bool,
         maintain_delta: bool,
-        ctr: &mut Vec<Counter>,
+        ctr_l: &mut Vec<u32>,
+        ctr_g: &mut Vec<u32>,
+        ctr_sp: &mut Vec<Counter>,
     ) -> f64 {
         self.stats.flow_updates += 1;
         let m = self.members[mi as usize];
         let fi = m.flow as usize;
-        let (sc, w, set) = {
+        let (w, set, tbl) = {
             let f = &self.sflows[fi];
-            (f.score, f.w, f.set)
+            (f.w, f.set, f.tbl)
         };
         let old_fail = m.extra_fail;
         let new_fail = if adding { old_fail + 1 } else { old_fail - 1 };
         let sb = self.set_bad[set as usize];
         let bad_old = if old_fail > 0 { w } else { sb };
         let bad_new = if new_fail > 0 { w } else { sb };
-        let ll_old = llf(sc, w, bad_old);
-        let ll_new = llf(sc, w, bad_new);
+        let seg = &self.terms.values()[tbl as usize..(tbl + w + 1) as usize];
+        let ll_old = seg[bad_old as usize];
+        let ll_new = seg[bad_new as usize];
         let dll = m.weight * (ll_new - ll_old);
 
         // Pinned-weight bookkeeping on activation crossings (adding from
@@ -1127,34 +1325,59 @@ impl Engine {
 
         if maintain_delta {
             // Fabric comps: need g/s counters only when the member is
-            // "active" (extra_fail == 0) on either side.
+            // "active" (extra_fail == 0) on either side. Exactly one of
+            // old/new fail is 0 here (they differ by 1), so each regular
+            // component's update collapses to ±(seg[sb + g] - ll) — the
+            // member kernel; in-hypothesis comps keep the scalar path.
+            // `c` is an extra, never among the set comps, so the special
+            // partition is the in-hypothesis comps only.
             if old_fail == 0 || new_fail == 0 {
-                ctr.clear();
-                collect_counters_into(
+                ctr_l.clear();
+                ctr_g.clear();
+                ctr_sp.clear();
+                collect_counters_partitioned(
                     &self.sets[set as usize],
                     &self.path_fail,
                     &self.path_comps,
                     &self.set_comps[set as usize],
+                    c,
+                    &self.in_h,
                     &mut self.scratch_g,
                     &mut self.scratch_s,
-                    ctr,
+                    ctr_l,
+                    ctr_g,
+                    ctr_sp,
                 );
-                for &(l, g, s_cnt) in ctr.iter() {
-                    let in_h_l = self.in_h[l as usize];
+                let (negate, ll_active) = if old_fail == 0 {
+                    // Member becomes pinned: its old `sb + g` term is
+                    // retracted (contrib_new is 0).
+                    (true, ll_old)
+                } else {
+                    // Member unpins: the new `sb + g` term lands.
+                    (false, ll_new)
+                };
+                simd::member_delta_sweep(
+                    self.dispatch,
+                    seg,
+                    sb,
+                    ctr_g,
+                    ctr_l,
+                    m.weight,
+                    ll_active,
+                    negate,
+                    &mut self.delta,
+                );
+                for &(l, _, s_cnt) in ctr_sp.iter() {
                     debug_assert_ne!(l, c, "extras are disjoint from set comps");
                     let contrib_old = if old_fail > 0 {
                         0.0
-                    } else if in_h_l {
-                        llf(sc, w, sb - s_cnt) - ll_old
                     } else {
-                        llf(sc, w, sb + g) - ll_old
+                        seg[(sb - s_cnt) as usize] - ll_old
                     };
                     let contrib_new = if new_fail > 0 {
                         0.0
-                    } else if in_h_l {
-                        llf(sc, w, sb - s_cnt) - ll_new
                     } else {
-                        llf(sc, w, sb + g) - ll_new
+                        seg[(sb - s_cnt) as usize] - ll_new
                     };
                     self.delta[l as usize] += m.weight * (contrib_new - contrib_old);
                 }
@@ -1185,8 +1408,8 @@ impl Engine {
                 } else {
                     w
                 };
-                let contrib_old = llf(sc, w, bad_flip_old) - ll_old;
-                let contrib_new = llf(sc, w, bad_flip_new) - ll_new;
+                let contrib_old = seg[bad_flip_old as usize] - ll_old;
+                let contrib_new = seg[bad_flip_new as usize] - ll_new;
                 self.delta[e as usize] += m.weight * (contrib_new - contrib_old);
             }
         }
@@ -1229,14 +1452,15 @@ impl Engine {
             gs.extend(comps.iter().map(|&c| self.scratch_g[c as usize]));
             gs.sort_unstable();
             gs.dedup();
-            // Σ_super-flows weight · LLF(g) per distinct g.
+            // Σ_super-flows weight · LLF(g) per distinct g, as one table
+            // gather-accumulate per flow (every flow of the set shares
+            // `w`, so `gs` indexes every segment in range).
             sums.clear();
             sums.resize(gs.len(), 0.0);
             for &fi in self.set_flows.get(s) {
                 let f = &self.sflows[fi as usize];
-                for (i, &g) in gs.iter().enumerate() {
-                    sums[i] += f.weight * llf(f.score, f.w, g);
-                }
+                let seg = &self.terms.values()[f.tbl as usize..(f.tbl + f.w + 1) as usize];
+                simd::weighted_table_accumulate(self.dispatch, seg, &gs, f.weight, &mut sums);
             }
             for &c in comps {
                 let g = self.scratch_g[c as usize];
@@ -1341,43 +1565,62 @@ impl Engine {
     }
 }
 
-/// `(comp, g, s)` per component of one set, appended to `out`: `g` =
-/// member paths with fail count 0 containing comp, `s` = member paths
-/// with fail count exactly 1 containing comp. Two passes over the set's
-/// paths, as in Algorithm 2's `GetCounters`. A free function (not a
-/// method) so callers can hold disjoint borrows of the engine's other
-/// fields while it fills the scratch arena.
-fn collect_counters_into(
+/// Per-component counters of one set — `g` = member paths with fail
+/// count 0 containing the comp, `s` = member paths with fail count
+/// exactly 1 containing it — partitioned by the flip predicate
+/// `l == c || in_h[l]`. Two passes over the set's paths, as in
+/// Algorithm 2's `GetCounters`.
+///
+/// Components *outside* the predicate (the overwhelming majority: not in
+/// the hypothesis, not the flipped comp) land in the SoA pair
+/// `out_l`/`out_g` — the lanes the SIMD fabric kernel consumes; `s` is
+/// not emitted for them because their contribution formula never reads
+/// it. Components matching the predicate land in `out_sp` as full
+/// `(comp, g, s)` counters for the scalar branchy path. Within each
+/// partition, components keep `comps` order, so pre- and post-flip
+/// collections align element-wise (the predicate is flip-stable).
+///
+/// A free function (not a method) so callers can hold disjoint borrows
+/// of the engine's other fields while it fills the scratch arenas.
+#[allow(clippy::too_many_arguments)]
+fn collect_counters_partitioned(
     member_paths: &[u32],
     path_fail: &[u32],
     path_comps: &[Vec<CompIdx>],
     comps: &[CompIdx],
+    c: CompIdx,
+    in_h: &[bool],
     scratch_g: &mut [u32],
     scratch_s: &mut [u32],
-    out: &mut Vec<Counter>,
+    out_l: &mut Vec<u32>,
+    out_g: &mut Vec<u32>,
+    out_sp: &mut Vec<Counter>,
 ) {
     for &p in member_paths {
         let fc = path_fail[p as usize];
         if fc == 0 {
-            for &c in &path_comps[p as usize] {
-                scratch_g[c as usize] += 1;
+            for &l in &path_comps[p as usize] {
+                scratch_g[l as usize] += 1;
             }
         } else if fc == 1 {
-            for &c in &path_comps[p as usize] {
-                scratch_s[c as usize] += 1;
+            for &l in &path_comps[p as usize] {
+                scratch_s[l as usize] += 1;
             }
         }
     }
-    let start = out.len();
-    out.extend(
-        comps
-            .iter()
-            .map(|&c| (c, scratch_g[c as usize], scratch_s[c as usize])),
-    );
+    for &l in comps {
+        let g = scratch_g[l as usize];
+        if l == c || in_h[l as usize] {
+            out_sp.push((l, g, scratch_s[l as usize]));
+        } else {
+            out_l.push(l);
+            out_g.push(g);
+        }
+    }
     // Reset scratch.
-    for &(c, ..) in &out[start..] {
-        scratch_g[c as usize] = 0;
-        scratch_s[c as usize] = 0;
+    for &l in comps {
+        scratch_g[l as usize] = 0;
+        scratch_s[l as usize] = 0;
     }
 }
 
@@ -1901,7 +2144,10 @@ mod tests {
     fn coalesced_engine_matches_raw_engine() {
         let (topo, obs) = coalescable_obs(31);
         let params = HyperParams::default();
-        let raw_opts = EngineOptions { coalesce: false };
+        let raw_opts = EngineOptions {
+            coalesce: false,
+            ..Default::default()
+        };
         let mut co = Engine::new(&topo, &obs, params);
         let mut raw = Engine::with_options(&topo, &obs, params, None, raw_opts);
 

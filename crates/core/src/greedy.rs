@@ -179,39 +179,20 @@ fn beats(engine: &Engine, cand: (CompIdx, f64), best: Option<(CompIdx, f64)>) ->
 }
 
 /// Best component to *add* under the current Δ array, with its
-/// prior-inclusive gain.
+/// prior-inclusive gain. One fused `delta + bias` scan through the
+/// engine's dispatch kernel ([`Engine::argmax_addable`]); in-hypothesis
+/// components carry a `-inf` bias, which can win only when nothing is
+/// addable — and then the `gain <= 0` stopping rule fires exactly as it
+/// would for an empty candidate set.
 fn argmax_addable(engine: &Engine) -> Option<(CompIdx, f64)> {
-    let delta = engine.delta();
-    let mut best: Option<(CompIdx, f64)> = None;
-    for c in 0..engine.n_comps() as CompIdx {
-        if engine.in_hypothesis(c) {
-            continue;
-        }
-        let gain = delta[c as usize] + engine.prior_logodds(c);
-        if beats(engine, (c, gain), best) {
-            best = Some((c, gain));
-        }
-    }
-    best
+    engine.argmax_addable()
 }
 
 /// Best add-or-remove move under the current Δ array, with its
 /// prior-inclusive posterior gain (adding pays the prior, removing
-/// reclaims it).
+/// reclaims it). Kernel scan via [`Engine::argmax_move`].
 fn argmax_move(engine: &Engine) -> Option<(CompIdx, f64)> {
-    let delta = engine.delta();
-    let mut best: Option<(CompIdx, f64)> = None;
-    for c in 0..engine.n_comps() as CompIdx {
-        let gain = if engine.in_hypothesis(c) {
-            delta[c as usize] - engine.prior_logodds(c)
-        } else {
-            delta[c as usize] + engine.prior_logodds(c)
-        };
-        if beats(engine, (c, gain), best) {
-            best = Some((c, gain));
-        }
-    }
-    best
+    engine.argmax_move()
 }
 
 /// Same move selection evaluated per candidate from state (no Δ array).

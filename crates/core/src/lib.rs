@@ -37,7 +37,10 @@
 //! [`ObservationSet`](flock_telemetry::ObservationSet) — the property that
 //! lets the evaluation compare them on identical input telemetry.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and opted back in only by the AVX2
+// intrinsic kernels in `simd::avx2`, which carry per-function safety
+// contracts enforced by their safe wrappers.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -48,6 +51,7 @@ pub mod localizer;
 pub mod metrics;
 pub mod params;
 pub mod sherlock;
+pub mod simd;
 pub mod space;
 
 pub use engine::{
@@ -55,9 +59,10 @@ pub use engine::{
 };
 pub use gibbs::GibbsSampler;
 pub use greedy::FlockGreedy;
-pub use likelihood::{flow_score, llf};
+pub use likelihood::{flow_score, llf, TermTable};
 pub use localizer::{LocalizationResult, Localizer};
 pub use metrics::{evaluate, fscore, MetricsAccumulator, PrecisionRecall};
 pub use params::HyperParams;
 pub use sherlock::SherlockFerret;
+pub use simd::KernelDispatch;
 pub use space::{CompIdx, ComponentSpace};

@@ -18,6 +18,7 @@
 //! Algorithm 2) exploits.
 
 use crate::params::HyperParams;
+use std::collections::HashMap;
 
 /// The flow score `s`: log-likelihood ratio of observing `(bad, sent)` on
 /// a failed path vs. a good path.
@@ -50,6 +51,79 @@ pub fn llf(score: f64, w: u32, b: u32) -> f64 {
     let a2 = ((w - b) as f64).ln();
     let (hi, lo) = if a1 >= a2 { (a1, a2) } else { (a2, a1) };
     hi + (lo - hi).exp().ln_1p() - (w as f64).ln()
+}
+
+/// Memoized `llf` tables keyed by the flow evidence `(sent, bad, w)`.
+///
+/// A super-flow's log-likelihood depends on the hypothesis only through
+/// its failed-path count `b ∈ 0..=w`, so the whole transcendental cost of
+/// [`llf`] can be paid once per *distinct evidence key* and every flip
+/// sweep afterwards is a pure table gather. The table is flat `f64`
+/// storage: a flow holds an offset and reads `values()[off + b]`.
+///
+/// Entries are produced by calling [`llf`] itself, so a table lookup is
+/// **bit-identical** to direct evaluation by construction — the property
+/// the SIMD kernels (see [`crate::simd`]) rely on to keep scalar and
+/// vector sweeps exactly equal.
+///
+/// The table is extend-only: keys interned in earlier epochs stay valid
+/// across view rebinds, so offsets held by live super-flows never move.
+#[derive(Debug, Default, Clone)]
+pub struct TermTable {
+    /// Flat storage; the table for a key sits at `off..off + w + 1`.
+    values: Vec<f64>,
+    /// `(sent, bad, w)` → offset of that key's table in `values`.
+    index: HashMap<(u64, u64, u32), u32>,
+    /// Distinct keys interned so far (for diagnostics/bench reporting).
+    tables: usize,
+}
+
+impl TermTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern the evidence key `(sent, bad, w)`, building its `w + 1`
+    /// entries on first sight, and return `(offset, score)`.
+    ///
+    /// `w` must be positive (a flow with no candidate paths carries no
+    /// evidence and is dropped before it reaches the engine). The score
+    /// is finite for any valid [`HyperParams`]; if a degenerate parameter
+    /// set ever produces a non-finite score the table stores the exact
+    /// `llf` outputs for it unchanged, so lookups still agree bitwise
+    /// with direct evaluation — the non-finite guard property tests pin
+    /// this down.
+    pub fn intern(&mut self, params: &HyperParams, sent: u64, bad: u64, w: u32) -> (u32, f64) {
+        debug_assert!(w > 0, "term table requires w > 0");
+        let score = flow_score(params, sent, bad);
+        if let Some(&off) = self.index.get(&(sent, bad, w)) {
+            return (off, score);
+        }
+        let off = u32::try_from(self.values.len()).expect("term table exceeds u32 offsets");
+        for b in 0..=w {
+            self.values.push(llf(score, w, b));
+        }
+        self.index.insert((sent, bad, w), off);
+        self.tables += 1;
+        (off, score)
+    }
+
+    /// The flat value storage; a flow's table is `&values()[off..=off + w]`.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total `f64` entries across all interned keys.
+    pub fn entries(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Distinct `(sent, bad, w)` keys interned.
+    pub fn tables(&self) -> usize {
+        self.tables
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! AVX2 kernel implementations.
+//!
+//! This is the only module in `flock-core` allowed to contain `unsafe`
+//! code: the intrinsics require it, and every entry point is `unsafe fn`
+//! with an explicit safety contract. The safe wrappers in [`super`]
+//! validate all slice lengths and gather indices before calling in, so
+//! the unchecked accesses below are bounds-proven at the boundary.
+//!
+//! Bit-identity with the portable path (see [`super`] docs): only
+//! lanewise `vsubpd`/`vmulpd`/`vxorpd`/`vaddpd` plus gathers are used —
+//! never FMA — and all cross-element accumulation into `delta` happens
+//! scalar in index order after extracting the vector lanes.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m128i, _mm256_add_pd, _mm256_i32gather_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_mul_pd,
+    _mm256_set1_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _mm_add_epi32, _mm_loadu_si128,
+    _mm_set1_epi32,
+};
+
+/// # Safety
+///
+/// Caller must guarantee `g_old.len() == g_new.len() == lanes.len()`,
+/// `old_bad + g_old[i] < tbl.len()`, `new_bad + g_new[i] < tbl.len()`,
+/// and `lanes[i] < delta.len()` for all `i`, and that the CPU supports
+/// AVX2.
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn fabric_delta_sweep(
+    tbl: &[f64],
+    old_bad: u32,
+    new_bad: u32,
+    g_old: &[u32],
+    g_new: &[u32],
+    lanes: &[u32],
+    active: f64,
+    ll_old: f64,
+    ll_new: f64,
+    delta: &mut [f64],
+) {
+    unsafe {
+        let n = lanes.len();
+        let base = tbl.as_ptr();
+        let v_old_bad = _mm_set1_epi32(old_bad as i32);
+        let v_new_bad = _mm_set1_epi32(new_bad as i32);
+        let v_ll_old = _mm256_set1_pd(ll_old);
+        let v_ll_new = _mm256_set1_pd(ll_new);
+        let v_active = _mm256_set1_pd(active);
+        let mut out = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= n {
+            let gi_old = _mm_loadu_si128(g_old.as_ptr().add(i) as *const __m128i);
+            let gi_new = _mm_loadu_si128(g_new.as_ptr().add(i) as *const __m128i);
+            let t_old = _mm256_i32gather_pd::<8>(base, _mm_add_epi32(gi_old, v_old_bad));
+            let t_new = _mm256_i32gather_pd::<8>(base, _mm_add_epi32(gi_new, v_new_bad));
+            // ((t_new - ll_new) - (t_old - ll_old)) * active, as separate
+            // sub/mul — no FMA — to match the portable path bitwise.
+            let diff = _mm256_sub_pd(
+                _mm256_sub_pd(t_new, v_ll_new),
+                _mm256_sub_pd(t_old, v_ll_old),
+            );
+            _mm256_storeu_pd(out.as_mut_ptr(), _mm256_mul_pd(diff, v_active));
+            for (j, &o) in out.iter().enumerate() {
+                let l = *lanes.get_unchecked(i + j) as usize;
+                *delta.get_unchecked_mut(l) += o;
+            }
+            i += 4;
+        }
+        while i < n {
+            let t_old = *tbl.get_unchecked((old_bad + *g_old.get_unchecked(i)) as usize);
+            let t_new = *tbl.get_unchecked((new_bad + *g_new.get_unchecked(i)) as usize);
+            let l = *lanes.get_unchecked(i) as usize;
+            *delta.get_unchecked_mut(l) += ((t_new - ll_new) - (t_old - ll_old)) * active;
+            i += 1;
+        }
+    }
+}
+
+/// # Safety
+///
+/// Caller must guarantee `g.len() == lanes.len()`,
+/// `base + g[i] < tbl.len()` and `lanes[i] < delta.len()` for all `i`,
+/// and that the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn member_delta_sweep(
+    tbl: &[f64],
+    base: u32,
+    g: &[u32],
+    lanes: &[u32],
+    weight: f64,
+    ll_active: f64,
+    negate: bool,
+    delta: &mut [f64],
+) {
+    unsafe {
+        let n = lanes.len();
+        let ptr = tbl.as_ptr();
+        let v_base = _mm_set1_epi32(base as i32);
+        let v_ll = _mm256_set1_pd(ll_active);
+        let v_weight = _mm256_set1_pd(weight);
+        // xor with -0.0 flips the sign bit (scalar `-x`); xor with 0.0 is
+        // the identity, so the branch is hoisted out of the loop.
+        let v_sign = _mm256_set1_pd(if negate { -0.0 } else { 0.0 });
+        let mut out = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= n {
+            let gi = _mm_loadu_si128(g.as_ptr().add(i) as *const __m128i);
+            let t = _mm256_i32gather_pd::<8>(ptr, _mm_add_epi32(gi, v_base));
+            let x = _mm256_xor_pd(_mm256_sub_pd(t, v_ll), v_sign);
+            _mm256_storeu_pd(out.as_mut_ptr(), _mm256_mul_pd(x, v_weight));
+            for (j, &o) in out.iter().enumerate() {
+                let l = *lanes.get_unchecked(i + j) as usize;
+                *delta.get_unchecked_mut(l) += o;
+            }
+            i += 4;
+        }
+        while i < n {
+            let x = *tbl.get_unchecked((base + *g.get_unchecked(i)) as usize) - ll_active;
+            let x = if negate { -x } else { x };
+            let l = *lanes.get_unchecked(i) as usize;
+            *delta.get_unchecked_mut(l) += x * weight;
+            i += 1;
+        }
+    }
+}
+
+/// # Safety
+///
+/// Caller must guarantee `sums.len() >= gs.len()`, `gs[i] < tbl.len()`
+/// for all `i`, and that the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn weighted_table_accumulate(
+    tbl: &[f64],
+    gs: &[u32],
+    weight: f64,
+    sums: &mut [f64],
+) {
+    unsafe {
+        let n = gs.len();
+        let ptr = tbl.as_ptr();
+        let v_weight = _mm256_set1_pd(weight);
+        let mut i = 0;
+        while i + 4 <= n {
+            let gi = _mm_loadu_si128(gs.as_ptr().add(i) as *const __m128i);
+            let t = _mm256_i32gather_pd::<8>(ptr, gi);
+            let s = _mm256_loadu_pd(sums.as_ptr().add(i));
+            let s = _mm256_add_pd(s, _mm256_mul_pd(t, v_weight));
+            _mm256_storeu_pd(sums.as_mut_ptr().add(i), s);
+            i += 4;
+        }
+        while i < n {
+            *sums.get_unchecked_mut(i) +=
+                *tbl.get_unchecked(*gs.get_unchecked(i) as usize) * weight;
+            i += 1;
+        }
+    }
+}
+
+/// Pass 1 of [`super::argmax_gain`]: `vmaxpd` reduction over
+/// `delta[i] + bias[i]` in the fixed block-of-4 shape.
+///
+/// # Safety
+///
+/// Caller must guarantee `delta.len() == bias.len()` and that the CPU
+/// supports AVX2.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn max_gain(delta: &[f64], bias: &[f64]) -> f64 {
+    unsafe {
+        let n = delta.len();
+        let mut vacc = _mm256_set1_pd(f64::NEG_INFINITY);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(delta.as_ptr().add(i));
+            let b = _mm256_loadu_pd(bias.as_ptr().add(i));
+            vacc = _mm256_max_pd(vacc, _mm256_add_pd(d, b));
+            i += 4;
+        }
+        let mut acc = [0.0f64; 4];
+        _mm256_storeu_pd(acc.as_mut_ptr(), vacc);
+        let mut j = 0;
+        while i < n {
+            let x = *delta.get_unchecked(i) + *bias.get_unchecked(i);
+            // Scalar `vmaxpd` emulation: second operand wins ties/NaN.
+            acc[j] = if acc[j] > x { acc[j] } else { x };
+            i += 1;
+            j += 1;
+        }
+        let m01 = if acc[0] > acc[1] { acc[0] } else { acc[1] };
+        let m23 = if acc[2] > acc[3] { acc[2] } else { acc[3] };
+        if m01 > m23 {
+            m01
+        } else {
+            m23
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Runtime-dispatched SIMD kernels for the inference hot loops.
+//!
+//! Three loops dominate inference time once evidence is coalesced and
+//! view-local (PRs 3–5): the `flip` counter sweep over comp→sets→flows
+//! CSR walks, the `compute_initial_delta` full sweep, and the greedy
+//! argmax over the dense Δ array. This module gives each a vector path
+//! (AVX2, selected once per process behind `is_x86_feature_detected!`)
+//! and a portable chunked-scalar fallback, both fed by the precomputed
+//! [`TermTable`](crate::likelihood::TermTable) so the inner loops are
+//! pure gather/multiply/add over contiguous `f64` lanes — no
+//! transcendentals, no branches.
+//!
+//! # Bit-identity contract
+//!
+//! The two paths produce **bit-identical** results, not merely close
+//! ones, so a deployment's verdicts do not depend on which CPU it landed
+//! on. This is engineered, not hoped for:
+//!
+//! * Per-element kernels ([`fabric_delta_sweep`], [`member_delta_sweep`],
+//!   [`weighted_table_accumulate`]) use only lanewise add/sub/mul/negate,
+//!   each of which is IEEE-754 exact and therefore identical lane by
+//!   lane between a `vmulpd` and a scalar `mulsd`. No FMA contraction is
+//!   ever used — fusing the multiply and add would change the rounding.
+//! * Cross-element accumulation into `delta[lane]` happens scalar, in
+//!   index order, in both paths, so no reassociation occurs.
+//! * The argmax reduction ([`argmax_gain`]) uses a fixed block-of-4
+//!   lane-accumulator shape with a fixed pairwise combine, and the
+//!   portable path emulates `vmaxpd` operand semantics exactly
+//!   (`if acc > x { acc } else { x }`, which returns the *second*
+//!   operand on ties and NaN). Both paths therefore agree even on
+//!   `-0.0`/NaN corners.
+//!
+//! The property tests in `tests/prop_simd.rs` compare forced-portable
+//! and forced-AVX2 engines bitwise (`f64::to_bits`) on randomized
+//! topologies and telemetry to hold the contract.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod portable;
+
+/// Which kernel implementation a process (or an engine) runs.
+///
+/// Resolved once per process by [`KernelDispatch::resolve`]; engines can
+/// force a level through `EngineOptions::kernel` (used by the
+/// bit-identity property tests and the bench scalar-vs-SIMD probes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum KernelDispatch {
+    /// Portable chunked-scalar kernels; always available, mirrors the
+    /// vector lane structure so results match AVX2 bitwise.
+    Portable,
+    /// 256-bit AVX2 kernels (x86-64 with runtime-detected AVX2).
+    Avx2,
+}
+
+static RESOLVED: OnceLock<KernelDispatch> = OnceLock::new();
+
+impl KernelDispatch {
+    /// The process-wide dispatch level, resolved once.
+    ///
+    /// Honors `FLOCK_NO_SIMD`: when the variable is set to anything but
+    /// empty or `0`, the portable path is used even if the CPU supports
+    /// AVX2 (the CI matrix runs tier-1 this way to keep the fallback
+    /// covered).
+    pub fn resolve() -> Self {
+        *RESOLVED.get_or_init(|| {
+            let forced_off = std::env::var("FLOCK_NO_SIMD")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            if forced_off {
+                return KernelDispatch::Portable;
+            }
+            #[cfg(target_arch = "x86_64")]
+            if std::is_x86_feature_detected!("avx2") {
+                return KernelDispatch::Avx2;
+            }
+            KernelDispatch::Portable
+        })
+    }
+
+    /// Whether this level can run on the current CPU.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelDispatch::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelDispatch::Avx2 => std::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelDispatch::Avx2 => false,
+        }
+    }
+
+    /// This level if the CPU supports it, otherwise [`Portable`].
+    ///
+    /// Every kernel entry point clamps, so forcing `Avx2` through
+    /// `EngineOptions` on a non-AVX2 host degrades safely instead of
+    /// executing illegal instructions.
+    ///
+    /// [`Portable`]: KernelDispatch::Portable
+    pub fn clamped(self) -> Self {
+        if self.is_supported() {
+            self
+        } else {
+            KernelDispatch::Portable
+        }
+    }
+
+    /// Stable lowercase label (`"portable"` / `"avx2"`), used in logs,
+    /// bench reports, and `ShardOutcome`.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelDispatch::Portable => "portable",
+            KernelDispatch::Avx2 => "avx2",
+        }
+    }
+
+    /// Numeric level for the metrics gauge: `0` portable, `1` AVX2.
+    pub fn level(self) -> u8 {
+        match self {
+            KernelDispatch::Portable => 0,
+            KernelDispatch::Avx2 => 1,
+        }
+    }
+}
+
+impl fmt::Display for KernelDispatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Flip-sweep fabric kernel: for each element `i`,
+///
+/// ```text
+/// delta[lanes[i]] += ((tbl[new_bad + g_new[i]] - ll_new)
+///                   - (tbl[old_bad + g_old[i]] - ll_old)) * active
+/// ```
+///
+/// where `tbl` is one flow's term-table segment (`w + 1` entries),
+/// `g_old`/`g_new` are the per-component failed-path counts before and
+/// after the flip, and `ll_old`/`ll_new` are the flow's own contribution
+/// under the pre-/post-flip hypothesis. This is the Δ-maintenance inner
+/// loop of `Engine::flip` for all components that are *not* in the
+/// hypothesis (those keep the scalar branchy path; see
+/// `engine::flip_inner`).
+///
+/// Bounds are checked up front so the gather path stays sound for any
+/// caller; lengths of `g_old`, `g_new`, and `lanes` must match.
+#[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)] // dispatch into `avx2` after the bounds checks above
+pub fn fabric_delta_sweep(
+    dispatch: KernelDispatch,
+    tbl: &[f64],
+    old_bad: u32,
+    new_bad: u32,
+    g_old: &[u32],
+    g_new: &[u32],
+    lanes: &[u32],
+    active: f64,
+    ll_old: f64,
+    ll_new: f64,
+    delta: &mut [f64],
+) {
+    let n = lanes.len();
+    assert_eq!(g_old.len(), n, "g_old/lanes length mismatch");
+    assert_eq!(g_new.len(), n, "g_new/lanes length mismatch");
+    if n == 0 {
+        return;
+    }
+    let (mut max_old, mut max_new, mut max_lane) = (0u32, 0u32, 0u32);
+    for i in 0..n {
+        max_old = max_old.max(g_old[i]);
+        max_new = max_new.max(g_new[i]);
+        max_lane = max_lane.max(lanes[i]);
+    }
+    let entries = u32::try_from(tbl.len()).expect("term segment too large");
+    assert!(
+        old_bad + max_old < entries && new_bad + max_new < entries,
+        "term-table index out of range"
+    );
+    assert!((max_lane as usize) < delta.len(), "lane index out of range");
+    match dispatch.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe {
+            avx2::fabric_delta_sweep(
+                tbl, old_bad, new_bad, g_old, g_new, lanes, active, ll_old, ll_new, delta,
+            )
+        },
+        _ => portable::fabric_delta_sweep(
+            tbl, old_bad, new_bad, g_old, g_new, lanes, active, ll_old, ll_new, delta,
+        ),
+    }
+}
+
+/// Extra-member flip kernel: for each element `i`,
+///
+/// ```text
+/// x = tbl[base + g[i]] - ll_active
+/// delta[lanes[i]] += (if negate { -x } else { x }) * weight
+/// ```
+///
+/// Used by `flip_extra_for_member` when flipping a component that rides
+/// a member's *extras* (host links, NIC-side components): the member's
+/// path either starts failing (`negate = true`, the flow's old
+/// contribution is retracted) or stops failing (`negate = false`, the
+/// new contribution lands), and all in-set components not in the
+/// hypothesis shift by the same table row `base`.
+#[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)] // dispatch into `avx2` after the bounds checks above
+pub fn member_delta_sweep(
+    dispatch: KernelDispatch,
+    tbl: &[f64],
+    base: u32,
+    g: &[u32],
+    lanes: &[u32],
+    weight: f64,
+    ll_active: f64,
+    negate: bool,
+    delta: &mut [f64],
+) {
+    let n = lanes.len();
+    assert_eq!(g.len(), n, "g/lanes length mismatch");
+    if n == 0 {
+        return;
+    }
+    let (mut max_g, mut max_lane) = (0u32, 0u32);
+    for i in 0..n {
+        max_g = max_g.max(g[i]);
+        max_lane = max_lane.max(lanes[i]);
+    }
+    let entries = u32::try_from(tbl.len()).expect("term segment too large");
+    assert!(base + max_g < entries, "term-table index out of range");
+    assert!((max_lane as usize) < delta.len(), "lane index out of range");
+    match dispatch.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe {
+            avx2::member_delta_sweep(tbl, base, g, lanes, weight, ll_active, negate, delta)
+        },
+        _ => portable::member_delta_sweep(tbl, base, g, lanes, weight, ll_active, negate, delta),
+    }
+}
+
+/// Initial-Δ kernel: for each element `i`,
+///
+/// ```text
+/// sums[i] += tbl[gs[i]] * weight
+/// ```
+///
+/// `compute_initial_delta` groups a set's components by their distinct
+/// failed-path counts and accumulates one weighted `llf` term per
+/// distinct count per flow; `gs` holds the distinct counts and `sums`
+/// the per-count accumulators.
+#[allow(unsafe_code)] // dispatch into `avx2` after the bounds checks above
+pub fn weighted_table_accumulate(
+    dispatch: KernelDispatch,
+    tbl: &[f64],
+    gs: &[u32],
+    weight: f64,
+    sums: &mut [f64],
+) {
+    let n = gs.len();
+    assert!(sums.len() >= n, "sums shorter than gs");
+    if n == 0 {
+        return;
+    }
+    let mut max_g = 0u32;
+    for &g in gs {
+        max_g = max_g.max(g);
+    }
+    assert!(
+        (max_g as usize) < tbl.len(),
+        "term-table index out of range"
+    );
+    match dispatch.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe { avx2::weighted_table_accumulate(tbl, gs, weight, sums) },
+        _ => portable::weighted_table_accumulate(tbl, gs, weight, sums),
+    }
+}
+
+/// Greedy argmax kernel: maximize `delta[i] + bias[i]`, breaking exact
+/// ties toward the smallest **global** component id, exactly like the
+/// scalar `beats` comparison in `greedy`.
+///
+/// Returns `(local index, max gain)`, or `None` when the slice is empty
+/// or the maximum is NaN (a NaN gain means the likelihood state itself
+/// is non-finite; both dispatch paths agree on the NaN outcome because
+/// the reduction shape is fixed, so the verdict — stop the scan — is
+/// still deterministic).
+///
+/// Pass 1 reduces to the maximum with the fixed block-of-4 shape; pass 2
+/// rescans for elements whose recomputed gain equals the maximum
+/// bitwise-reproducibly (same add, so the winner always matches) and
+/// keeps the smallest global id. Pass 2 is shared scalar code in both
+/// dispatch paths.
+#[allow(unsafe_code)] // dispatch into `avx2` after the bounds checks above
+pub fn argmax_gain(
+    dispatch: KernelDispatch,
+    delta: &[f64],
+    bias: &[f64],
+    globals: &[u32],
+) -> Option<(u32, f64)> {
+    let n = delta.len();
+    assert_eq!(bias.len(), n, "bias/delta length mismatch");
+    assert_eq!(globals.len(), n, "globals/delta length mismatch");
+    if n == 0 {
+        return None;
+    }
+    let m = match dispatch.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe { avx2::max_gain(delta, bias) },
+        _ => portable::max_gain(delta, bias),
+    };
+    let mut best: Option<(u32, u32)> = None; // (global id, local index)
+    for i in 0..n {
+        if delta[i] + bias[i] == m {
+            let g = globals[i];
+            if best.is_none_or(|(bg, _)| g < bg) {
+                best = Some((g, i as u32));
+            }
+        }
+    }
+    best.map(|(_, local)| (local, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_is_stable_and_supported() {
+        let d = KernelDispatch::resolve();
+        assert_eq!(d, KernelDispatch::resolve());
+        assert!(d.is_supported());
+        assert_eq!(d.clamped(), d);
+    }
+
+    #[test]
+    fn labels_and_levels() {
+        assert_eq!(KernelDispatch::Portable.label(), "portable");
+        assert_eq!(KernelDispatch::Avx2.label(), "avx2");
+        assert_eq!(KernelDispatch::Portable.level(), 0);
+        assert_eq!(KernelDispatch::Avx2.level(), 1);
+        assert_eq!(format!("{}", KernelDispatch::Avx2), "avx2");
+    }
+
+    #[test]
+    fn argmax_prefers_smallest_global_on_ties() {
+        let delta = [1.0, 3.0, 3.0, 0.5];
+        let bias = [0.0; 4];
+        // Local 2 has the smaller global id among the tied maxima.
+        let globals = [10, 9, 4, 11];
+        for d in [KernelDispatch::Portable, KernelDispatch::Avx2] {
+            let got = argmax_gain(d, &delta, &bias, &globals);
+            assert_eq!(got, Some((2, 3.0)));
+        }
+    }
+
+    #[test]
+    fn argmax_empty_and_nan() {
+        assert_eq!(argmax_gain(KernelDispatch::Portable, &[], &[], &[]), None);
+        let delta = [1.0, f64::NAN, 2.0];
+        let bias = [0.0; 3];
+        let globals = [0, 1, 2];
+        let p = argmax_gain(KernelDispatch::Portable, &delta, &bias, &globals);
+        let v = argmax_gain(KernelDispatch::Avx2, &delta, &bias, &globals);
+        // Both paths agree exactly, whatever the NaN outcome is.
+        match (p, v) {
+            (None, None) => {}
+            (Some((pi, pm)), Some((vi, vm))) => {
+                assert_eq!(pi, vi);
+                assert_eq!(pm.to_bits(), vm.to_bits());
+            }
+            other => panic!("paths disagree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernels_match_bitwise_on_synthetic_data() {
+        if !KernelDispatch::Avx2.is_supported() {
+            return; // nothing to compare against on this host
+        }
+        let n = 37; // odd length exercises the scalar tail
+        let tbl: Vec<f64> = (0..64)
+            .map(|i| ((i * 37) % 19) as f64 * 0.173 - 1.2)
+            .collect();
+        let g_old: Vec<u32> = (0..n).map(|i| (i * 7 % 23) as u32).collect();
+        let g_new: Vec<u32> = (0..n).map(|i| (i * 11 % 23) as u32).collect();
+        let lanes: Vec<u32> = (0..n).map(|i| (i * 13 % n) as u32).collect();
+        let mut d_p = vec![0.25f64; n];
+        let mut d_v = d_p.clone();
+        fabric_delta_sweep(
+            KernelDispatch::Portable,
+            &tbl,
+            3,
+            4,
+            &g_old,
+            &g_new,
+            &lanes,
+            0.75,
+            -0.5,
+            0.25,
+            &mut d_p,
+        );
+        fabric_delta_sweep(
+            KernelDispatch::Avx2,
+            &tbl,
+            3,
+            4,
+            &g_old,
+            &g_new,
+            &lanes,
+            0.75,
+            -0.5,
+            0.25,
+            &mut d_v,
+        );
+        for i in 0..n {
+            assert_eq!(d_p[i].to_bits(), d_v[i].to_bits(), "fabric lane {i}");
+        }
+
+        for negate in [false, true] {
+            let mut m_p = d_p.clone();
+            let mut m_v = d_p.clone();
+            let g: Vec<u32> = (0..n).map(|i| (i * 5 % 40) as u32).collect();
+            member_delta_sweep(
+                KernelDispatch::Portable,
+                &tbl,
+                9,
+                &g,
+                &lanes,
+                1.5,
+                0.125,
+                negate,
+                &mut m_p,
+            );
+            member_delta_sweep(
+                KernelDispatch::Avx2,
+                &tbl,
+                9,
+                &g,
+                &lanes,
+                1.5,
+                0.125,
+                negate,
+                &mut m_v,
+            );
+            for i in 0..n {
+                assert_eq!(m_p[i].to_bits(), m_v[i].to_bits(), "member lane {i}");
+            }
+        }
+
+        let gs: Vec<u32> = (0..n).map(|i| (i * 3 % 60) as u32).collect();
+        let mut s_p = vec![0.5f64; n];
+        let mut s_v = s_p.clone();
+        weighted_table_accumulate(KernelDispatch::Portable, &tbl, &gs, 2.25, &mut s_p);
+        weighted_table_accumulate(KernelDispatch::Avx2, &tbl, &gs, 2.25, &mut s_v);
+        for i in 0..n {
+            assert_eq!(s_p[i].to_bits(), s_v[i].to_bits(), "sum lane {i}");
+        }
+
+        let globals: Vec<u32> = (0..n as u32).rev().collect();
+        let p = argmax_gain(KernelDispatch::Portable, &d_p, &s_p, &globals);
+        let v = argmax_gain(KernelDispatch::Avx2, &d_v, &s_v, &globals);
+        let (pi, pm) = p.expect("portable argmax");
+        let (vi, vm) = v.expect("avx2 argmax");
+        assert_eq!(pi, vi);
+        assert_eq!(pm.to_bits(), vm.to_bits());
+    }
+}

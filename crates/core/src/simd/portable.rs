@@ -1,0 +1,104 @@
+//! Portable chunked-scalar kernels.
+//!
+//! Every function here mirrors its AVX2 twin operation-for-operation:
+//! per-element kernels perform the identical sequence of IEEE-754
+//! add/sub/mul per lane (which vector and scalar units round the same
+//! way), and the argmax reduction replays the same block-of-4 lane
+//! accumulators with [`maxpd`]-exact combine semantics. See the module
+//! docs in [`super`] for the full bit-identity argument.
+
+/// Scalar emulation of the x86 `vmaxpd` instruction semantics:
+/// returns `a` only when `a > b`, i.e. the *second* operand wins on
+/// ties (`-0.0` vs `0.0`) and whenever either operand is NaN with
+/// `a > b` false.
+#[inline]
+fn maxpd(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// See [`super::fabric_delta_sweep`] for the formula and bounds contract.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn fabric_delta_sweep(
+    tbl: &[f64],
+    old_bad: u32,
+    new_bad: u32,
+    g_old: &[u32],
+    g_new: &[u32],
+    lanes: &[u32],
+    active: f64,
+    ll_old: f64,
+    ll_new: f64,
+    delta: &mut [f64],
+) {
+    for i in 0..lanes.len() {
+        let t_old = tbl[(old_bad + g_old[i]) as usize];
+        let t_new = tbl[(new_bad + g_new[i]) as usize];
+        delta[lanes[i] as usize] += ((t_new - ll_new) - (t_old - ll_old)) * active;
+    }
+}
+
+/// See [`super::member_delta_sweep`] for the formula and bounds contract.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn member_delta_sweep(
+    tbl: &[f64],
+    base: u32,
+    g: &[u32],
+    lanes: &[u32],
+    weight: f64,
+    ll_active: f64,
+    negate: bool,
+    delta: &mut [f64],
+) {
+    // The sign selection is hoisted out of the loop in both paths; `-x`
+    // is a sign-bit flip, exactly the AVX2 xor-with-(-0.0) lanes.
+    if negate {
+        for i in 0..lanes.len() {
+            let x = tbl[(base + g[i]) as usize] - ll_active;
+            delta[lanes[i] as usize] += -x * weight;
+        }
+    } else {
+        for i in 0..lanes.len() {
+            let x = tbl[(base + g[i]) as usize] - ll_active;
+            delta[lanes[i] as usize] += x * weight;
+        }
+    }
+}
+
+/// See [`super::weighted_table_accumulate`] for the formula and bounds
+/// contract.
+pub(super) fn weighted_table_accumulate(tbl: &[f64], gs: &[u32], weight: f64, sums: &mut [f64]) {
+    for (i, &g) in gs.iter().enumerate() {
+        sums[i] += tbl[g as usize] * weight;
+    }
+}
+
+/// Pass 1 of [`super::argmax_gain`]: maximum of `delta[i] + bias[i]`
+/// under the fixed block-of-4 reduction shape.
+///
+/// Lane `j` accumulates elements with index ≡ `j` (mod 4) in index
+/// order; the lanes combine pairwise `max(max(0,1), max(2,3))` — the
+/// exact shape (and `vmaxpd` semantics) of the AVX2 path.
+pub(super) fn max_gain(delta: &[f64], bias: &[f64]) -> f64 {
+    let n = delta.len();
+    let mut acc = [f64::NEG_INFINITY; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        for (j, a) in acc.iter_mut().enumerate() {
+            let x = delta[i + j] + bias[i + j];
+            *a = maxpd(*a, x);
+        }
+        i += 4;
+    }
+    let mut j = 0;
+    while i < n {
+        let x = delta[i] + bias[i];
+        acc[j] = maxpd(acc[j], x);
+        i += 1;
+        j += 1;
+    }
+    maxpd(maxpd(acc[0], acc[1]), maxpd(acc[2], acc[3]))
+}

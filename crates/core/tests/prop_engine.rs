@@ -131,9 +131,9 @@ proptest! {
         let (topo, obs) = random_obs_sized(seed, 60, kinds, quantized);
         let params = HyperParams::default();
         let mut co = Engine::with_options(
-            &topo, &obs, params, None, EngineOptions { coalesce: true });
+            &topo, &obs, params, None, EngineOptions { coalesce: true, ..Default::default() });
         let mut raw = Engine::with_options(
-            &topo, &obs, params, None, EngineOptions { coalesce: false });
+            &topo, &obs, params, None, EngineOptions { coalesce: false, ..Default::default() });
         prop_assert!(co.n_flows() <= raw.n_flows());
         prop_assert_eq!(co.n_observations(), raw.n_observations());
 
@@ -161,9 +161,9 @@ proptest! {
         // either way — both verdicts are then correct greedy outcomes,
         // recognized by equal posteriors.
         let mut co2 = Engine::with_options(
-            &topo, &obs, params, None, EngineOptions { coalesce: true });
+            &topo, &obs, params, None, EngineOptions { coalesce: true, ..Default::default() });
         let mut raw2 = Engine::with_options(
-            &topo, &obs, params, None, EngineOptions { coalesce: false });
+            &topo, &obs, params, None, EngineOptions { coalesce: false, ..Default::default() });
         let greedy = FlockGreedy::default();
         let (pc, _) = greedy.search(&mut co2);
         let (pr, _) = greedy.search(&mut raw2);

@@ -42,7 +42,7 @@ use crate::epoch::{Epoch, EpochConfig, EpochManager};
 use crate::shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};
 use flock_core::{
     CompIdx, ComponentSpace, Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams,
-    LocalizationResult,
+    KernelDispatch, LocalizationResult,
 };
 use flock_telemetry::{
     AnalysisMode, ArenaView, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow,
@@ -177,6 +177,12 @@ pub struct ShardOutcome {
     /// Provenance for each kept component, in `kept` order (see
     /// [`Provenance`]).
     pub provenance: Vec<Provenance>,
+    /// Kernel dispatch level the shard's engine ran its sweeps at
+    /// (`Avx2` or `Portable`) — recorded per shard so a mixed-fleet
+    /// reader can tell which path produced a verdict. Scalar and SIMD
+    /// paths are bit-identical by construction (property-tested), so a
+    /// difference here never implies a verdict difference.
+    pub kernel: KernelDispatch,
 }
 
 /// One epoch's merged verdict.
@@ -561,6 +567,7 @@ impl<'t> StreamPipeline<'t> {
         let warm = self.cfg.warm_start && self.refine_engine.is_some();
         let opts = EngineOptions {
             coalesce: self.cfg.coalesce,
+            ..Default::default()
         };
         match &mut self.refine_engine {
             Some(engine) if self.cfg.warm_start => engine
@@ -622,6 +629,7 @@ impl<'t> StreamPipeline<'t> {
             state: engine.state_sizes(),
             elapsed: started.elapsed(),
             provenance,
+            kernel: engine.kernel_dispatch(),
         };
         (kept, outcome)
     }
@@ -650,6 +658,7 @@ fn run_shard(
     let warm = cfg.warm_start && state.engine.is_some();
     let opts = EngineOptions {
         coalesce: cfg.coalesce,
+        ..Default::default()
     };
     match &mut state.engine {
         Some(engine) if cfg.warm_start => engine
@@ -695,6 +704,7 @@ fn run_shard(
         state: engine.state_sizes(),
         elapsed: started.elapsed(),
         provenance,
+        kernel: engine.kernel_dispatch(),
     };
     (kept, outcome)
 }

@@ -165,6 +165,15 @@ impl DenseRemap {
         self.to_global[l as usize]
     }
 
+    /// The full local→global table as a contiguous slice, indexed by
+    /// local id. Vectorized scans (e.g. the greedy argmax kernels, which
+    /// break gain ties toward the smallest *global* id) read this
+    /// directly instead of calling [`DenseRemap::global`] per element.
+    #[inline]
+    pub fn globals(&self) -> &[u32] {
+        &self.to_global
+    }
+
     /// Local id of `g`, assigning the next dense id on first touch.
     /// `g` must be covered by [`DenseRemap::ensure_ids`].
     #[inline]

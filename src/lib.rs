@@ -67,8 +67,8 @@ pub use flock_topology as topology;
 pub mod prelude {
     pub use flock_baselines::{NetBouncer, ZeroZeroSeven};
     pub use flock_core::{
-        evaluate, fscore, FlockGreedy, GibbsSampler, HyperParams, LocalizationResult, Localizer,
-        PrecisionRecall, SherlockFerret,
+        evaluate, fscore, FlockGreedy, GibbsSampler, HyperParams, KernelDispatch,
+        LocalizationResult, Localizer, PrecisionRecall, SherlockFerret,
     };
     pub use flock_netsim::{
         DesConfig, DesFaults, DynamicScenario, FailureScenario, FaultEvent, FlowSimConfig,
