@@ -723,6 +723,9 @@ fn store_record(epoch: u64) -> EpochRecord {
         observations: 2_400,
         hypotheses_scanned: 40_000,
         runtime_us: 3_000,
+        degraded: false,
+        evidence_coverage: 1.0,
+        degrade_reasons: Vec::new(),
         verdicts,
     }
 }

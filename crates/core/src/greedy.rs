@@ -45,6 +45,19 @@ impl Default for FlockGreedy {
     }
 }
 
+/// Result of [`FlockGreedy::search_warm_deadline`].
+#[derive(Debug, Clone)]
+pub struct BudgetedSearch {
+    /// Final hypothesis ordered by confidence (see
+    /// [`FlockGreedy::search_warm`]).
+    pub picked: Vec<(CompIdx, f64)>,
+    /// Hypotheses-scanned counter.
+    pub scanned: u64,
+    /// The deadline fired before the search reached a local optimum;
+    /// `picked` is a partial result.
+    pub timed_out: bool,
+}
+
 impl FlockGreedy {
     /// Flock with the given hyperparameters.
     pub fn new(params: HyperParams) -> Self {
@@ -79,8 +92,29 @@ impl FlockGreedy {
     /// component, the posterior loss its removal would cause — plus the
     /// hypotheses-scanned count.
     pub fn search_warm(&self, engine: &mut Engine, warm: &[CompIdx]) -> (Vec<(CompIdx, f64)>, u64) {
+        let out = self.search_warm_deadline(engine, warm, None);
+        (out.picked, out.scanned)
+    }
+
+    /// [`search_warm`](Self::search_warm) under a cooperative deadline:
+    /// the deadline is checked once per greedy iteration (each a full
+    /// Δ-array scan) and, when exceeded, the search stops and returns the
+    /// hypothesis built so far with `timed_out` set.
+    ///
+    /// The partial result is well-formed — every applied move strictly
+    /// improved the posterior — but it is not necessarily a local
+    /// optimum, so per-component confidences can be negative. Callers
+    /// surface `timed_out` as a degraded-verdict reason rather than
+    /// treating the output as authoritative.
+    pub fn search_warm_deadline(
+        &self,
+        engine: &mut Engine,
+        warm: &[CompIdx],
+        deadline: Option<Instant>,
+    ) -> BudgetedSearch {
         let n = engine.n_comps() as u64;
         let mut scanned = n; // initial Δ computation evaluates n neighbors
+        let mut timed_out = false;
         for &c in warm {
             if !engine.in_hypothesis(c) {
                 if self.use_jle {
@@ -91,6 +125,10 @@ impl FlockGreedy {
             }
         }
         for _ in 0..self.max_iterations {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                timed_out = true;
+                break;
+            }
             let best = if self.use_jle {
                 argmax_move(engine)
             } else {
@@ -129,7 +167,11 @@ impl FlockGreedy {
                 .unwrap()
                 .then(engine.global_comp(a.0).cmp(&engine.global_comp(b.0)))
         });
-        (picked, scanned)
+        BudgetedSearch {
+            picked,
+            scanned,
+            timed_out,
+        }
     }
 
     /// Run the greedy search on an already-built engine; returns the
@@ -458,6 +500,31 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadline_truncates_search_and_flags_timeout() {
+        let topo = three_tier(ClosParams::tiny());
+        let fabric = topo.fabric_links();
+        let bad = vec![fabric[4], fabric[17]];
+        let obs = telemetry_with_failures(&topo, &bad, 800, 31);
+        let flock = FlockGreedy::default();
+
+        // Already-expired deadline: zero iterations run, the (empty) seed
+        // is returned as-is, and the timeout is flagged.
+        let mut e1 = Engine::new(&topo, &obs, flock.params);
+        let out = flock.search_warm_deadline(&mut e1, &[], Some(Instant::now()));
+        assert!(out.timed_out);
+        assert!(out.picked.is_empty(), "no move was made");
+
+        // A generous deadline changes nothing vs the unbudgeted search.
+        let mut e2 = Engine::new(&topo, &obs, flock.params);
+        let far = Instant::now() + std::time::Duration::from_secs(600);
+        let budgeted = flock.search_warm_deadline(&mut e2, &[], Some(far));
+        assert!(!budgeted.timed_out);
+        let mut e3 = Engine::new(&topo, &obs, flock.params);
+        let (unbudgeted, _) = flock.search_warm(&mut e3, &[]);
+        assert_eq!(budgeted.picked, unbudgeted);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use engine::{
     ConvictingEvidence, Engine, EngineOptions, EngineStateSizes, EngineStats, FlowFilter,
 };
 pub use gibbs::GibbsSampler;
-pub use greedy::FlockGreedy;
+pub use greedy::{BudgetedSearch, FlockGreedy};
 pub use likelihood::{flow_score, llf, TermTable};
 pub use localizer::{LocalizationResult, Localizer};
 pub use metrics::{evaluate, fscore, MetricsAccumulator, PrecisionRecall};

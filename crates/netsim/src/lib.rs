@@ -14,12 +14,15 @@
 //!
 //! Supporting modules: [`dist`] (hand-rolled Pareto/exponential samplers),
 //! [`traffic`] (uniform and skewed traffic matrices with Pareto flow
-//! sizes), and [`failure`] (failure-scenario generators: silent link
-//! drops, device failures, soft gray failures, latency faults).
+//! sizes), [`failure`] (failure-scenario generators: silent link
+//! drops, device failures, soft gray failures, latency faults), and
+//! [`chaos`] (seeded fault-injection schedules and wire-frame mangling
+//! for chaos-testing the pipeline).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod des;
 pub mod dist;
 pub mod dynamic;
@@ -27,6 +30,7 @@ pub mod failure;
 pub mod flowsim;
 pub mod traffic;
 
+pub use chaos::{skew_stamp, ChaosConfig, ChaosFault, ChaosSchedule, FaultKind, WireMangler};
 pub use des::{simulate_des, DesConfig, DesFaults, Flap, WredParams};
 pub use dynamic::{DynamicScenario, FaultEvent};
 pub use failure::{FailureScenario, LatencyFault};

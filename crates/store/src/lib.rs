@@ -28,5 +28,7 @@ pub mod store;
 pub use alerts::{Alert, AlertDelta, AlertPolicy, Debouncer};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use record::{EpochRecord, Verdict};
-pub use segment::{Segment, SegmentEntry, SegmentError, SEGMENT_MAGIC, SEGMENT_VERSION};
-pub use store::{BlameSample, StoreConfig, StoreQuery, VerdictStore};
+pub use segment::{
+    AppendFault, Segment, SegmentEntry, SegmentError, SEGMENT_MAGIC, SEGMENT_VERSION,
+};
+pub use store::{BlameSample, Durability, OpsAlert, StoreConfig, StoreQuery, VerdictStore};

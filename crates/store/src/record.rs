@@ -43,6 +43,19 @@ pub struct EpochRecord {
     pub hypotheses_scanned: u64,
     /// Inference wall-clock for the epoch, in microseconds.
     pub runtime_us: u64,
+    /// Whether the epoch's verdict was degraded
+    /// ([`flock_stream::EpochHealth::Degraded`]) — a fault was contained
+    /// while it ran, so the verdict covers less evidence (or a truncated
+    /// search) and an operator reading history should weigh it
+    /// accordingly.
+    pub degraded: bool,
+    /// Fraction of shard-relevant evidence behind the verdict (`1.0`
+    /// when healthy).
+    pub evidence_coverage: f64,
+    /// Display-form degrade reasons (`shard-panicked:pod2`,
+    /// `late-records:17`, …), empty when healthy. Stored as strings so
+    /// the segment codec stays stable as reason variants evolve.
+    pub degrade_reasons: Vec<String>,
     /// The merged verdicts, most confident first.
     pub verdicts: Vec<Verdict>,
 }
@@ -66,6 +79,14 @@ impl From<&EpochReport> for EpochRecord {
             observations: report.observations as u64,
             hypotheses_scanned: report.result.hypotheses_scanned,
             runtime_us: report.result.runtime.as_micros() as u64,
+            degraded: report.health.is_degraded(),
+            evidence_coverage: report.health.evidence_coverage(),
+            degrade_reasons: report
+                .health
+                .reasons()
+                .iter()
+                .map(|r| r.to_string())
+                .collect(),
             verdicts,
         }
     }

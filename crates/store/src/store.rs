@@ -29,7 +29,7 @@
 use crate::alerts::{Alert, AlertDelta, AlertPolicy, Debouncer};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::record::EpochRecord;
-use crate::segment::{Segment, SegmentError};
+use crate::segment::{AppendFault, Segment, SegmentError};
 use flock_stream::{EpochReport, Provenance};
 use flock_topology::Component;
 use serde::Serialize;
@@ -63,6 +63,32 @@ pub struct BlameSample {
     pub score: f64,
 }
 
+/// Where ingested epochs end up (see [`VerdictStore::durability`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Durability {
+    /// Every ingested epoch is appended to the tier-2 segment.
+    Durable,
+    /// A segment append failed; ingest keeps serving tier 1 (ring,
+    /// blame index, alerts, metrics) but nothing new reaches disk until
+    /// the store is reopened. The typed cause is kept in
+    /// [`VerdictStore::append_error`].
+    RingOnly,
+    /// The store was built memory-only ([`VerdictStore::in_memory`]).
+    MemoryOnly,
+}
+
+/// An operational (non-blame) alert the store raised about itself —
+/// currently only durability loss. Kept separate from the
+/// component-keyed [`Alert`] stream so blame alerting stays about the
+/// network.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpsAlert {
+    /// Epoch being ingested when the fault hit.
+    pub epoch: u64,
+    /// Operator-facing description (includes the typed cause).
+    pub what: String,
+}
+
 /// The operator query surface over a verdict store.
 pub trait StoreQuery {
     /// Per-epoch blame samples for `comp`, oldest first (empty if the
@@ -94,6 +120,11 @@ pub struct VerdictStore {
     blame: HashMap<Component, Vec<BlameSample>>,
     debouncer: Debouncer,
     metrics: MetricsRegistry,
+    /// The append failure that degraded the store to ring-only, if one
+    /// hit (sticky until reopen).
+    append_error: Option<SegmentError>,
+    /// Operational alerts the store raised about itself, in raise order.
+    ops_alerts: Vec<OpsAlert>,
 }
 
 impl VerdictStore {
@@ -106,6 +137,8 @@ impl VerdictStore {
             blame: HashMap::new(),
             debouncer: Debouncer::new(cfg.policy),
             metrics: MetricsRegistry::new(),
+            append_error: None,
+            ops_alerts: Vec::new(),
         }
     }
 
@@ -139,7 +172,15 @@ impl VerdictStore {
     /// Ingest one epoch's report: project it to an [`EpochRecord`],
     /// append to the segment (if durable), update tiers and derived
     /// state, and run the alert debouncer. Returns what raised/cleared.
-    pub fn ingest(&mut self, report: &EpochReport) -> Result<AlertDelta, SegmentError> {
+    ///
+    /// Ingest is **infallible**: a failing segment append (EIO,
+    /// disk-full, torn write) never loses the epoch's verdict — the
+    /// store degrades to [`Durability::RingOnly`], raises an
+    /// [`OpsAlert`], counts `append_failures`, and keeps serving every
+    /// tier-1 query. The degradation is sticky until the store is
+    /// reopened over a healthy disk (reopen replays the intact durable
+    /// prefix).
+    pub fn ingest(&mut self, report: &EpochReport) -> AlertDelta {
         // Engine/runtime metrics only the full report carries.
         let runtime_s = report.result.runtime.as_secs_f64();
         self.metrics.observe("epoch_runtime_ms", runtime_s * 1e3);
@@ -153,17 +194,71 @@ impl VerdictStore {
             self.metrics
                 .observe("shard_engine_ms", shard.elapsed.as_secs_f64() * 1e3);
         }
+        // The verdict health contract, surfaced as store metrics.
+        if report.health.is_degraded() {
+            self.metrics.inc("degraded_epochs", 1);
+        }
+        self.metrics
+            .set_gauge("evidence_coverage", report.health.evidence_coverage());
 
         let rec = EpochRecord::from(report);
-        if let Some(seg) = &mut self.segment {
-            let t0 = std::time::Instant::now();
-            seg.append(&rec)?;
-            self.metrics
-                .observe("append_ms", t0.elapsed().as_secs_f64() * 1e3);
-            self.metrics
-                .set_gauge("segment_bytes", seg.file_bytes() as f64);
+        if self.append_error.is_none() {
+            if let Some(seg) = &mut self.segment {
+                let t0 = std::time::Instant::now();
+                match seg.append(&rec) {
+                    Ok(_) => {
+                        self.metrics
+                            .observe("append_ms", t0.elapsed().as_secs_f64() * 1e3);
+                        self.metrics
+                            .set_gauge("segment_bytes", seg.file_bytes() as f64);
+                    }
+                    Err(e) => {
+                        self.metrics.inc("append_failures", 1);
+                        self.metrics.set_gauge("ring_only", 1.0);
+                        self.ops_alerts.push(OpsAlert {
+                            epoch: rec.epoch_index,
+                            what: format!(
+                                "segment append failed, store degraded to ring-only: {e}"
+                            ),
+                        });
+                        self.append_error = Some(e);
+                    }
+                }
+            }
+        } else {
+            self.metrics.inc("appends_skipped_ring_only", 1);
         }
-        Ok(self.ingest_record(rec))
+        self.ingest_record(rec)
+    }
+
+    /// Where ingested epochs currently end up.
+    pub fn durability(&self) -> Durability {
+        match (&self.segment, &self.append_error) {
+            (None, _) => Durability::MemoryOnly,
+            (Some(_), None) => Durability::Durable,
+            (Some(_), Some(_)) => Durability::RingOnly,
+        }
+    }
+
+    /// The typed append failure that degraded the store to ring-only,
+    /// if one hit.
+    pub fn append_error(&self) -> Option<&SegmentError> {
+        self.append_error.as_ref()
+    }
+
+    /// Operational alerts the store raised about itself (durability
+    /// loss), in raise order.
+    pub fn ops_alerts(&self) -> &[OpsAlert] {
+        &self.ops_alerts
+    }
+
+    /// Arm an [`AppendFault`] on the underlying segment — the chaos
+    /// harness's seam into the durability path. No-op for memory-only
+    /// stores.
+    pub fn inject_append_fault(&mut self, fault: AppendFault) {
+        if let Some(seg) = &mut self.segment {
+            seg.inject_append_fault(fault);
+        }
     }
 
     /// The shared ingest path for live reports and reopen replay:

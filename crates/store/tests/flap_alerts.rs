@@ -105,7 +105,7 @@ fn flapping_fault_raises_one_debounced_alert_and_clears_on_heal() {
             "epoch {epoch}: blamed {:?}, fault active: {active}",
             report.result.predicted
         );
-        let delta = store.ingest(&report).unwrap();
+        let delta = store.ingest(&report);
         // Raise fires exactly once, at the 2nd persisting epoch.
         assert_eq!(
             !delta.raised.is_empty(),

@@ -28,6 +28,15 @@ fn record(epoch: u64) -> EpochRecord {
         observations: 120,
         hypotheses_scanned: 40_000 + epoch,
         runtime_us: 900 + epoch,
+        // Odd epochs store a degraded verdict so the health block
+        // round-trips through the v2 codec and crash recovery.
+        degraded: epoch % 2 == 1,
+        evidence_coverage: if epoch % 2 == 1 { 0.75 } else { 1.0 },
+        degrade_reasons: if epoch % 2 == 1 {
+            vec![format!("shard-panicked:pod{epoch}")]
+        } else {
+            Vec::new()
+        },
         verdicts: vec![Verdict {
             component,
             score: 12.5 + epoch as f64,

@@ -82,7 +82,7 @@ fn write_reopen_query() {
                 &mut rng,
             );
             let report = pipeline.run_flows(epoch, epoch * 1_000, (epoch + 1) * 1_000, &flows);
-            store.ingest(&report).unwrap();
+            store.ingest(&report);
         }
         store.sync().unwrap();
         // Sanity before the restart: one debounced alert, raised and

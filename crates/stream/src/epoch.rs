@@ -26,6 +26,17 @@ pub struct EpochConfig {
     /// Window stride in milliseconds; `None` means tumbling
     /// (stride = length).
     pub slide_ms: Option<u64>,
+    /// Lateness horizon in milliseconds: a record whose stamp is more
+    /// than this far behind the manager's watermark is rejected as late
+    /// (counted in `late_records`) even when its window is still open.
+    /// `None` (the default) bounds lateness only by window closure.
+    ///
+    /// The horizon is measured against the caller's watermark — the
+    /// collector-side clock passed to
+    /// [`EpochManager::close_ready`] — not against other agents' stamps,
+    /// so one forward-skewed agent clock cannot make every honest
+    /// record look late.
+    pub late_horizon_ms: Option<u64>,
 }
 
 impl EpochConfig {
@@ -35,6 +46,7 @@ impl EpochConfig {
         EpochConfig {
             epoch_ms,
             slide_ms: None,
+            late_horizon_ms: None,
         }
     }
 
@@ -48,7 +60,14 @@ impl EpochConfig {
         EpochConfig {
             epoch_ms,
             slide_ms: Some(slide_ms),
+            late_horizon_ms: None,
         }
+    }
+
+    /// Bound record lateness to `horizon_ms` behind the watermark.
+    pub fn with_late_horizon(mut self, horizon_ms: u64) -> Self {
+        self.late_horizon_ms = Some(horizon_ms);
+        self
     }
 
     /// The window stride.
@@ -105,6 +124,9 @@ pub struct EpochManager {
     /// Windows with index below this are closed; late arrivals for them
     /// are dropped (and counted).
     closed_below: u64,
+    /// High-watermark of every `close_ready` call; the lateness-horizon
+    /// reference clock.
+    watermark_ms: u64,
     late_records: u64,
 }
 
@@ -115,6 +137,7 @@ impl EpochManager {
             config,
             open: BTreeMap::new(),
             closed_below: 0,
+            watermark_ms: 0,
             late_records: 0,
         }
     }
@@ -124,11 +147,25 @@ impl EpochManager {
         self.config
     }
 
+    /// Whether `ts` violates the configured lateness horizon against the
+    /// current watermark.
+    #[inline]
+    fn beyond_horizon(&self, ts: u64) -> bool {
+        match self.config.late_horizon_ms {
+            Some(h) => ts < self.watermark_ms.saturating_sub(h),
+            None => false,
+        }
+    }
+
     /// Assign one record to its window(s). The record is moved into its
     /// last covering window (the only one, for tumbling epochs — the hot
     /// path is clone-free) and cloned only for the extra windows a
     /// sliding configuration adds.
     pub fn push(&mut self, rec: StampedRecord) {
+        if self.beyond_horizon(rec.export_ms) {
+            self.late_records += 1;
+            return;
+        }
         let mut windows = self
             .config
             .windows_of(rec.export_ms)
@@ -178,6 +215,17 @@ impl EpochManager {
             self.late_records += records.len() as u64;
             return;
         }
+        // Under a lateness horizon the oldest stamp a valid bucket member
+        // can carry is the window start; when even that would be within
+        // the horizon the whole bucket is provably on time and the
+        // wholesale append stands. Otherwise fall back to the per-record
+        // path so each stamp is judged (and counted) individually.
+        if self.config.late_horizon_ms.is_some()
+            && self.beyond_horizon(self.config.window_start(epoch_seq))
+        {
+            self.extend(records);
+            return;
+        }
         let slot = self.open.entry(epoch_seq).or_default();
         if slot.is_empty() {
             *slot = records;
@@ -190,6 +238,7 @@ impl EpochManager {
     /// `watermark_ms`, in index order. Only windows that received at
     /// least one record are emitted.
     pub fn close_ready(&mut self, watermark_ms: u64) -> Vec<Epoch> {
+        self.watermark_ms = self.watermark_ms.max(watermark_ms);
         let mut out = Vec::new();
         while let Some((&w, _)) = self.open.iter().next() {
             if self.config.window_end(w) > watermark_ms {
@@ -355,6 +404,56 @@ mod tests {
         m.extend_bucket(0, vec![rec(10), rec(20)]);
         assert_eq!(m.late_records(), 2);
         assert_eq!(m.open_windows(), 0);
+    }
+
+    #[test]
+    fn late_horizon_rejects_clock_skewed_records_in_open_windows() {
+        let cfg = EpochConfig::tumbling(100).with_late_horizon(20);
+        let mut m = EpochManager::new(cfg);
+        m.push(rec(50));
+        let closed = m.close_ready(150);
+        assert_eq!(closed.len(), 1, "window 0 emitted");
+
+        // Window 1 is still open, but a stamp 30ms behind the watermark
+        // violates the 20ms horizon.
+        m.push(rec(120));
+        assert_eq!(m.late_records(), 1);
+        // A stamp inside the horizon is accepted into the same window.
+        m.push(rec(140));
+        let closed = m.close_ready(250);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].index, 1);
+        assert_eq!(closed[0].records.len(), 1);
+        assert_eq!(closed[0].records[0].export_ms, 140);
+    }
+
+    #[test]
+    fn late_horizon_bucket_falls_back_to_exact_per_record_count() {
+        let cfg = EpochConfig::tumbling(100).with_late_horizon(20);
+        let mut m = EpochManager::new(cfg);
+        m.push(rec(50));
+        let _ = m.close_ready(150);
+
+        // Bucket for the open window 1: its window start (100) is beyond
+        // the horizon (150 - 20 = 130), so each stamp is judged alone.
+        m.extend_bucket(1, vec![rec(120), rec(140)]);
+        assert_eq!(m.late_records(), 1, "only the 120ms stamp is late");
+        let closed = m.close_ready(250);
+        assert_eq!(closed[0].records.len(), 1);
+        assert_eq!(closed[0].records[0].export_ms, 140);
+    }
+
+    #[test]
+    fn late_horizon_none_preserves_old_behavior() {
+        // Same stamps as the horizon test above, no horizon configured:
+        // the 30ms-behind-watermark record is kept because its window is
+        // still open.
+        let mut m = EpochManager::new(EpochConfig::tumbling(100));
+        m.push(rec(50));
+        let _ = m.close_ready(150);
+        m.push(rec(120));
+        assert_eq!(m.late_records(), 0, "no horizon: open-window stamp kept");
+        assert_eq!(m.open_windows(), 1);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod shard;
 
 pub use epoch::{Epoch, EpochConfig, EpochManager};
 pub use pipeline::{
-    reconstruct, EpochReport, Provenance, ShardOutcome, StreamConfig, StreamPipeline,
-    PROVENANCE_SETS_CAP,
+    reconstruct, ChaosHook, DegradeReason, EpochHealth, EpochReport, Provenance, ShardChaos,
+    ShardFailure, ShardOutcome, StreamConfig, StreamPipeline, PROVENANCE_SETS_CAP,
 };
 pub use shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};

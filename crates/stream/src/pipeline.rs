@@ -46,11 +46,14 @@ use flock_core::{
 };
 use flock_telemetry::{
     AnalysisMode, ArenaView, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow,
-    ObservationSet, StampedRecord,
+    ObservationSet, StampedRecord, TrafficClass,
 };
-use flock_topology::{Component, Router, Topology};
+use flock_topology::{Component, NodeId, NodeRole, Router, Topology};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -90,6 +93,59 @@ pub struct StreamConfig {
     /// against this flag) at a fraction of the steady multi-plane-fault
     /// cost; the flag exists as the comparison baseline.
     pub refine_full_spine: bool,
+    /// Per-epoch inference deadline, measured from the start of
+    /// [`StreamPipeline::run_flows`]. A shard search that crosses it
+    /// stops cooperatively at the next outer greedy iteration and
+    /// returns its partial hypothesis ([`ShardOutcome::timed_out`]);
+    /// the epoch is then labeled [`EpochHealth::Degraded`] with
+    /// [`DegradeReason::ShardDeadline`]. `None` (the default) never
+    /// truncates.
+    pub epoch_deadline: Option<Duration>,
+    /// Fault-injection hook consulted by every shard (and the
+    /// refinement pass) at the top of its epoch run — the seam the
+    /// chaos harness uses to panic or stall inference threads without a
+    /// test-only build. `None` (the default) injects nothing.
+    pub chaos: Option<ChaosHook>,
+}
+
+/// A fault the [`ChaosHook`] can inject into one shard's epoch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardChaos {
+    /// Panic the shard's inference thread (contained by the pipeline's
+    /// per-shard `catch_unwind` boundary; the shard's state is reset and
+    /// the epoch degrades instead of the process dying).
+    Panic,
+    /// Stall the shard for the given duration before it searches
+    /// (clamped to the epoch deadline when one is set, so a stall
+    /// surfaces as a deadline truncation rather than an unbounded hang).
+    Stall(Duration),
+}
+
+/// The boxed schedule closure behind a [`ChaosHook`].
+type ChaosFn = dyn Fn(&str, u64) -> Option<ShardChaos> + Send + Sync;
+
+/// Injectable fault decision, `(shard label, epoch index) → fault?`.
+/// Newtype so [`StreamConfig`] keeps deriving `Debug` and `Clone`.
+#[derive(Clone)]
+pub struct ChaosHook(Arc<ChaosFn>);
+
+impl ChaosHook {
+    /// Wrap a fault schedule. The closure is consulted once per shard
+    /// per epoch, concurrently from the shard threads.
+    pub fn new(f: impl Fn(&str, u64) -> Option<ShardChaos> + Send + Sync + 'static) -> Self {
+        ChaosHook(Arc::new(f))
+    }
+
+    /// Consult the schedule for one shard's epoch run.
+    pub fn call(&self, shard_label: &str, epoch_index: u64) -> Option<ShardChaos> {
+        (self.0)(shard_label, epoch_index)
+    }
+}
+
+impl fmt::Debug for ChaosHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ChaosHook(..)")
+    }
 }
 
 impl StreamConfig {
@@ -106,8 +162,130 @@ impl StreamConfig {
             spine_planes: true,
             coalesce: true,
             refine_full_spine: false,
+            epoch_deadline: None,
+            chaos: None,
         }
     }
+}
+
+/// Why an epoch's verdict is degraded (see [`EpochHealth::Degraded`]).
+/// Each variant names a fault the pipeline contained at its boundary
+/// instead of letting it take down the process or silently skew the
+/// verdict.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum DegradeReason {
+    /// A shard's inference thread panicked; its state was reset and its
+    /// evidence is missing from this epoch's verdict.
+    ShardPanicked {
+        /// Label of the panicked shard.
+        shard: String,
+    },
+    /// A shard's search crossed the per-epoch deadline and returned a
+    /// partial (non-locally-optimal) hypothesis.
+    ShardDeadline {
+        /// Label of the truncated shard.
+        shard: String,
+    },
+    /// The cross-plane refinement pass panicked; the blaming planes'
+    /// own verdicts stand un-refined (straddling path sets may be
+    /// double-blamed this epoch).
+    RefinementPanicked,
+    /// The windowing layer dropped records as late (closed window or
+    /// beyond the lateness horizon) since the previous report — evidence
+    /// that never reached any shard.
+    LateRecords {
+        /// Records dropped since the previous report.
+        count: u64,
+    },
+    /// Records that decoded into well-formed frames but carried
+    /// impossible content (node or link ids outside the topology,
+    /// retransmissions exceeding packets — the shape payload corruption
+    /// takes on a checksum-less wire) were rejected before assembly
+    /// instead of being allowed to panic indexing or skew likelihoods.
+    RejectedRecords {
+        /// Records rejected this epoch.
+        count: u64,
+    },
+    /// A degradation signaled from outside the inference path (store
+    /// append failure, stale agents, collector kill) via
+    /// [`StreamPipeline::flag_degraded`].
+    External {
+        /// Operator-facing description of the external fault.
+        what: String,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::ShardPanicked { shard } => write!(f, "shard-panicked:{shard}"),
+            DegradeReason::ShardDeadline { shard } => write!(f, "shard-deadline:{shard}"),
+            DegradeReason::RefinementPanicked => f.write_str("refinement-panicked"),
+            DegradeReason::LateRecords { count } => write!(f, "late-records:{count}"),
+            DegradeReason::RejectedRecords { count } => write!(f, "rejected-records:{count}"),
+            DegradeReason::External { what } => write!(f, "external:{what}"),
+        }
+    }
+}
+
+/// The health contract attached to every [`EpochReport`]: `Healthy`
+/// means every shard completed over all the evidence the collector
+/// delivered; `Degraded` means the verdict is still well-formed but
+/// some fault reduced or truncated the evidence behind it, and an
+/// operator (or the store's alerting layer) should weigh it
+/// accordingly.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum EpochHealth {
+    /// Every shard completed in time over its full evidence slice.
+    Healthy,
+    /// The verdict is partial or evidence-lossy.
+    Degraded {
+        /// Every contained fault that contributed (never empty).
+        reasons: Vec<DegradeReason>,
+        /// Fraction of shard-relevant observation slots that reached a
+        /// completed (non-panicked) shard search, in `[0, 1]`. Deadline
+        /// truncation does not lower coverage — the evidence was seen;
+        /// the search over it was cut short.
+        evidence_coverage: f64,
+    },
+}
+
+impl EpochHealth {
+    /// Whether this epoch carries any degrade reason.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, EpochHealth::Degraded { .. })
+    }
+
+    /// The degrade reasons (empty for `Healthy`).
+    pub fn reasons(&self) -> &[DegradeReason] {
+        match self {
+            EpochHealth::Healthy => &[],
+            EpochHealth::Degraded { reasons, .. } => reasons,
+        }
+    }
+
+    /// Evidence coverage (`1.0` for `Healthy`).
+    pub fn evidence_coverage(&self) -> f64 {
+        match self {
+            EpochHealth::Healthy => 1.0,
+            EpochHealth::Degraded {
+                evidence_coverage, ..
+            } => *evidence_coverage,
+        }
+    }
+}
+
+/// A shard whose inference thread panicked this epoch, caught at the
+/// pipeline's per-shard isolation boundary. The shard contributes
+/// nothing to the merged verdict; its persistent state was reset to a
+/// valid initial state (fresh view, no engine) and it rebuilds cold on
+/// the next epoch, re-seeded from its last good hypothesis.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardFailure {
+    /// Label of the failed shard (`pod3`, `spine-p0`, `spine-refine`…).
+    pub shard: String,
+    /// The panic payload, stringified when it was a `&str`/`String`.
+    pub panic_message: String,
 }
 
 /// Why one component was convicted: the evidence its shard engine's Δ
@@ -174,6 +352,12 @@ pub struct ShardOutcome {
     /// Wall-clock time this shard spent binding, rebinding, and
     /// searching this epoch (the per-shard engine-time metric).
     pub elapsed: Duration,
+    /// Whether the shard's search was truncated by the per-epoch
+    /// deadline ([`StreamConfig::epoch_deadline`]). A truncated verdict
+    /// is well-formed (every move it made improved the posterior) but
+    /// not a local optimum; the epoch degrades with
+    /// [`DegradeReason::ShardDeadline`].
+    pub timed_out: bool,
     /// Provenance for each kept component, in `kept` order (see
     /// [`Provenance`]).
     pub provenance: Vec<Provenance>,
@@ -212,6 +396,12 @@ pub struct EpochReport {
     /// the convicting shard's evidence for the component (the shard
     /// whose score won blame ownership).
     pub provenance: Vec<Provenance>,
+    /// The epoch's health verdict: `Healthy`, or `Degraded` with the
+    /// contained faults and the evidence coverage behind the verdict.
+    pub health: EpochHealth,
+    /// Shards that panicked this epoch (isolated at the pipeline's
+    /// `catch_unwind` boundary; absent from [`shards`](Self::shards)).
+    pub failures: Vec<ShardFailure>,
 }
 
 impl EpochReport {
@@ -284,6 +474,15 @@ pub struct StreamPipeline<'t> {
     /// touch signature, derived once and consulted by every shard's
     /// evidence filter in O(1).
     flow_touches: Vec<SetTouch>,
+    /// Late-record count already attributed to an emitted report's
+    /// health; the delta above this degrades the next report.
+    late_attributed: u64,
+    /// Total wire-delivered records rejected by content sanitation
+    /// (impossible node/link ids or counters) across the run.
+    rejected_records: u64,
+    /// Externally-flagged degrade reasons ([`Self::flag_degraded`])
+    /// awaiting attachment to the next emitted report.
+    pending_flags: Vec<DegradeReason>,
 }
 
 impl<'t> StreamPipeline<'t> {
@@ -329,7 +528,20 @@ impl<'t> StreamPipeline<'t> {
             refine_view: ArenaView::new(),
             refine_owned: Vec::new(),
             flow_touches: Vec::new(),
+            late_attributed: 0,
+            rejected_records: 0,
+            pending_flags: Vec::new(),
         }
+    }
+
+    /// Flag a degradation observed outside the inference path (store
+    /// append failure, stale-agent eviction, collector connection kill)
+    /// so the verdict contract reflects it: the reason attaches to the
+    /// next emitted report (the first epoch of the next
+    /// [`poll`](Self::poll) / [`drain`](Self::drain) batch) and marks
+    /// it `Degraded`.
+    pub fn flag_degraded(&mut self, reason: DegradeReason) {
+        self.pending_flags.push(reason);
     }
 
     /// The shard plan in use.
@@ -374,8 +586,26 @@ impl<'t> StreamPipeline<'t> {
 
     /// Localize one closed epoch.
     fn run_epoch(&mut self, epoch: Epoch) -> EpochReport {
-        let monitored = reconstruct(epoch.records.into_iter().map(|s| s.record));
+        let mut monitored = reconstruct(epoch.records.into_iter().map(|s| s.record));
+        // The wire has no payload checksum: a corrupted-but-framed
+        // message decodes into records with arbitrary content. Reject
+        // anything the topology cannot account for *before* assembly,
+        // where a garbage node id would panic an index lookup.
+        let before = monitored.len();
+        monitored.retain(|f| flow_is_sane(self.topo, f));
+        let rejected = (before - monitored.len()) as u64;
+        if rejected > 0 {
+            self.rejected_records += rejected;
+            self.pending_flags
+                .push(DegradeReason::RejectedRecords { count: rejected });
+        }
         self.run_flows(epoch.index, epoch.start_ms, epoch.end_ms, &monitored)
+    }
+
+    /// Total wire-delivered records rejected by content sanitation
+    /// (impossible node/link ids or counters) since construction.
+    pub fn rejected_records(&self) -> u64 {
+        self.rejected_records
     }
 
     /// Localize one epoch's worth of already-reconstructed flows. Public
@@ -388,6 +618,7 @@ impl<'t> StreamPipeline<'t> {
         monitored: &[MonitoredFlow],
     ) -> EpochReport {
         let started = Instant::now();
+        let deadline = self.cfg.epoch_deadline.map(|d| started + d);
         let obs = self.assembler.assemble(
             self.topo,
             &self.router,
@@ -407,24 +638,58 @@ impl<'t> StreamPipeline<'t> {
 
         // Run every shard, one thread each (shard counts are small: pods
         // + spine planes). Each thread owns its shard's state mutably;
-        // shared inputs are borrowed immutably.
+        // shared inputs are borrowed immutably. Panics are caught
+        // *inside* the spawned closure — the join below can never see
+        // one — so a panicking shard degrades its own slice of the
+        // verdict instead of unwinding through the scope and taking the
+        // epoch (and the other shards' verdicts) with it. The failed
+        // shard's state is reset to a valid initial state: a fresh view
+        // (a half-bound view may hold a partially extended epoch) and no
+        // engine; `prev` is kept — global component ids survive the
+        // rebuild, so the recovered shard re-seeds its warm search from
+        // its last good hypothesis.
         let topo = self.topo;
         let cfg = &self.cfg;
         let touches: &[SetTouch] = &self.flow_touches;
         let obs_ref = &obs;
-        let outcomes: Vec<(Vec<(CompIdx, f64)>, ShardOutcome)> = std::thread::scope(|scope| {
+        type ShardRun = Result<(Vec<(CompIdx, f64)>, ShardOutcome), ShardFailure>;
+        let outcomes: Vec<ShardRun> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .plan
                 .shards
                 .iter()
                 .zip(self.shards.iter_mut())
                 .map(|(shard, state)| {
-                    scope.spawn(move || run_shard(topo, cfg, shard, state, obs_ref, touches))
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            run_shard(
+                                topo,
+                                cfg,
+                                shard,
+                                &mut *state,
+                                obs_ref,
+                                touches,
+                                epoch_index,
+                                deadline,
+                            )
+                        }))
+                        .map_err(|payload| {
+                            state.engine = None;
+                            state.view = ArenaView::new();
+                            ShardFailure {
+                                shard: shard.label.clone(),
+                                panic_message: panic_message(payload.as_ref()),
+                            }
+                        })
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("shard panics are caught inside the closure")
+                })
                 .collect()
         });
 
@@ -439,11 +704,12 @@ impl<'t> StreamPipeline<'t> {
         // even the refining epochs O(blaming planes' evidence) instead
         // of full single-spine cost.
         let mut refined: Option<(Vec<(CompIdx, f64)>, ShardOutcome)> = None;
+        let mut refinement_panic: Option<String> = None;
         let blaming: Vec<u16> = outcomes
             .iter()
             .zip(&self.plan.shards)
-            .filter_map(|((kept, _), s)| match s.kind {
-                ShardKind::SpinePlane(p) if !kept.is_empty() => Some(p),
+            .filter_map(|(run, s)| match (run, s.kind) {
+                (Ok((kept, _)), ShardKind::SpinePlane(p)) if !kept.is_empty() => Some(p),
                 _ => None,
             })
             .collect();
@@ -452,11 +718,26 @@ impl<'t> StreamPipeline<'t> {
                 .iter()
                 .zip(&self.plan.shards)
                 .filter(|(_, s)| matches!(s.kind, ShardKind::SpinePlane(_)))
-                .flat_map(|((kept, _), _)| kept.iter().map(|&(c, _)| c))
+                .flat_map(|(run, _)| {
+                    run.iter()
+                        .flat_map(|(kept, _)| kept.iter().map(|&(c, _)| c))
+                })
                 .collect();
             seed.sort_unstable();
             seed.dedup();
-            refined = Some(self.refine_spine(&obs, &seed, &blaming));
+            // Same isolation boundary as the shards: a panicking
+            // refinement pass resets its persistent engine and view and
+            // lets the blaming planes' own verdicts stand un-refined.
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.refine_spine(&obs, &seed, &blaming, epoch_index, deadline)
+            })) {
+                Ok(r) => refined = Some(r),
+                Err(payload) => {
+                    self.refine_engine = None;
+                    self.refine_view = ArenaView::new();
+                    refinement_panic = Some(panic_message(payload.as_ref()));
+                }
+            }
         }
         let refine_ran = refined.is_some();
 
@@ -478,10 +759,45 @@ impl<'t> StreamPipeline<'t> {
                 }
             }
         };
+        // Evidence coverage: the fraction of shard-relevant observation
+        // slots whose shard search completed. A panicked shard zeroes
+        // its slots; a deadline-truncated shard saw its evidence (the
+        // search over it was cut short), so it still counts.
+        let failed: Vec<bool> = outcomes.iter().map(|r| r.is_err()).collect();
+        let mut relevant_slots = 0u64;
+        let mut covered_slots = 0u64;
+        for &t in &self.flow_touches {
+            for (shard, &fail) in self.plan.shards.iter().zip(&failed) {
+                if shard.relevant_combined(t) {
+                    relevant_slots += 1;
+                    if !fail {
+                        covered_slots += 1;
+                    }
+                }
+            }
+        }
+        let evidence_coverage = if relevant_slots == 0 {
+            1.0
+        } else {
+            covered_slots as f64 / relevant_slots as f64
+        };
+
+        let mut reasons: Vec<DegradeReason> = Vec::new();
+        let mut failures: Vec<ShardFailure> = Vec::new();
         let mut scanned = 0u64;
         let mut log_likelihood = 0.0f64;
         let mut shard_outcomes = Vec::with_capacity(outcomes.len());
-        for ((kept, outcome), shard) in outcomes.into_iter().zip(&self.plan.shards) {
+        for (run, shard) in outcomes.into_iter().zip(&self.plan.shards) {
+            let (kept, outcome) = match run {
+                Ok(r) => r,
+                Err(failure) => {
+                    reasons.push(DegradeReason::ShardPanicked {
+                        shard: failure.shard.clone(),
+                    });
+                    failures.push(failure);
+                    continue;
+                }
+            };
             scanned += outcome.hypotheses_scanned;
             // Sum of shard-local normalized LLs. With one shard this is
             // the engine's LL exactly; with several it sums over the
@@ -491,6 +807,11 @@ impl<'t> StreamPipeline<'t> {
             // refinement pass is excluded for the same reason: it runs
             // only on some epochs.
             log_likelihood += outcome.log_likelihood;
+            if outcome.timed_out {
+                reasons.push(DegradeReason::ShardDeadline {
+                    shard: outcome.label.clone(),
+                });
+            }
             if !(refine_ran && matches!(shard.kind, ShardKind::SpinePlane(_))) {
                 merge_in(kept, &outcome.provenance);
             }
@@ -498,9 +819,40 @@ impl<'t> StreamPipeline<'t> {
         }
         let refined_outcome = refined.map(|(kept, outcome)| {
             scanned += outcome.hypotheses_scanned;
+            if outcome.timed_out {
+                reasons.push(DegradeReason::ShardDeadline {
+                    shard: outcome.label.clone(),
+                });
+            }
             merge_in(kept, &outcome.provenance);
             outcome
         });
+        if let Some(panic_message) = refinement_panic {
+            reasons.push(DegradeReason::RefinementPanicked);
+            failures.push(ShardFailure {
+                shard: "spine-refine".into(),
+                panic_message,
+            });
+        }
+        // Evidence the windowing layer dropped since the last report
+        // (closed windows or the lateness horizon) never reached any
+        // shard — attribute the delta to this epoch's health.
+        let late_now = self.manager.late_records();
+        if late_now > self.late_attributed {
+            reasons.push(DegradeReason::LateRecords {
+                count: late_now - self.late_attributed,
+            });
+            self.late_attributed = late_now;
+        }
+        reasons.append(&mut self.pending_flags);
+        let health = if reasons.is_empty() {
+            EpochHealth::Healthy
+        } else {
+            EpochHealth::Degraded {
+                reasons,
+                evidence_coverage,
+            }
+        };
         let mut provenance: Vec<Provenance> = merged.into_values().collect();
         provenance.sort_by(|a, b| {
             b.score
@@ -528,6 +880,8 @@ impl<'t> StreamPipeline<'t> {
             shards: shard_outcomes,
             refined: refined_outcome,
             provenance,
+            health,
+            failures,
         }
     }
 
@@ -546,9 +900,20 @@ impl<'t> StreamPipeline<'t> {
         obs: &ObservationSet,
         seed: &[CompIdx],
         blaming: &[u16],
+        epoch_index: u64,
+        deadline: Option<Instant>,
     ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
         let started = Instant::now();
         let topo = self.topo;
+        if let Some(chaos) = &self.cfg.chaos {
+            match chaos.call("spine-refine", epoch_index) {
+                Some(ShardChaos::Panic) => {
+                    panic!("chaos: injected panic in refinement pass (epoch {epoch_index})")
+                }
+                Some(ShardChaos::Stall(d)) => chaos_stall(d, deadline),
+                None => {}
+            }
+        }
         let full = self.cfg.refine_full_spine;
         let blame_mask: u64 = blaming.iter().fold(0u64, |m, &p| m | 1u64 << (p % 64));
         {
@@ -608,7 +973,8 @@ impl<'t> StreamPipeline<'t> {
         // engine touch that (blaming) plane, so the refinement filter
         // accepted them.
         let seed_local: Vec<CompIdx> = seed.iter().filter_map(|&g| engine.local_comp(g)).collect();
-        let (picked, scanned) = greedy.search_warm(engine, &seed_local);
+        let search = greedy.search_warm_deadline(engine, &seed_local, deadline);
+        let (picked, scanned) = (search.picked, search.scanned);
         let kept: Vec<(CompIdx, f64)> = picked
             .iter()
             .filter_map(|&(c, score)| {
@@ -628,6 +994,7 @@ impl<'t> StreamPipeline<'t> {
             log_likelihood: engine.log_likelihood(),
             state: engine.state_sizes(),
             elapsed: started.elapsed(),
+            timed_out: search.timed_out,
             provenance,
             kernel: engine.kernel_dispatch(),
         };
@@ -641,6 +1008,7 @@ impl<'t> StreamPipeline<'t> {
 /// predictions as *global* dense component indices (the caller's
 /// [`ComponentSpace`] translates to topology components, and the
 /// cross-plane refinement seeds from them).
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     topo: &Topology,
     cfg: &StreamConfig,
@@ -648,8 +1016,20 @@ fn run_shard(
     state: &mut ShardState,
     obs: &ObservationSet,
     touches: &[SetTouch],
+    epoch_index: u64,
+    deadline: Option<Instant>,
 ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
     let started = Instant::now();
+    if let Some(chaos) = &cfg.chaos {
+        match chaos.call(&shard.label, epoch_index) {
+            Some(ShardChaos::Panic) => panic!(
+                "chaos: injected panic in shard `{}` (epoch {epoch_index})",
+                shard.label
+            ),
+            Some(ShardChaos::Stall(d)) => chaos_stall(d, deadline),
+            None => {}
+        }
+    }
     state
         .view
         .bind_epoch(obs, |i, _| shard.relevant_combined(touches[i]))
@@ -681,7 +1061,11 @@ fn run_shard(
     } else {
         Vec::new()
     };
-    let (picked, scanned) = greedy.search_warm(engine, &seed);
+    let search = greedy.search_warm_deadline(engine, &seed, deadline);
+    let (picked, scanned) = (search.picked, search.scanned);
+    // A deadline-truncated hypothesis still seeds the next epoch: every
+    // pick in it improved the posterior, and the warm search removes
+    // seeds that stop paying.
     state.prev = picked.iter().map(|&(c, _)| engine.global_comp(c)).collect();
 
     let kept: Vec<(CompIdx, f64)> = picked
@@ -703,10 +1087,74 @@ fn run_shard(
         log_likelihood: engine.log_likelihood(),
         state: engine.state_sizes(),
         elapsed: started.elapsed(),
+        timed_out: search.timed_out,
         provenance,
         kernel: engine.kernel_dispatch(),
     };
     (kept, outcome)
+}
+
+/// Stringify a caught panic payload (panics raised by `panic!` carry a
+/// `&str` or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Sleep for an injected stall, clamped to the epoch deadline when one
+/// is set — a stalled shard then surfaces as a deadline truncation (the
+/// degraded-mode contract) instead of holding the epoch hostage for the
+/// stall's full length.
+fn chaos_stall(stall: Duration, deadline: Option<Instant>) {
+    let now = Instant::now();
+    let mut until = now + stall;
+    if let Some(dl) = deadline {
+        until = until.min(dl);
+    }
+    if let Some(left) = until.checked_duration_since(now) {
+        if !left.is_zero() {
+            std::thread::sleep(left);
+        }
+    }
+}
+
+/// Whether a wire-reconstructed flow is accountable to the topology.
+/// The wire format has no payload checksum, so a corrupted-but-framed
+/// message decodes into records with arbitrary content; anything that
+/// would panic an assembly index lookup (node or link ids outside the
+/// topology, a passive endpoint that is not a host) or break the
+/// likelihood model (more retransmissions than packets) is rejected
+/// here, counted, and flagged on the epoch's health.
+fn flow_is_sane(topo: &Topology, f: &MonitoredFlow) -> bool {
+    let node_ok = |n: NodeId| (n.0 as usize) < topo.node_count();
+    if !node_ok(f.key.src) || !node_ok(f.key.dst) {
+        return false;
+    }
+    if f.stats.retransmissions > f.stats.packets {
+        return false;
+    }
+    if f.true_path
+        .iter()
+        .any(|l| (l.0 as usize) >= topo.link_count())
+    {
+        return false;
+    }
+    match f.class {
+        // Passive flows without a traced path are resolved via the
+        // src/dst hosts' leaves, so both endpoints must be hosts.
+        TrafficClass::Passive => {
+            topo.node(f.key.src).role == NodeRole::Host
+                && topo.node(f.key.dst).role == NodeRole::Host
+        }
+        // Probes contribute only through their recorded path; the
+        // id-range checks above are all assembly relies on.
+        TrafficClass::Probe => true,
+    }
 }
 
 /// Capture [`Provenance`] for each kept component (global ids, in `kept`

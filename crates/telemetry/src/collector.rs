@@ -27,16 +27,17 @@
 //! bench for the reactor vs thread-per-connection comparison.
 
 use crate::flow::FlowRecord;
-use crate::wire::{ExportMessage, StreamDecoder};
+use crate::wire::{DecodeStep, ExportMessage, StreamDecoder, WireError};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A flow record together with the export-message metadata the online
 /// pipeline windows on: which agent sent it and the agent's export
@@ -54,6 +55,31 @@ pub struct StampedRecord {
     pub record: FlowRecord,
 }
 
+/// A fault-injection hook run by each reactor shard once per readiness
+/// pass (argument: shard index). Chaos harnesses install one to stall a
+/// shard (sleep inside the hook) and prove the pipeline tolerates a
+/// wedged reactor; production configs leave it `None`.
+#[derive(Clone)]
+pub struct ReactorHook(Arc<dyn Fn(usize) + Send + Sync>);
+
+impl ReactorHook {
+    /// Wrap a closure as a reactor-pass hook.
+    pub fn new(f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        ReactorHook(Arc::new(f))
+    }
+
+    /// Invoke the hook for shard `idx`.
+    pub fn call(&self, idx: usize) {
+        (self.0)(idx)
+    }
+}
+
+impl fmt::Debug for ReactorHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ReactorHook(..)")
+    }
+}
+
 /// Reactor sizing and back-pressure knobs.
 #[derive(Debug, Clone)]
 pub struct CollectorConfig {
@@ -65,6 +91,15 @@ pub struct CollectorConfig {
     pub high_water: usize,
     /// How long an idle shard sleeps between readiness passes.
     pub idle_sleep: Duration,
+    /// Per-connection garbage budget: cumulative bytes discarded while
+    /// resyncing before the connection is deliberately killed (counted in
+    /// [`CollectorStats::decode_errors`]).
+    pub max_resync_bytes: usize,
+    /// Per-connection quarantine budget: undecodable-but-framed messages
+    /// tolerated before the connection is deliberately killed.
+    pub max_quarantined_frames: u64,
+    /// Chaos hook run once per shard readiness pass; `None` in production.
+    pub stall_hook: Option<ReactorHook>,
 }
 
 impl Default for CollectorConfig {
@@ -78,6 +113,9 @@ impl Default for CollectorConfig {
             shards,
             high_water: 1 << 22,
             idle_sleep: Duration::from_micros(200),
+            max_resync_bytes: 64 * 1024,
+            max_quarantined_frames: 32,
+            stall_hook: None,
         }
     }
 }
@@ -98,10 +136,28 @@ pub struct CollectorStats {
     pub records: AtomicU64,
     /// Bytes read off sockets.
     pub bytes: AtomicU64,
-    /// Connections dropped due to decode errors.
+    /// Connections deliberately killed after exhausting their
+    /// quarantine/resync budget (the reactor's kill policy, not an
+    /// implicit framing side effect).
     pub decode_errors: AtomicU64,
     /// Records shed because the store was at its high-water mark.
     pub dropped_records: AtomicU64,
+    /// Decode faults classified as bad magic (resync causes).
+    pub decode_bad_magic: AtomicU64,
+    /// Decode faults classified as unsupported version.
+    pub decode_bad_version: AtomicU64,
+    /// Decode faults classified as header/content length mismatch.
+    pub decode_length_mismatch: AtomicU64,
+    /// Decode faults classified as truncated frames.
+    pub decode_truncated: AtomicU64,
+    /// Decode faults classified as oversized path attachments.
+    pub decode_path_too_long: AtomicU64,
+    /// Whole frames dropped with stream alignment intact.
+    pub frames_quarantined: AtomicU64,
+    /// Byte-wise resync events (garbage skipped to a frame boundary).
+    pub resyncs: AtomicU64,
+    /// Total bytes discarded across all resync events.
+    pub resync_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of [`CollectorStats`] as plain integers.
@@ -119,10 +175,26 @@ pub struct StatsSnapshot {
     pub records: u64,
     /// Bytes read off sockets.
     pub bytes: u64,
-    /// Connections dropped due to decode errors.
+    /// Connections deliberately killed by the quarantine/resync budget.
     pub decode_errors: u64,
     /// Records shed at the high-water mark.
     pub dropped_records: u64,
+    /// Decode faults: bad magic.
+    pub decode_bad_magic: u64,
+    /// Decode faults: unsupported version.
+    pub decode_bad_version: u64,
+    /// Decode faults: length mismatch.
+    pub decode_length_mismatch: u64,
+    /// Decode faults: truncated frame.
+    pub decode_truncated: u64,
+    /// Decode faults: oversized path attachment.
+    pub decode_path_too_long: u64,
+    /// Whole frames dropped with stream alignment intact.
+    pub frames_quarantined: u64,
+    /// Byte-wise resync events.
+    pub resyncs: u64,
+    /// Total bytes discarded while resyncing.
+    pub resync_bytes: u64,
 }
 
 impl CollectorStats {
@@ -137,8 +209,41 @@ impl CollectorStats {
             bytes: self.bytes.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             dropped_records: self.dropped_records.load(Ordering::Relaxed),
+            decode_bad_magic: self.decode_bad_magic.load(Ordering::Relaxed),
+            decode_bad_version: self.decode_bad_version.load(Ordering::Relaxed),
+            decode_length_mismatch: self.decode_length_mismatch.load(Ordering::Relaxed),
+            decode_truncated: self.decode_truncated.load(Ordering::Relaxed),
+            decode_path_too_long: self.decode_path_too_long.load(Ordering::Relaxed),
+            frames_quarantined: self.frames_quarantined.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
+            resync_bytes: self.resync_bytes.load(Ordering::Relaxed),
         }
     }
+
+    /// Bump the per-cause decode-fault counter for `err`.
+    fn count_cause(&self, err: &WireError) {
+        let counter = match err {
+            WireError::BadMagic(_) => &self.decode_bad_magic,
+            WireError::BadVersion(_) => &self.decode_bad_version,
+            WireError::LengthMismatch { .. } => &self.decode_length_mismatch,
+            WireError::Truncated => &self.decode_truncated,
+            WireError::PathTooLong(_) => &self.decode_path_too_long,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Liveness record for one exporting agent, keyed by `agent_id`.
+#[derive(Debug, Clone)]
+pub struct AgentSeen {
+    /// The agent's wire identifier.
+    pub agent_id: u32,
+    /// `export_time_ms` of the most recent message.
+    pub last_export_ms: u64,
+    /// Wall-clock instant the most recent message decoded.
+    pub last_seen: Instant,
+    /// Messages decoded from this agent (monotonic).
+    pub messages: u64,
 }
 
 /// Records drained from the collector with the reactor's per-epoch
@@ -190,6 +295,7 @@ pub struct Collector {
     stores: Vec<Arc<Mutex<ShardStore>>>,
     pending: Arc<AtomicUsize>,
     stats: Arc<CollectorStats>,
+    liveness: Arc<Mutex<HashMap<u32, AgentSeen>>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
@@ -211,6 +317,7 @@ impl Collector {
         let stats = Arc::new(CollectorStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let pending = Arc::new(AtomicUsize::new(0));
+        let liveness: Arc<Mutex<HashMap<u32, AgentSeen>>> = Arc::new(Mutex::new(HashMap::new()));
 
         let mut stores = Vec::with_capacity(config.shards);
         let mut shard_threads = Vec::with_capacity(config.shards);
@@ -223,10 +330,11 @@ impl Collector {
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
                 let pending = Arc::clone(&pending);
+                let liveness = Arc::clone(&liveness);
                 let cfg = config.clone();
                 std::thread::Builder::new()
                     .name(format!("flock-reactor-{i}"))
-                    .spawn(move || shard_loop(rx, store, stats, stop, pending, cfg))
+                    .spawn(move || shard_loop(i, rx, store, stats, stop, pending, liveness, cfg))
                     .expect("spawn collector reactor shard")
             };
             stores.push(store);
@@ -248,6 +356,7 @@ impl Collector {
             stores,
             pending,
             stats,
+            liveness,
             stop,
             accept_thread: Some(accept_thread),
             shard_threads,
@@ -327,6 +436,47 @@ impl Collector {
         &self.stats
     }
 
+    /// Per-agent liveness snapshot, sorted by agent id. An agent appears
+    /// once its first message decodes and stays until evicted.
+    pub fn liveness(&self) -> Vec<AgentSeen> {
+        let mut out: Vec<AgentSeen> = self.liveness.lock().values().cloned().collect();
+        out.sort_by_key(|a| a.agent_id);
+        out
+    }
+
+    /// Agents whose most recent message is older than `stale_after`
+    /// (non-destructive; pair with [`evict_stale`](Self::evict_stale)).
+    pub fn stale_agents(&self, stale_after: Duration) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .liveness
+            .lock()
+            .values()
+            .filter(|a| a.last_seen.elapsed() >= stale_after)
+            .map(|a| a.agent_id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Remove liveness entries older than `stale_after`, returning the
+    /// evicted agent ids. Eviction forgets a dead agent (its entry would
+    /// otherwise read as "stale" forever); a reconnecting agent re-registers
+    /// on its next decoded message.
+    pub fn evict_stale(&self, stale_after: Duration) -> Vec<u32> {
+        let mut map = self.liveness.lock();
+        let dead: Vec<u32> = map
+            .values()
+            .filter(|a| a.last_seen.elapsed() >= stale_after)
+            .map(|a| a.agent_id)
+            .collect();
+        for id in &dead {
+            map.remove(id);
+        }
+        let mut dead = dead;
+        dead.sort_unstable();
+        dead
+    }
+
     /// Stop the collector and join its threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -385,36 +535,47 @@ fn accept_loop(
     }
 }
 
-/// One registered connection: its socket plus framing state.
+/// One registered connection: its socket, framing state, and its
+/// consumption so far of the shard's quarantine/resync kill budget.
 struct Conn {
     stream: TcpStream,
     decoder: StreamDecoder,
+    resync_bytes: usize,
+    quarantined_frames: u64,
 }
 
 enum Pump {
     /// Connection stays registered; `true` if any bytes were read.
     Open(bool),
-    /// Connection is done (hangup, IO error, or decode error).
+    /// Connection is done (hangup, IO error, or kill-budget exhaustion).
     Closed,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
+    shard_idx: usize,
     rx: Receiver<TcpStream>,
     store: Arc<Mutex<ShardStore>>,
     stats: Arc<CollectorStats>,
     stop: Arc<AtomicBool>,
     pending: Arc<AtomicUsize>,
+    liveness: Arc<Mutex<HashMap<u32, AgentSeen>>>,
     cfg: CollectorConfig,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut buf = vec![0u8; 64 * 1024];
     while !stop.load(Ordering::SeqCst) {
+        if let Some(hook) = &cfg.stall_hook {
+            hook.call(shard_idx);
+        }
         // Register connections handed over by the accept loop.
         loop {
             match rx.try_recv() {
                 Ok(stream) => conns.push(Conn {
                     stream,
                     decoder: StreamDecoder::new(),
+                    resync_bytes: 0,
+                    quarantined_frames: 0,
                 }),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
@@ -430,7 +591,15 @@ fn shard_loop(
         let mut progress = false;
         let mut i = 0;
         while i < conns.len() {
-            match pump(&mut conns[i], &mut buf, &store, &stats, &pending, &cfg) {
+            match pump(
+                &mut conns[i],
+                &mut buf,
+                &store,
+                &stats,
+                &pending,
+                &liveness,
+                &cfg,
+            ) {
                 Pump::Open(read_any) => {
                     progress |= read_any;
                     i += 1;
@@ -466,12 +635,19 @@ fn shard_loop(
 /// Read whatever one connection has ready (bounded per pass so a chatty
 /// agent cannot starve its shard-mates), decode complete frames, and bin
 /// the records into the shard store.
+///
+/// Decode faults no longer tear the connection down implicitly: framed
+/// garbage is quarantined per message and unframed garbage is skipped via
+/// resync, each under a per-connection budget. Only exhausting a budget
+/// kills the connection — a deliberate policy decision, visible in
+/// `decode_errors`.
 fn pump(
     conn: &mut Conn,
     buf: &mut [u8],
     store: &Mutex<ShardStore>,
     stats: &CollectorStats,
     pending: &AtomicUsize,
+    liveness: &Mutex<HashMap<u32, AgentSeen>>,
     cfg: &CollectorConfig,
 ) -> Pump {
     let mut read_any = false;
@@ -483,12 +659,31 @@ fn pump(
                 stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
                 conn.decoder.feed(&buf[..n]);
                 loop {
-                    match conn.decoder.next_message() {
-                        Ok(Some(msg)) => store_message(msg, store, stats, pending, cfg),
-                        Ok(None) => break,
-                        Err(_) => {
-                            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                            return Pump::Closed; // drop poisoned connection
+                    match conn.decoder.next_step() {
+                        DecodeStep::Message(msg) => {
+                            store_message(msg, store, stats, pending, liveness, cfg)
+                        }
+                        DecodeStep::NeedMore => break,
+                        DecodeStep::Quarantined(err) => {
+                            stats.count_cause(&err);
+                            stats.frames_quarantined.fetch_add(1, Ordering::Relaxed);
+                            conn.quarantined_frames += 1;
+                            if conn.quarantined_frames > cfg.max_quarantined_frames {
+                                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                return Pump::Closed;
+                            }
+                        }
+                        DecodeStep::Resynced { dropped, cause } => {
+                            stats.count_cause(&cause);
+                            stats.resyncs.fetch_add(1, Ordering::Relaxed);
+                            stats
+                                .resync_bytes
+                                .fetch_add(dropped as u64, Ordering::Relaxed);
+                            conn.resync_bytes += dropped;
+                            if conn.resync_bytes > cfg.max_resync_bytes {
+                                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                return Pump::Closed;
+                            }
                         }
                     }
                 }
@@ -509,9 +704,22 @@ fn store_message(
     store: &Mutex<ShardStore>,
     stats: &CollectorStats,
     pending: &AtomicUsize,
+    liveness: &Mutex<HashMap<u32, AgentSeen>>,
     cfg: &CollectorConfig,
 ) {
     stats.messages.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut map = liveness.lock();
+        let entry = map.entry(msg.agent_id).or_insert(AgentSeen {
+            agent_id: msg.agent_id,
+            last_export_ms: 0,
+            last_seen: Instant::now(),
+            messages: 0,
+        });
+        entry.last_export_ms = entry.last_export_ms.max(msg.export_time_ms);
+        entry.last_seen = Instant::now();
+        entry.messages += 1;
+    }
     let n = msg.records.len();
     if n == 0 {
         return;
@@ -695,25 +903,151 @@ mod tests {
     }
 
     #[test]
-    fn malformed_stream_increments_error_and_drops_conn() {
+    fn malformed_stream_resyncs_and_classifies_instead_of_killing() {
         let collector = Collector::bind(ephemeral()).unwrap();
         let mut s = TcpStream::connect(collector.local_addr()).unwrap();
+        // Garbage, then a valid message on the SAME connection: the
+        // reactor must resync and recover it rather than tear down.
         s.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
         s.write_all(&[0u8; 60]).unwrap();
-        drop(s);
-        assert!(wait_for(
-            || collector.stats().decode_errors.load(Ordering::Relaxed) == 1,
-            2000
-        ));
-        // A healthy agent can still connect afterwards.
-        let msg = encode_message(1, 0, 0, &[]);
-        let mut s2 = TcpStream::connect(collector.local_addr()).unwrap();
-        s2.write_all(&msg).unwrap();
-        drop(s2);
+        s.write_all(&encode_message(1, 0, 0, &[])).unwrap();
         assert!(wait_for(
             || collector.stats().messages.load(Ordering::Relaxed) == 1,
             2000
         ));
+        drop(s);
+        assert!(wait_for(
+            || collector.stats().snapshot().closed_connections == 1,
+            2000
+        ));
+        let snap = collector.stats().snapshot();
+        assert!(snap.resyncs >= 1, "garbage skipped via resync");
+        assert!(snap.decode_bad_magic >= 1, "cause classified");
+        assert_eq!(snap.resync_bytes, 64, "all garbage bytes accounted");
+        assert_eq!(
+            snap.decode_errors, 0,
+            "within budget: no deliberate kill, connection survived to EOF"
+        );
+    }
+
+    #[test]
+    fn resync_budget_exhaustion_kills_deliberately() {
+        let collector = Collector::bind_with(
+            ephemeral(),
+            CollectorConfig {
+                shards: 1,
+                max_resync_bytes: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(collector.local_addr()).unwrap();
+        // Far more garbage than the budget; the socket stays open so only
+        // the kill policy (not EOF) can close the connection.
+        s.write_all(&[0x5a; 4096]).unwrap();
+        assert!(wait_for(
+            || collector.stats().snapshot().decode_errors == 1,
+            2000
+        ));
+        assert!(wait_for(
+            || collector.stats().snapshot().closed_connections == 1,
+            2000
+        ));
+        // A healthy agent still connects afterwards.
+        let mut s2 = TcpStream::connect(collector.local_addr()).unwrap();
+        s2.write_all(&encode_message(1, 0, 0, &[])).unwrap();
+        assert!(wait_for(
+            || collector.stats().snapshot().messages == 1,
+            2000
+        ));
+        drop(s2);
+        drop(s);
+    }
+
+    #[test]
+    fn quarantined_frame_keeps_connection_and_later_messages() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let good = encode_message(1, 0, 0, &[]);
+        let mut bad = good.to_vec();
+        bad[4..6].copy_from_slice(&9u16.to_be_bytes()); // unknown version
+        let mut s = TcpStream::connect(collector.local_addr()).unwrap();
+        s.write_all(&bad).unwrap();
+        s.write_all(&good).unwrap();
+        assert!(wait_for(
+            || collector.stats().snapshot().messages == 1,
+            2000
+        ));
+        let snap = collector.stats().snapshot();
+        assert_eq!(snap.frames_quarantined, 1);
+        assert_eq!(snap.decode_bad_version, 1);
+        assert_eq!(snap.decode_errors, 0);
+        drop(s);
+    }
+
+    #[test]
+    fn liveness_tracks_and_evicts_stale_agents() {
+        let collector = Collector::bind(ephemeral()).unwrap();
+        let addr = collector.local_addr();
+        for id in [11u32, 22] {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&encode_message(id, 5_000, 0, &[])).unwrap();
+            drop(s);
+        }
+        assert!(wait_for(|| collector.liveness().len() == 2, 2000));
+        let live = collector.liveness();
+        assert_eq!(
+            live.iter().map(|a| a.agent_id).collect::<Vec<_>>(),
+            vec![11, 22]
+        );
+        assert_eq!(live[0].last_export_ms, 5_000);
+        assert_eq!(live[0].messages, 1);
+
+        // Nothing is stale against a generous horizon...
+        assert!(collector.stale_agents(Duration::from_secs(60)).is_empty());
+        // ...and everything is against a zero horizon.
+        assert_eq!(collector.stale_agents(Duration::ZERO), vec![11, 22]);
+        assert_eq!(collector.evict_stale(Duration::ZERO), vec![11, 22]);
+        assert!(collector.liveness().is_empty());
+
+        // A reconnecting agent re-registers.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&encode_message(11, 6_000, 1, &[])).unwrap();
+        drop(s);
+        assert!(wait_for(|| collector.liveness().len() == 1, 2000));
+    }
+
+    #[test]
+    fn stalled_reactor_shard_recovers() {
+        use std::sync::atomic::AtomicU32;
+        // A stall hook freezes the (single) reactor shard for a while;
+        // messages written during the stall must still decode once it
+        // unwedges — nothing is lost, the pipeline just sees them late.
+        let stalls = Arc::new(AtomicU32::new(0));
+        let hook = {
+            let stalls = Arc::clone(&stalls);
+            ReactorHook::new(move |_shard| {
+                if stalls.fetch_add(1, Ordering::Relaxed) == 0 {
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+            })
+        };
+        let collector = Collector::bind_with(
+            ephemeral(),
+            CollectorConfig {
+                shards: 1,
+                stall_hook: Some(hook),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(collector.local_addr()).unwrap();
+        s.write_all(&encode_message(1, 0, 0, &[])).unwrap();
+        assert!(wait_for(
+            || collector.stats().snapshot().messages == 1,
+            3000
+        ));
+        assert!(stalls.load(Ordering::Relaxed) >= 1);
+        drop(s);
     }
 
     #[test]

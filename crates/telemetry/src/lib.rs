@@ -45,7 +45,8 @@ pub mod wire;
 
 pub use agent::{AgentConfig, AgentCore, FlowSample};
 pub use collector::{
-    Collector, CollectorConfig, CollectorStats, DrainBatch, StampedRecord, StatsSnapshot,
+    AgentSeen, Collector, CollectorConfig, CollectorStats, DrainBatch, ReactorHook, StampedRecord,
+    StatsSnapshot,
 };
 pub use flow::{FlowKey, FlowRecord, FlowStats, MonitoredFlow, TrafficClass};
 pub use input::{

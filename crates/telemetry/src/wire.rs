@@ -66,6 +66,12 @@ pub const FLAG_PROBE: u8 = 0b0000_0010;
 const MAX_PATH_LEN: usize = 64;
 const MAX_RECORDS: usize = u16::MAX as usize;
 
+/// Largest `msg_len` a header can legitimately declare: a full v2 header
+/// plus `MAX_RECORDS` records each carrying a maximal path attachment.
+/// Anything larger is corruption — the framing layer refuses to buffer
+/// toward it and resyncs instead.
+pub const MAX_MSG_LEN: usize = HEADER_LEN_V2 + MAX_RECORDS * (RECORD_LEN + 2 + MAX_PATH_LEN * 4);
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -381,10 +387,102 @@ impl StreamDecoder {
         }
     }
 
+    /// Pop the next decode event without poisoning the stream.
+    ///
+    /// Unlike [`next_message`](Self::next_message), a malformed region of
+    /// the stream does not discard everything buffered: a frame whose
+    /// length field is trustworthy but whose content is not is dropped as
+    /// a unit ([`DecodeStep::Quarantined`]), and garbage with no usable
+    /// header is skipped byte-wise to the next plausible frame boundary
+    /// ([`DecodeStep::Resynced`]). The caller decides when accumulated
+    /// quarantine/resync volume crosses its kill threshold — teardown is
+    /// a policy decision, not a framing side effect.
+    pub fn next_step(&mut self) -> DecodeStep {
+        if self.buf.len() < HEADER_LEN {
+            return DecodeStep::NeedMore;
+        }
+        let magic = u32::from_be_bytes(self.buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return self.resync(WireError::BadMagic(magic));
+        }
+        let version = u16::from_be_bytes(self.buf[4..6].try_into().unwrap());
+        let msg_len = u32::from_be_bytes(self.buf[8..12].try_into().unwrap()) as usize;
+        let known_version = version == VERSION_V1 || version == VERSION;
+        // The declared length is only trusted inside sane bounds; an insane
+        // length means the header itself is corrupt, so frame-skipping
+        // would desynchronize us further — hunt for the next magic instead.
+        let min_len = if known_version {
+            header_len(version)
+        } else {
+            HEADER_LEN
+        };
+        if msg_len < min_len || msg_len > MAX_MSG_LEN {
+            return self.resync(WireError::LengthMismatch {
+                declared: msg_len as u32,
+                consumed: min_len as u32,
+            });
+        }
+        if self.buf.len() < msg_len {
+            return DecodeStep::NeedMore;
+        }
+        if !known_version {
+            // Length-framed but undecodable: drop exactly this frame and
+            // keep the boundary for the next one.
+            let _ = self.buf.split_to(msg_len);
+            return DecodeStep::Quarantined(WireError::BadVersion(version));
+        }
+        let frame = self.buf.split_to(msg_len);
+        match decode_message(&frame) {
+            Ok(msg) => DecodeStep::Message(msg),
+            // The frame was consumed whole, so the stream position is
+            // still aligned; only this message is lost.
+            Err(e) => DecodeStep::Quarantined(e),
+        }
+    }
+
+    /// Skip at least one byte, then scan for the next `MAGIC` occurrence.
+    /// Keeps up to 3 tail bytes (a potential partial magic) buffered when
+    /// no full match is found.
+    fn resync(&mut self, cause: WireError) -> DecodeStep {
+        let magic = MAGIC.to_be_bytes();
+        let dropped = match self.buf[1..].windows(4).position(|w| w == magic) {
+            Some(i) => 1 + i,
+            None => self.buf.len().saturating_sub(3).max(1),
+        };
+        let _ = self.buf.split_to(dropped);
+        DecodeStep::Resynced { dropped, cause }
+    }
+
     /// Bytes currently buffered (for tests/diagnostics).
     pub fn buffered(&self) -> usize {
         self.buf.len()
     }
+}
+
+/// One step of fault-tolerant stream decoding ([`StreamDecoder::next_step`]).
+///
+/// `Quarantined` and `Resynced` are progress, not termination: the caller
+/// should count them (per [`WireError`] cause) and keep stepping; the
+/// stream stays usable unless the caller's own quarantine budget decides
+/// otherwise.
+#[derive(Debug)]
+pub enum DecodeStep {
+    /// A complete, valid message.
+    Message(ExportMessage),
+    /// Not enough buffered bytes for the next frame; feed more.
+    NeedMore,
+    /// A length-framed message failed decoding; the whole frame was
+    /// discarded and the stream is still aligned on the next boundary.
+    Quarantined(WireError),
+    /// Garbage at the head of the stream: `dropped` bytes were skipped to
+    /// the next plausible frame boundary (or to a 3-byte tail when no
+    /// magic was found in the buffered window).
+    Resynced {
+        /// Bytes discarded while hunting for the next magic.
+        dropped: usize,
+        /// What made the head undecodable.
+        cause: WireError,
+    },
 }
 
 #[cfg(test)]
@@ -579,6 +677,112 @@ mod tests {
             decode_message(&bad),
             Err(WireError::PathTooLong(1000)) | Err(WireError::Truncated)
         ));
+    }
+
+    #[test]
+    fn next_step_resyncs_across_garbage() {
+        let recs = sample_records();
+        let good = encode_message_v2(7, 100, 0, 1, &recs);
+        let mut all = Vec::new();
+        all.extend_from_slice(&good);
+        all.extend_from_slice(&[0xde; 57]); // garbage, no magic
+        all.extend_from_slice(&good);
+
+        let mut dec = StreamDecoder::new();
+        dec.feed(&all);
+        let mut msgs = 0;
+        let mut resyncs = 0;
+        let mut dropped = 0;
+        loop {
+            match dec.next_step() {
+                DecodeStep::Message(_) => msgs += 1,
+                DecodeStep::Resynced { dropped: d, cause } => {
+                    assert!(matches!(cause, WireError::BadMagic(_)));
+                    resyncs += 1;
+                    dropped += d;
+                }
+                DecodeStep::Quarantined(e) => panic!("unexpected quarantine: {e}"),
+                DecodeStep::NeedMore => break,
+            }
+        }
+        assert_eq!(msgs, 2, "both framed messages survive the garbage");
+        assert!(resyncs >= 1);
+        assert_eq!(dropped, 57, "exactly the garbage bytes are dropped");
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn next_step_quarantines_bad_frame_and_keeps_alignment() {
+        let recs = sample_records();
+        let good = encode_message(7, 100, 0, &recs);
+        // Corrupt the path-length field of the second record so the frame
+        // decodes inconsistently but the outer length framing is intact.
+        let mut bad = good.to_vec();
+        let off = HEADER_LEN + RECORD_LEN * 2; // m2's path-length field
+        bad[off..off + 2].copy_from_slice(&1000u16.to_be_bytes());
+
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bad);
+        dec.feed(&good);
+        match dec.next_step() {
+            DecodeStep::Quarantined(_) => {}
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        match dec.next_step() {
+            DecodeStep::Message(m) => assert_eq!(m.records, recs),
+            other => panic!("expected the following message, got {other:?}"),
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn next_step_quarantines_unknown_version_by_frame() {
+        let recs = sample_records();
+        let good = encode_message(7, 100, 0, &recs);
+        let mut bad = good.to_vec();
+        bad[4..6].copy_from_slice(&9u16.to_be_bytes());
+
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bad);
+        dec.feed(&good);
+        assert!(matches!(
+            dec.next_step(),
+            DecodeStep::Quarantined(WireError::BadVersion(9))
+        ));
+        assert!(matches!(dec.next_step(), DecodeStep::Message(_)));
+    }
+
+    #[test]
+    fn next_step_resyncs_on_insane_length() {
+        let recs = sample_records();
+        let good = encode_message(7, 100, 0, &recs);
+        let mut bad = good.to_vec();
+        bad[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bad);
+        dec.feed(&good);
+        // The corrupt header is skipped via resync (possibly in several
+        // hops), then the good message decodes.
+        let mut saw_resync = false;
+        loop {
+            match dec.next_step() {
+                DecodeStep::Resynced { cause, .. } => {
+                    saw_resync = true;
+                    assert!(matches!(
+                        cause,
+                        WireError::LengthMismatch { .. } | WireError::BadMagic(_)
+                    ));
+                }
+                DecodeStep::Message(m) => {
+                    assert_eq!(m.records, recs);
+                    break;
+                }
+                DecodeStep::Quarantined(_) => {}
+                DecodeStep::NeedMore => panic!("decoder stalled"),
+            }
+        }
+        assert!(saw_resync);
     }
 
     #[test]

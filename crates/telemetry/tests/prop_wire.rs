@@ -1,7 +1,12 @@
 //! Property-based tests of the wire codec: arbitrary record batches
-//! round-trip exactly, under any stream chunking.
+//! round-trip exactly under any stream chunking, and the fault-tolerant
+//! decoder ([`StreamDecoder::next_step`]) survives arbitrary adversarial
+//! bytes — every step is a message, a typed quarantine, a resync, or a
+//! request for more input; never a panic, never a livelock.
 
-use flock_telemetry::wire::{decode_message, encode_message, encode_message_v2, StreamDecoder};
+use flock_telemetry::wire::{
+    decode_message, encode_message, encode_message_v2, DecodeStep, StreamDecoder,
+};
 use flock_telemetry::{FlowKey, FlowRecord, FlowStats, TrafficClass};
 use flock_topology::{LinkId, NodeId};
 use proptest::prelude::*;
@@ -124,6 +129,81 @@ proptest! {
         }
         prop_assert_eq!(seen, n_messages);
         prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_always_progress(
+        garbage in prop::collection::vec(any::<u8>(), 0..4096),
+        chunk in 1usize..257,
+    ) {
+        // Fully adversarial input: whatever the bytes decode to, every
+        // step must be typed, and each non-NeedMore step must consume
+        // at least one byte (no livelock on any input).
+        let mut dec = StreamDecoder::new();
+        for piece in garbage.chunks(chunk) {
+            dec.feed(piece);
+            loop {
+                let before = dec.buffered();
+                match dec.next_step() {
+                    DecodeStep::NeedMore => break,
+                    DecodeStep::Message(_)
+                    | DecodeStep::Quarantined(_)
+                    | DecodeStep::Resynced { .. } => {
+                        prop_assert!(
+                            dec.buffered() < before,
+                            "step consumed nothing: {} -> {}",
+                            before,
+                            dec.buffered()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_frames_survive_surrounding_garbage(
+        records in prop::collection::vec(arb_record(), 1..5),
+        pre in prop::collection::vec(any::<u8>(), 1..128),
+        mid in prop::collection::vec(any::<u8>(), 1..128),
+        chunk in 1usize..97,
+    ) {
+        // Garbage, frame, garbage, frame: the decoder must deliver both
+        // messages, resyncing over every byte it cannot use.
+        let frame_a = encode_message_v2(3, 10, 0, 7, &records);
+        let frame_b = encode_message(3, 11, 1, &records);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&pre);
+        stream.extend_from_slice(&frame_a);
+        stream.extend_from_slice(&mid);
+        stream.extend_from_slice(&frame_b);
+
+        let mut dec = StreamDecoder::new();
+        let mut times = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            loop {
+                match dec.next_step() {
+                    DecodeStep::NeedMore => break,
+                    DecodeStep::Message(m) => {
+                        prop_assert_eq!(&m.records, &records);
+                        times.push(m.export_time_ms);
+                    }
+                    DecodeStep::Quarantined(_) | DecodeStep::Resynced { .. } => {}
+                }
+            }
+        }
+        // Garbage may happen to embed a valid-looking frame header, in
+        // which case bytes of a real frame can be consumed as that
+        // phantom frame's payload — but the *aligned* case (garbage
+        // containing no magic) must always deliver both messages.
+        let magic = 0x464c_4b31u32.to_be_bytes();
+        let clean = |g: &[u8]| !g.windows(4).any(|w| w == magic)
+            && !g.iter().rev().take(3).any(|&b| b == magic[0]);
+        if clean(&pre) && clean(&mid) {
+            prop_assert_eq!(&times, &vec![10, 11],
+                "both valid frames must survive garbage resync");
+        }
     }
 
     #[test]

@@ -207,6 +207,14 @@ fn main() {
         reports.len()
     );
     for report in &reports {
+        // A fault in the *monitored network* is the daemon's job, not a
+        // pipeline failure: every epoch of this run must be healthy.
+        assert!(
+            !report.health.is_degraded(),
+            "epoch {}: chaos-free run must stay healthy, got {:?}",
+            report.epoch_index,
+            report.health
+        );
         let truth = scenario.scenario_at(report.epoch_index).truth;
         let pr = flock::core::evaluate(&topo, &report.result.predicted, &truth);
         if !truth.is_empty() {
@@ -344,6 +352,22 @@ struct EpochLog {
     recall: f64,
     warm_shards: usize,
     shards: usize,
+    /// The epoch's health verdict: `false` means every shard completed
+    /// on full evidence.
+    degraded: bool,
+    /// Machine-stable degradation reasons (`shard-panicked:pod2`,
+    /// `late-records:17`, ...), empty when healthy.
+    degrade_reasons: Vec<String>,
+    /// Fraction of shard-relevant evidence that reached a completed
+    /// shard (1.0 when healthy).
+    evidence_coverage: f64,
+    /// The store's durability tier after this ingest (`RingOnly` once
+    /// a segment append has failed).
+    durability: Durability,
+    /// Operational (store self-diagnosis) alerts raised so far.
+    ops_alerts: usize,
+    /// Agents the collector currently tracks as live.
+    agents_live: usize,
     /// Alerts the store raised on this epoch's ingest.
     alerts_raised: Vec<Alert>,
     /// Alerts it cleared.
@@ -362,7 +386,7 @@ fn ingest_and_log(
     collector: &Collector,
     json: bool,
 ) {
-    let delta = store.ingest(report).expect("segment append");
+    let delta = store.ingest(report);
     let snap = collector.stats().snapshot();
     let truth = scenario.scenario_at(report.epoch_index).truth;
     let pr = flock::core::evaluate(topo, &report.result.predicted, &truth);
@@ -396,6 +420,17 @@ fn ingest_and_log(
         recall: pr.recall,
         warm_shards: report.shards.iter().filter(|s| s.warm).count(),
         shards: report.shards.len(),
+        degraded: report.health.is_degraded(),
+        degrade_reasons: report
+            .health
+            .reasons()
+            .iter()
+            .map(|r| r.to_string())
+            .collect(),
+        evidence_coverage: report.health.evidence_coverage(),
+        durability: store.durability(),
+        ops_alerts: store.ops_alerts().len(),
+        agents_live: collector.liveness().len(),
         alerts_raised: delta.raised,
         alerts_cleared: delta.cleared,
         active_alerts: store.metrics().gauge("active_alerts").unwrap_or(0.0) as u64,
@@ -430,11 +465,28 @@ fn ingest_and_log(
         } else {
             String::new()
         };
+        let health = if log.degraded {
+            format!(
+                " | DEGRADED cov {:.2} [{}]",
+                log.evidence_coverage,
+                log.degrade_reasons.join(", ")
+            )
+        } else {
+            String::new()
+        };
+        let durability = if log.durability != Durability::Durable {
+            format!(
+                " | store {:?} ({} ops alerts)",
+                log.durability, log.ops_alerts
+            )
+        } else {
+            String::new()
+        };
         println!(
             "epoch {:>2} [{:>5}ms..{:>5}ms): {:>5} records → {:>4} obs | shard evidence \
              {:>5} → {:>4} super-flows (x{:.1}) | {} planes [{}]{refine} | \
              Δ≤{}/{} | blamed {:?} | truth {:?} | P {:.2} R {:.2} | {}/{} shards warm | \
-             conns {} up / {} closed | {:.1}ms{alerts}",
+             {} agents live | conns {} up / {} closed | {:.1}ms{alerts}{health}{durability}",
             log.epoch,
             log.start_ms,
             log.end_ms,
@@ -453,6 +505,7 @@ fn ingest_and_log(
             log.recall,
             log.warm_shards,
             log.shards,
+            log.agents_live,
             log.conns_up,
             log.conns_closed,
             log.runtime_ms,

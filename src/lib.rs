@@ -75,9 +75,13 @@ pub mod prelude {
         TrafficConfig, TrafficPattern,
     };
     pub use flock_store::{
-        Alert, AlertPolicy, MetricsRegistry, StoreConfig, StoreQuery, VerdictStore,
+        Alert, AlertPolicy, Durability, MetricsRegistry, OpsAlert, StoreConfig, StoreQuery,
+        VerdictStore,
     };
-    pub use flock_stream::{EpochConfig, EpochReport, Provenance, StreamConfig, StreamPipeline};
+    pub use flock_stream::{
+        DegradeReason, EpochConfig, EpochHealth, EpochReport, Provenance, StreamConfig,
+        StreamPipeline,
+    };
     pub use flock_telemetry::{
         AnalysisMode, Collector, CollectorConfig, DrainBatch, FlowKey, FlowRecord, InputKind,
         MonitoredFlow, ObservationSet, StampedRecord, StatsSnapshot,
