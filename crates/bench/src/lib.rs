@@ -1,6 +1,7 @@
 //! Shared fixtures for the criterion benchmarks: deterministic traces at a
 //! few canonical scales, so every bench measures the same workloads the
 //! paper's runtime figures use.
+#![warn(missing_docs)]
 
 use flock_netsim::failure::{self, FailureScenario, DEFAULT_NOISE_MAX};
 use flock_netsim::flowsim::{run_probes, simulate_flows, FlowSimConfig};

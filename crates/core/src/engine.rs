@@ -74,7 +74,7 @@
 //! and the total log-likelihood but skips the Δ bookkeeping, and
 //! [`Engine::delta_single`] evaluates one neighbor from current state.
 
-use crate::likelihood::{llf, TermTable};
+use crate::likelihood::{llf, TermPrefill, TermTable};
 use crate::params::HyperParams;
 use crate::simd::{self, KernelDispatch};
 use crate::space::{CompIdx, ComponentSpace};
@@ -317,6 +317,11 @@ pub struct Engine {
     /// Memoized `llf` tables per distinct `(sent, bad, w)` evidence key;
     /// extend-only, so `SFlow::tbl` offsets survive rebinds.
     terms: TermTable,
+    /// Ladders pre-computed during the assembly stage, consumed (and
+    /// cleared) by the next [`Engine::rebuild_flows`] so first-sight
+    /// evidence keys cost a copy instead of transcendentals on the
+    /// inference critical path. `None` outside the pipelined executor.
+    term_prefill: Option<std::sync::Arc<TermPrefill>>,
     /// Per-component argmax bias for the warm-start *move* scan:
     /// `+prior_logodds(c)` when `c` is out of the hypothesis (adding
     /// pays the prior), `-prior_logodds(c)` when in (removal reclaims
@@ -490,6 +495,7 @@ impl Engine {
                 .map(KernelDispatch::clamped)
                 .unwrap_or_else(KernelDispatch::resolve),
             terms: TermTable::new(),
+            term_prefill: None,
             gain_move_bias: Vec::new(),
             gain_add_bias: Vec::new(),
             scratch_g: Vec::new(),
@@ -745,8 +751,16 @@ impl Engine {
                 self.pair_set_flows.push((ls, fi));
                 let at = self.members.len() as u32;
                 // One memoized llf table per distinct evidence key; the
-                // common warm-epoch case is a pure hash hit.
-                let (tbl, score) = self.terms.intern(&self.params, o.sent, o.bad, w);
+                // common warm-epoch case is a pure hash hit, and a miss
+                // copies the assembly stage's pre-computed ladder when
+                // one was installed (bit-identical either way).
+                let (tbl, score) = self.terms.intern_prefilled(
+                    &self.params,
+                    o.sent,
+                    o.bad,
+                    w,
+                    self.term_prefill.as_deref(),
+                );
                 self.sflows.push(SFlow {
                     set: ls,
                     score,
@@ -811,6 +825,15 @@ impl Engine {
             }
         }
         (extras, n)
+    }
+
+    /// Install (or clear) pre-computed [`TermPrefill`] ladders for the
+    /// next flow rebuild. The pipelined executor sets this right before
+    /// a rebind (from ladders built during the overlapped assembly
+    /// stage) and clears it after the epoch's search, so the `Arc`'d
+    /// prefill never outlives its epoch.
+    pub fn set_term_prefill(&mut self, prefill: Option<std::sync::Arc<TermPrefill>>) {
+        self.term_prefill = prefill;
     }
 
     /// The full-topology component space (indices on it are *global*;

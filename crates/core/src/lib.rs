@@ -59,7 +59,7 @@ pub use engine::{
 };
 pub use gibbs::GibbsSampler;
 pub use greedy::{BudgetedSearch, FlockGreedy};
-pub use likelihood::{flow_score, llf, TermTable};
+pub use likelihood::{flow_score, llf, TermPrefill, TermTable};
 pub use localizer::{LocalizationResult, Localizer};
 pub use metrics::{evaluate, fscore, MetricsAccumulator, PrecisionRecall};
 pub use params::HyperParams;

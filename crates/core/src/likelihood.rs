@@ -18,7 +18,7 @@
 //! Algorithm 2) exploits.
 
 use crate::params::HyperParams;
-use std::collections::HashMap;
+use flock_topology::FxHashMap;
 
 /// The flow score `s`: log-likelihood ratio of observing `(bad, sent)` on
 /// a failed path vs. a good path.
@@ -73,7 +73,7 @@ pub struct TermTable {
     /// Flat storage; the table for a key sits at `off..off + w + 1`.
     values: Vec<f64>,
     /// `(sent, bad, w)` → offset of that key's table in `values`.
-    index: HashMap<(u64, u64, u32), u32>,
+    index: FxHashMap<(u64, u64, u32), u32>,
     /// Distinct keys interned so far (for diagnostics/bench reporting).
     tables: usize,
 }
@@ -95,14 +95,38 @@ impl TermTable {
     /// with direct evaluation — the non-finite guard property tests pin
     /// this down.
     pub fn intern(&mut self, params: &HyperParams, sent: u64, bad: u64, w: u32) -> (u32, f64) {
+        self.intern_prefilled(params, sent, bad, w, None)
+    }
+
+    /// [`intern`](Self::intern) with an optional pre-computed ladder
+    /// source: on a key miss, if `prefill` holds the key's ladder the
+    /// entries are copied in instead of recomputed. Prefill ladders are
+    /// built by the same [`llf`] over the same [`flow_score`], so the
+    /// copy is bit-identical to direct computation — it only moves the
+    /// transcendental cost off the caller (the pipelined executor pays
+    /// it during the assembly stage, overlapped with the previous
+    /// epoch's inference).
+    pub fn intern_prefilled(
+        &mut self,
+        params: &HyperParams,
+        sent: u64,
+        bad: u64,
+        w: u32,
+        prefill: Option<&TermPrefill>,
+    ) -> (u32, f64) {
         debug_assert!(w > 0, "term table requires w > 0");
         let score = flow_score(params, sent, bad);
         if let Some(&off) = self.index.get(&(sent, bad, w)) {
             return (off, score);
         }
         let off = u32::try_from(self.values.len()).expect("term table exceeds u32 offsets");
-        for b in 0..=w {
-            self.values.push(llf(score, w, b));
+        match prefill.and_then(|p| p.get(sent, bad, w)) {
+            Some(ladder) => self.values.extend_from_slice(ladder),
+            None => {
+                for b in 0..=w {
+                    self.values.push(llf(score, w, b));
+                }
+            }
         }
         self.index.insert((sent, bad, w), off);
         self.tables += 1;
@@ -123,6 +147,54 @@ impl TermTable {
     /// Distinct `(sent, bad, w)` keys interned.
     pub fn tables(&self) -> usize {
         self.tables
+    }
+}
+
+/// Pre-computed [`llf`] ladders keyed by `(sent, bad, w)`, built during
+/// the assembly stage and consumed by
+/// [`TermTable::intern_prefilled`] at engine-rebind time.
+///
+/// This is the term-table pre-extension hook of the pipelined epoch
+/// loop: the assembler knows every evidence key the epoch will intern
+/// (it computed each observation's counts and path-set width), so the
+/// transcendental ladder work happens off the inference critical path.
+/// Ladders come from the same [`flow_score`] + [`llf`] as a direct
+/// intern, so consuming a prefill is bit-identical to not having one.
+#[derive(Debug, Default, Clone)]
+pub struct TermPrefill {
+    map: FxHashMap<(u64, u64, u32), Box<[f64]>>,
+}
+
+impl TermPrefill {
+    /// An empty prefill.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute (once) the ladder for `(sent, bad, w)`. `w` must be
+    /// positive, as for [`TermTable::intern`].
+    pub fn ensure(&mut self, params: &HyperParams, sent: u64, bad: u64, w: u32) {
+        debug_assert!(w > 0, "term prefill requires w > 0");
+        self.map.entry((sent, bad, w)).or_insert_with(|| {
+            let score = flow_score(params, sent, bad);
+            (0..=w).map(|b| llf(score, w, b)).collect()
+        });
+    }
+
+    /// The ladder for `(sent, bad, w)`, if ensured.
+    #[inline]
+    pub fn get(&self, sent: u64, bad: u64, w: u32) -> Option<&[f64]> {
+        self.map.get(&(sent, bad, w)).map(|b| &b[..])
+    }
+
+    /// Distinct keys held.
+    pub fn tables(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -202,6 +274,33 @@ mod tests {
         // Almost all paths failed with crushing counter-evidence:
         // ln(1/w) remains.
         assert!((v2 - (1.0f64 / 32.0).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefilled_intern_is_bit_identical() {
+        let p = params();
+        let keys = [(40u64, 0u64, 4u32), (80, 2, 4), (160, 3, 8), (320, 0, 1)];
+        let mut prefill = TermPrefill::new();
+        for &(sent, bad, w) in &keys {
+            prefill.ensure(&p, sent, bad, w);
+        }
+        let mut direct = TermTable::new();
+        let mut filled = TermTable::new();
+        for &(sent, bad, w) in &keys {
+            let (od, sd) = direct.intern(&p, sent, bad, w);
+            let (of, sf) = filled.intern_prefilled(&p, sent, bad, w, Some(&prefill));
+            assert_eq!(od, of);
+            assert_eq!(sd.to_bits(), sf.to_bits());
+        }
+        assert_eq!(direct.entries(), filled.entries());
+        for (a, b) in direct.values().iter().zip(filled.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A key missing from the prefill falls back to direct compute.
+        let (o1, _) = direct.intern(&p, 999, 7, 6);
+        let (o2, _) = filled.intern_prefilled(&p, 999, 7, 6, Some(&prefill));
+        assert_eq!(o1, o2);
+        assert_eq!(direct.values().len(), filled.values().len());
     }
 
     #[test]

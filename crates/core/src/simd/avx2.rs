@@ -14,7 +14,7 @@
 
 use core::arch::x86_64::{
     __m128i, _mm256_add_pd, _mm256_i32gather_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_mul_pd,
-    _mm256_set1_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _mm_add_epi32, _mm_loadu_si128,
+    _mm256_set1_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm_add_epi32, _mm_loadu_si128,
     _mm_set1_epi32,
 };
 
@@ -98,16 +98,19 @@ pub(super) unsafe fn member_delta_sweep(
         let ptr = tbl.as_ptr();
         let v_base = _mm_set1_epi32(base as i32);
         let v_ll = _mm256_set1_pd(ll_active);
-        let v_weight = _mm256_set1_pd(weight);
-        // xor with -0.0 flips the sign bit (scalar `-x`); xor with 0.0 is
-        // the identity, so the branch is hoisted out of the loop.
-        let v_sign = _mm256_set1_pd(if negate { -0.0 } else { 0.0 });
+        // The sign is folded into the weight operand (`x * ±weight`, not
+        // a sign-xor of `x`) so a NaN table entry propagates its own bit
+        // pattern through `vmulpd`, exactly as the portable path's
+        // `mulsd` does — see the portable twin for why negating `x`
+        // itself is not codegen-stable.
+        let w = if negate { -weight } else { weight };
+        let v_weight = _mm256_set1_pd(w);
         let mut out = [0.0f64; 4];
         let mut i = 0;
         while i + 4 <= n {
             let gi = _mm_loadu_si128(g.as_ptr().add(i) as *const __m128i);
             let t = _mm256_i32gather_pd::<8>(ptr, _mm_add_epi32(gi, v_base));
-            let x = _mm256_xor_pd(_mm256_sub_pd(t, v_ll), v_sign);
+            let x = _mm256_sub_pd(t, v_ll);
             _mm256_storeu_pd(out.as_mut_ptr(), _mm256_mul_pd(x, v_weight));
             for (j, &o) in out.iter().enumerate() {
                 let l = *lanes.get_unchecked(i + j) as usize;
@@ -117,9 +120,8 @@ pub(super) unsafe fn member_delta_sweep(
         }
         while i < n {
             let x = *tbl.get_unchecked((base + *g.get_unchecked(i)) as usize) - ll_active;
-            let x = if negate { -x } else { x };
             let l = *lanes.get_unchecked(i) as usize;
-            *delta.get_unchecked_mut(l) += x * weight;
+            *delta.get_unchecked_mut(l) += x * w;
             i += 1;
         }
     }

@@ -197,8 +197,12 @@ pub fn fabric_delta_sweep(
 ///
 /// ```text
 /// x = tbl[base + g[i]] - ll_active
-/// delta[lanes[i]] += (if negate { -x } else { x }) * weight
+/// delta[lanes[i]] += x * (if negate { -weight } else { weight })
 /// ```
+///
+/// (The sign rides the weight operand, not `x`, so NaN table entries
+/// propagate their own bit pattern identically through both dispatch
+/// paths — see the kernel sources.)
 ///
 /// Used by `flip_extra_for_member` when flipping a component that rides
 /// a member's *extras* (host links, NIC-side components): the member's

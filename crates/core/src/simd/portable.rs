@@ -53,18 +53,19 @@ pub(super) fn member_delta_sweep(
     negate: bool,
     delta: &mut [f64],
 ) {
-    // The sign selection is hoisted out of the loop in both paths; `-x`
-    // is a sign-bit flip, exactly the AVX2 xor-with-(-0.0) lanes.
-    if negate {
-        for i in 0..lanes.len() {
-            let x = tbl[(base + g[i]) as usize] - ll_active;
-            delta[lanes[i] as usize] += -x * weight;
-        }
-    } else {
-        for i in 0..lanes.len() {
-            let x = tbl[(base + g[i]) as usize] - ll_active;
-            delta[lanes[i] as usize] += x * weight;
-        }
+    // The sign is folded into the *weight* operand, not applied to `x`:
+    // `x * (±weight)` equals `±(x * weight)` bitwise for every finite
+    // and infinite input, and when `x` is NaN both the scalar `mulsd`
+    // and the packed `vmulpd` propagate `x`'s own bit pattern. Negating
+    // `x` itself is not codegen-stable — LLVM may rewrite `(-x) * w` as
+    // `x * (-w)` (NaN sign is unspecified in its float semantics), which
+    // silently flips which NaN sign this path produces relative to an
+    // explicit vector sign-xor. The AVX2 twin folds the sign the same
+    // way, so the two paths agree bitwise even on NaN table entries.
+    let w = if negate { -weight } else { weight };
+    for i in 0..lanes.len() {
+        let x = tbl[(base + g[i]) as usize] - ll_active;
+        delta[lanes[i] as usize] += x * w;
     }
 }
 

@@ -58,6 +58,7 @@ fn report(epoch: u64, degraded: bool) -> EpochReport {
         provenance,
         health,
         failures: Vec::new(),
+        stages: Default::default(),
     }
 }
 

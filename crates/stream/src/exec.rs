@@ -1,0 +1,381 @@
+//! Persistent work-stealing shard executor.
+//!
+//! The epoch loop used to spawn one scoped thread per shard per epoch:
+//! a spawn/join barrier whose wall time is gated by the slowest shard
+//! *and* by thread-creation latency, every epoch. [`ShardExecutor`]
+//! replaces it with a fixed pool of workers over per-shard task queues:
+//!
+//! * **Shard-affine, steal on idle** — worker `k` scans its home shards
+//!   (`k`, `k + workers`, …) first and steals from the rest only when
+//!   its own are empty or claimed, so shard state stays cache-warm under
+//!   even load while uneven epochs still spread across the pool.
+//! * **Per-shard serialization and FIFO order** — each shard's jobs run
+//!   one at a time, in submission order, whichever workers run them.
+//!   That is the property pipelining leans on: epoch `N + 1`'s job for
+//!   shard `i` can sit queued while `N` is still running, and shard `i`
+//!   starts `N + 1` the moment *its own* `N` finishes — no cross-shard
+//!   join barrier between epochs.
+//! * **State lives in the pool** — jobs are `FnOnce(&mut S)` closures
+//!   over the shard's state slot. Panics are the *caller's* contract:
+//!   the pipeline wraps every job body in `catch_unwind` (it must — it
+//!   owns the degraded-verdict policy); the executor adds a backstop
+//!   that swallows any panic that still escapes, so one poisoned job
+//!   can never take a worker (or the whole pool) down.
+//!
+//! The executor is deliberately generic (`S: Send`) and dependency-free
+//! — plain `Mutex`/`Condvar` signalling, safe Rust only — so tests can
+//! drive it with toy states.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of work bound to one shard's state.
+type Job<S> = Box<dyn FnOnce(&mut S) + Send + 'static>;
+
+/// One shard's slot: its pending jobs, its state, and a claim flag that
+/// serializes execution (the queue can hold the next epoch's job while
+/// the current one runs).
+struct ShardCell<S> {
+    queue: Mutex<VecDeque<Job<S>>>,
+    state: Mutex<S>,
+    /// Claimed by the worker currently running (or about to run) this
+    /// shard's job — per-shard mutual exclusion and FIFO order.
+    busy: AtomicBool,
+}
+
+struct ExecShared<S> {
+    cells: Vec<ShardCell<S>>,
+    /// Jobs submitted and not yet finished (queued or running).
+    pending: AtomicUsize,
+    stop: AtomicBool,
+    /// Wakeup channel for workers (new job, or a shard freed with queued
+    /// work) and for [`ShardExecutor::quiesce`] waiters (pending hit 0).
+    signal: Mutex<()>,
+    cond: Condvar,
+}
+
+/// Lock, surviving poisoning: the executor's own invariants never
+/// depend on observing a consistent value across a panic (queues hold
+/// boxed closures; state is the caller's and the caller catches its own
+/// panics), so a poisoned mutex is safe to re-enter.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<S> ExecShared<S> {
+    /// Try to run one queued job for shard `i`. Returns whether a job ran.
+    fn try_run(&self, i: usize) -> bool {
+        let cell = &self.cells[i];
+        // Claim the shard first: between the claim and the queue pop no
+        // other worker can run this shard, so FIFO order holds.
+        if cell.busy.swap(true, Ordering::Acquire) {
+            return false; // someone else is running this shard
+        }
+        let job = lock(&cell.queue).pop_front();
+        let Some(job) = job else {
+            cell.busy.store(false, Ordering::Release);
+            return false;
+        };
+        {
+            let mut state = lock(&cell.state);
+            // Backstop only: the pipeline's jobs catch their own panics
+            // (they own degraded-verdict policy); anything that still
+            // escapes must not kill the worker thread.
+            let _ = catch_unwind(AssertUnwindSafe(|| job(&mut state)));
+        }
+        cell.busy.store(false, Ordering::Release);
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        // Wake quiesce waiters and any worker that should pick up this
+        // shard's next queued job (or work we stole from).
+        let _g = lock(&self.signal);
+        self.cond.notify_all();
+        true
+    }
+
+    fn has_runnable(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| !c.busy.load(Ordering::Acquire) && !lock(&c.queue).is_empty())
+    }
+}
+
+fn worker_loop<S>(shared: Arc<ExecShared<S>>, worker: usize, n_workers: usize) {
+    let n = shared.cells.len();
+    loop {
+        let mut ran = false;
+        // Home shards first (stride partition), then steal the rest.
+        let mut i = worker;
+        while i < n {
+            ran |= shared.try_run(i);
+            i += n_workers;
+        }
+        for i in 0..n {
+            if i % n_workers != worker {
+                ran |= shared.try_run(i);
+            }
+        }
+        if ran {
+            continue;
+        }
+        let guard = lock(&shared.signal);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.has_runnable() {
+            continue; // raced a submit between scan and lock
+        }
+        // Timeout is robustness against a lost wakeup, not the schedule.
+        let _ = shared
+            .cond
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap_or_else(|e| e.into_inner());
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// A fixed pool of workers executing jobs against per-shard state slots,
+/// with per-shard FIFO serialization and idle-time stealing. See the
+/// module docs for the scheduling contract.
+pub struct ShardExecutor<S: Send + 'static> {
+    shared: Arc<ExecShared<S>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: Send + 'static> ShardExecutor<S> {
+    /// Build a pool over the given shard states. `workers == 0` sizes
+    /// the pool to `min(available_parallelism, shards)`; any other value
+    /// is taken as-is (capped at the shard count — extra workers could
+    /// never find work).
+    pub fn new(states: Vec<S>, workers: usize) -> Self {
+        let n_shards = states.len().max(1);
+        let n_workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n_shards)
+        } else {
+            workers.min(n_shards)
+        }
+        .max(1);
+        let shared = Arc::new(ExecShared {
+            cells: states
+                .into_iter()
+                .map(|s| ShardCell {
+                    queue: Mutex::new(VecDeque::new()),
+                    state: Mutex::new(s),
+                    busy: AtomicBool::new(false),
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            signal: Mutex::new(()),
+            cond: Condvar::new(),
+        });
+        let workers = (0..n_workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flock-shard-{k}"))
+                    .spawn(move || worker_loop(shared, k, n_workers))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardExecutor { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of shard slots.
+    pub fn n_shards(&self) -> usize {
+        self.shared.cells.len()
+    }
+
+    /// Queue a job for shard `i`. Jobs for one shard run serialized, in
+    /// submission order; jobs for different shards run concurrently.
+    pub fn submit(&self, i: usize, job: impl FnOnce(&mut S) + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        // Push under the cell lock, notify under the signal lock —
+        // never both at once (workers take signal → cell; taking cell →
+        // signal here would be an ABBA deadlock).
+        lock(&self.shared.cells[i].queue).push_back(Box::new(job));
+        let _g = lock(&self.shared.signal);
+        self.shared.cond.notify_all();
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn quiesce(&self) {
+        let mut guard = lock(&self.shared.signal);
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            guard = self
+                .shared
+                .cond
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Run `f` against shard `i`'s state from the caller's thread, once
+    /// the shard is idle. Intended for between-epoch inspection (tests,
+    /// draining final state); concurrent submissions to the same shard
+    /// will contend with it.
+    pub fn with_state<R>(&self, i: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        loop {
+            if !self.shared.cells[i].busy.swap(true, Ordering::Acquire) {
+                let r = {
+                    let mut state = lock(&self.shared.cells[i].state);
+                    f(&mut state)
+                };
+                self.shared.cells[i].busy.store(false, Ordering::Release);
+                let _g = lock(&self.shared.signal);
+                self.shared.cond.notify_all();
+                return r;
+            }
+            // Shard is running a job; wait for it to free up.
+            let guard = lock(&self.shared.signal);
+            let _ = self
+                .shared
+                .cond
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<S: Send + 'static> Drop for ShardExecutor<S> {
+    /// Shutdown: workers stop at the next idle scan; jobs still queued
+    /// are dropped unrun (their `TaskDone` senders drop with them, which
+    /// is how a collecting caller learns the epoch died). The running
+    /// job, if any, completes first — state is never torn mid-job.
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        {
+            let _g = lock(&self.shared.signal);
+            self.shared.cond.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn per_shard_fifo_order_and_isolation() {
+        let exec = ShardExecutor::new(vec![Vec::<u32>::new(), Vec::new()], 2);
+        for round in 0..100u32 {
+            exec.submit(0, move |s| s.push(round));
+            exec.submit(1, move |s| s.push(round * 2));
+        }
+        exec.quiesce();
+        let s0 = exec.with_state(0, |s| s.clone());
+        let s1 = exec.with_state(1, |s| s.clone());
+        assert_eq!(s0, (0..100).collect::<Vec<_>>());
+        assert_eq!(s1, (0..100).map(|r| r * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_spreads_uneven_load() {
+        // One slow shard + many fast ones, two workers: the fast shards
+        // must complete while the slow one runs (a thread-per-shard or
+        // no-steal executor with home-only scans would serialize them
+        // behind it if they hashed to the busy worker).
+        let exec = ShardExecutor::new(vec![0u64; 8], 2);
+        let (tx, rx) = mpsc::channel();
+        let slow_tx = tx.clone();
+        exec.submit(0, move |s| {
+            std::thread::sleep(Duration::from_millis(100));
+            *s += 1;
+            slow_tx.send(0usize).unwrap();
+        });
+        for i in 1..8 {
+            let tx = tx.clone();
+            exec.submit(i, move |s| {
+                *s += 1;
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        // All 7 fast shards finish well before the slow one's 100 ms.
+        let mut done = Vec::new();
+        for _ in 0..7 {
+            done.push(
+                rx.recv_timeout(Duration::from_millis(90))
+                    .expect("fast shards must not queue behind the stalled worker"),
+            );
+        }
+        assert!(!done.contains(&0));
+        exec.quiesce();
+    }
+
+    #[test]
+    fn quiesce_waits_for_queued_and_running() {
+        let exec = ShardExecutor::new(vec![0u32; 3], 1);
+        for i in 0..3 {
+            for _ in 0..5 {
+                exec.submit(i, |s| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    *s += 1;
+                });
+            }
+        }
+        exec.quiesce();
+        for i in 0..3 {
+            assert_eq!(exec.with_state(i, |s| *s), 5);
+        }
+    }
+
+    #[test]
+    fn escaped_panic_does_not_kill_the_pool() {
+        let exec = ShardExecutor::new(vec![0u32; 2], 1);
+        exec.submit(0, |_| panic!("boom"));
+        exec.submit(0, |s| *s += 1);
+        exec.submit(1, |s| *s += 10);
+        exec.quiesce();
+        assert_eq!(exec.with_state(0, |s| *s), 1);
+        assert_eq!(exec.with_state(1, |s| *s), 10);
+    }
+
+    #[test]
+    fn shutdown_drops_unrun_jobs_and_joins() {
+        let (tx, rx) = mpsc::channel::<u32>();
+        {
+            let exec = ShardExecutor::new(vec![()], 1);
+            exec.submit(0, move |_| {
+                std::thread::sleep(Duration::from_millis(20));
+            });
+            // Queued behind the sleeper; likely dropped unrun at shutdown
+            // — either way the sender must be gone after drop.
+            exec.submit(0, move |_| {
+                let _ = tx.send(1);
+            });
+        }
+        // Executor dropped: the channel must be closed (job either ran
+        // before stop or was dropped with its sender).
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(_) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => panic!("shutdown leaked the queued job"),
+        }
+    }
+
+    #[test]
+    fn worker_autosize_caps_at_shard_count() {
+        let exec = ShardExecutor::new(vec![(); 2], 0);
+        assert!(exec.n_workers() >= 1 && exec.n_workers() <= 2);
+        let exec2 = ShardExecutor::new(vec![(); 4], 64);
+        assert_eq!(exec2.n_workers(), 4);
+    }
+}

@@ -17,6 +17,10 @@
 //!   fabric's stripe structure via [`flock_topology::SpinePlanes`]) so
 //!   per-epoch inference can run shard-parallel on a thread pool with
 //!   no single spine engine on the critical path;
+//! * [`exec`] — a persistent work-stealing shard executor: fixed worker
+//!   threads over per-shard FIFO task queues, replacing the per-epoch
+//!   spawn/join barrier and letting consecutive epochs overlap per
+//!   shard;
 //! * [`pipeline`] — the driver: per epoch it assembles observations
 //!   against a persistent arena ([`flock_telemetry::Assembler`]),
 //!   **warm-starts** each shard's engine from the previous epoch
@@ -25,7 +29,11 @@
 //!   healed faults are dropped), arbitrates spine blame across planes
 //!   with a cross-plane refinement pass when several planes hypothesize
 //!   at once, and merges shard verdicts into one
-//!   [`flock_core::LocalizationResult`] per epoch.
+//!   [`flock_core::LocalizationResult`] per epoch. With
+//!   [`StreamConfig::pipelined`] set, assembly of epoch `N + 1` runs
+//!   double-buffered against inference of epoch `N`
+//!   ([`StreamPipeline::submit_flows`]), keeping steady-state wall time
+//!   near the slowest single shard's critical path.
 //!
 //! The end-to-end wiring (agents → TCP collector → stream →
 //! per-epoch verdicts) is demonstrated by the `flock_daemon` example and
@@ -37,12 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod epoch;
+pub mod exec;
 pub mod pipeline;
 pub mod shard;
 
 pub use epoch::{Epoch, EpochConfig, EpochManager};
+pub use exec::ShardExecutor;
 pub use pipeline::{
     reconstruct, ChaosHook, DegradeReason, EpochHealth, EpochReport, Provenance, ShardChaos,
-    ShardFailure, ShardOutcome, StreamConfig, StreamPipeline, PROVENANCE_SETS_CAP,
+    ShardFailure, ShardOutcome, StageTimings, StreamConfig, StreamPipeline, PROVENANCE_SETS_CAP,
 };
 pub use shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};

@@ -39,21 +39,22 @@
 //!    [`LocalizationResult`] per epoch.
 
 use crate::epoch::{Epoch, EpochConfig, EpochManager};
+use crate::exec::ShardExecutor;
 use crate::shard::{SetTouch, SetTouchIndex, Shard, ShardKind, ShardPlan};
 use flock_core::{
     CompIdx, ComponentSpace, Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams,
-    KernelDispatch, LocalizationResult,
+    KernelDispatch, LocalizationResult, TermPrefill,
 };
 use flock_telemetry::{
-    AnalysisMode, ArenaView, Assembler, DrainBatch, FlowRecord, InputKind, MonitoredFlow,
-    ObservationSet, StampedRecord, TrafficClass,
+    AnalysisMode, ArenaDelta, ArenaView, Assembler, DrainBatch, FlowRecord, InputKind,
+    MonitoredFlow, ObservationSet, PathArena, StampedRecord, TrafficClass,
 };
 use flock_topology::{Component, NodeId, NodeRole, Router, Topology};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -106,6 +107,22 @@ pub struct StreamConfig {
     /// chaos harness uses to panic or stall inference threads without a
     /// test-only build. `None` (the default) injects nothing.
     pub chaos: Option<ChaosHook>,
+    /// Overlap epochs: [`StreamPipeline::poll`] /
+    /// [`StreamPipeline::drain`] submit each epoch's shard jobs to the
+    /// persistent executor and *then* collect the previous epoch's
+    /// verdict, so epoch `N + 1`'s assembly (arena/view/term-table
+    /// extension, double-buffered against the in-flight arena copy) and
+    /// even its per-shard inference overlap epoch `N`'s. Reports are
+    /// emitted exactly one epoch behind submission;
+    /// [`StreamPipeline::drain`] flushes
+    /// the tail. Verdicts are bit-identical to the sequential mode
+    /// (property-tested by `pipelined_identity`). Default `false`:
+    /// every poll returns its own epoch's report.
+    pub pipelined: bool,
+    /// Worker threads in the shard executor. `0` (the default) sizes
+    /// the pool to `min(available_parallelism, shards)`; values above
+    /// the shard count are capped to it.
+    pub workers: usize,
 }
 
 /// A fault the [`ChaosHook`] can inject into one shard's epoch run.
@@ -164,6 +181,8 @@ impl StreamConfig {
             refine_full_spine: false,
             epoch_deadline: None,
             chaos: None,
+            pipelined: false,
+            workers: 0,
         }
     }
 }
@@ -369,6 +388,24 @@ pub struct ShardOutcome {
     pub kernel: KernelDispatch,
 }
 
+/// Where an epoch's wall time went, split at the executor boundary.
+///
+/// `prepare` (assembly: arena/view-catch-up, interning, sorting,
+/// touch signatures, term-ladder prefill) and `merge` (refinement +
+/// blame-ownership merge + provenance) both run on the *caller's*
+/// thread; the shard searches between them run on the executor. Under
+/// [`StreamConfig::pipelined`], `prepare` of epoch `N + 1` overlaps the
+/// shard searches of epoch `N`, so the steady-state cost per epoch is
+/// `max(prepare + merge, slowest shard chain)` — the quantity
+/// `bench-report`'s `pipeline` section models.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageTimings {
+    /// Assembly-stage wall time (caller thread, overlappable).
+    pub prepare: Duration,
+    /// Collect-stage wall time: refinement (when it ran) + merge.
+    pub merge: Duration,
+}
+
 /// One epoch's merged verdict.
 #[derive(Debug, Clone, Serialize)]
 pub struct EpochReport {
@@ -402,6 +439,8 @@ pub struct EpochReport {
     /// Shards that panicked this epoch (isolated at the pipeline's
     /// `catch_unwind` boundary; absent from [`shards`](Self::shards)).
     pub failures: Vec<ShardFailure>,
+    /// Caller-thread stage costs (see [`StageTimings`]).
+    pub stages: StageTimings,
 }
 
 impl EpochReport {
@@ -427,6 +466,59 @@ struct ShardState {
     prev: Vec<CompIdx>,
 }
 
+/// Immutable context shard jobs need every epoch, shared with the
+/// executor's worker threads once at construction (jobs are `'static`,
+/// so they cannot borrow from the pipeline).
+struct TaskCtx {
+    topo: Topology,
+    cfg: StreamConfig,
+    shards: Vec<Shard>,
+}
+
+/// One epoch's immutable inputs, shared by every shard job of that
+/// epoch. Dropped (and its arena reclaimed) when the epoch is collected.
+struct EpochCtx {
+    obs: ObservationSet,
+    /// Each observation's combined (set ∪ prefix) touch signature.
+    touches: Vec<SetTouch>,
+    /// Per shard: ascending indices of the observations it accepts —
+    /// computed once on the assembly stage so shard binding is a
+    /// replay, not a filter scan.
+    accept: Vec<Vec<u32>>,
+    /// Pre-computed likelihood-term ladders for every `(sent, bad, w)`
+    /// key in the epoch (pipelined mode only): shard engines extend
+    /// their term tables by memcpy instead of recomputing `llf` ladders
+    /// on the critical path. Bit-identical to on-demand interning.
+    prefill: Option<Arc<TermPrefill>>,
+    deadline: Option<Instant>,
+    epoch_index: u64,
+}
+
+/// One shard job's result, sent back over the epoch's channel.
+struct TaskDone {
+    shard: usize,
+    run: ShardRun,
+}
+
+type ShardRun = Result<(Vec<(CompIdx, f64)>, ShardOutcome), ShardFailure>;
+
+/// An epoch submitted to the executor and not yet collected.
+struct InFlight {
+    epoch_index: u64,
+    start_ms: u64,
+    end_ms: u64,
+    records: usize,
+    ctx: Arc<EpochCtx>,
+    rx: mpsc::Receiver<TaskDone>,
+    /// Degrade reasons sampled at submission (late-record delta,
+    /// externally-flagged reasons) — they belong to this report.
+    flags: Vec<DegradeReason>,
+    /// Assembly-stage cost of this epoch.
+    prepare: Duration,
+    submitted: Instant,
+    n_jobs: usize,
+}
+
 /// Rebuild [`MonitoredFlow`]s from wire records (paths are known only
 /// where agents traced or INT-stamped them). Takes records by value so
 /// the per-epoch hot path moves path vectors instead of cloning them.
@@ -450,7 +542,24 @@ pub struct StreamPipeline<'t> {
     manager: EpochManager,
     assembler: Assembler,
     plan: ShardPlan,
-    shards: Vec<ShardState>,
+    /// The persistent work-stealing pool owning every shard's state.
+    exec: ShardExecutor<ShardState>,
+    /// Shared immutable inputs for shard jobs (cloned once at build).
+    task_ctx: Arc<TaskCtx>,
+    /// The submitted-but-uncollected epoch (pipelined mode).
+    in_flight: Option<InFlight>,
+    /// The second arena copy of the double buffer, parked between
+    /// epochs when the assembler already holds a live arena.
+    spare_arena: Option<PathArena>,
+    /// Previous epoch's touch-signature and accept-list buffers,
+    /// reclaimed at collect and refilled in place the next epoch.
+    spare_touches: Vec<SetTouch>,
+    spare_accept: Vec<Vec<u32>>,
+    /// Interning growth of the most recent assembly — replayed onto the
+    /// *other* arena copy to catch it up without re-assembly.
+    last_delta: Option<ArenaDelta>,
+    /// Arena watermark (paths, sets) before the most recent assembly.
+    arena_wm: (usize, usize),
     touch: SetTouchIndex,
     /// Dense↔topology component translation for the merge (identical to
     /// every shard engine's space — `ComponentSpace::new` is a pure
@@ -470,10 +579,6 @@ pub struct StreamPipeline<'t> {
     /// Scratch for the narrow refinement's blame scope (comps owned by
     /// the epoch's blaming planes).
     refine_owned: Vec<bool>,
-    /// Per-epoch scratch: each observation's combined (set ∪ prefix)
-    /// touch signature, derived once and consulted by every shard's
-    /// evidence filter in O(1).
-    flow_touches: Vec<SetTouch>,
     /// Late-record count already attributed to an emitted report's
     /// health; the delta above this degrades the next report.
     late_attributed: u64,
@@ -495,7 +600,7 @@ impl<'t> StreamPipeline<'t> {
         } else {
             ShardPlan::single(topo)
         };
-        let shards = plan
+        let states: Vec<ShardState> = plan
             .shards
             .iter()
             .map(|_| ShardState {
@@ -504,6 +609,12 @@ impl<'t> StreamPipeline<'t> {
                 prev: Vec::new(),
             })
             .collect();
+        let exec = ShardExecutor::new(states, cfg.workers);
+        let task_ctx = Arc::new(TaskCtx {
+            topo: topo.clone(),
+            cfg: cfg.clone(),
+            shards: plan.shards.clone(),
+        });
         let space = ComponentSpace::new(topo);
         let mut spine_owned = vec![false; space.n_comps()];
         for s in &plan.shards {
@@ -520,14 +631,20 @@ impl<'t> StreamPipeline<'t> {
             cfg,
             assembler: Assembler::new(),
             plan,
-            shards,
+            exec,
+            task_ctx,
+            in_flight: None,
+            spare_arena: None,
+            spare_touches: Vec::new(),
+            spare_accept: Vec::new(),
+            last_delta: None,
+            arena_wm: (0, 0),
             touch: SetTouchIndex::new(),
             space,
             spine_owned,
             refine_engine: None,
             refine_view: ArenaView::new(),
             refine_owned: Vec::new(),
-            flow_touches: Vec::new(),
             late_attributed: 0,
             rejected_records: 0,
             pending_flags: Vec::new(),
@@ -572,20 +689,34 @@ impl<'t> StreamPipeline<'t> {
     }
 
     /// Close every window ending at or before `watermark_ms` and localize
-    /// each, in order.
+    /// each, in order. Under [`StreamConfig::pipelined`] each epoch is
+    /// submitted before its predecessor is collected, so the returned
+    /// reports trail submission by one epoch; [`drain`](Self::drain)
+    /// (or [`flush_inflight`](Self::flush_inflight)) emits the tail.
     pub fn poll(&mut self, watermark_ms: u64) -> Vec<EpochReport> {
         let epochs = self.manager.close_ready(watermark_ms);
-        epochs.into_iter().map(|e| self.run_epoch(e)).collect()
+        epochs
+            .into_iter()
+            .filter_map(|e| self.run_epoch(e))
+            .collect()
     }
 
-    /// Close and localize everything still buffered (end of run).
+    /// Close and localize everything still buffered (end of run),
+    /// including the in-flight epoch when pipelining.
     pub fn drain(&mut self) -> Vec<EpochReport> {
         let epochs = self.manager.flush();
-        epochs.into_iter().map(|e| self.run_epoch(e)).collect()
+        let mut out: Vec<EpochReport> = epochs
+            .into_iter()
+            .filter_map(|e| self.run_epoch(e))
+            .collect();
+        out.extend(self.flush_inflight());
+        out
     }
 
-    /// Localize one closed epoch.
-    fn run_epoch(&mut self, epoch: Epoch) -> EpochReport {
+    /// Localize one closed epoch (sequential mode), or submit it and
+    /// collect its predecessor (pipelined mode — `None` on the very
+    /// first epoch, when nothing is in flight yet).
+    fn run_epoch(&mut self, epoch: Epoch) -> Option<EpochReport> {
         let mut monitored = reconstruct(epoch.records.into_iter().map(|s| s.record));
         // The wire has no payload checksum: a corrupted-but-framed
         // message decodes into records with arbitrary content. Reject
@@ -599,7 +730,11 @@ impl<'t> StreamPipeline<'t> {
             self.pending_flags
                 .push(DegradeReason::RejectedRecords { count: rejected });
         }
-        self.run_flows(epoch.index, epoch.start_ms, epoch.end_ms, &monitored)
+        if self.cfg.pipelined {
+            self.submit_flows(epoch.index, epoch.start_ms, epoch.end_ms, &monitored)
+        } else {
+            Some(self.run_flows(epoch.index, epoch.start_ms, epoch.end_ms, &monitored))
+        }
     }
 
     /// Total wire-delivered records rejected by content sanitation
@@ -608,8 +743,15 @@ impl<'t> StreamPipeline<'t> {
         self.rejected_records
     }
 
-    /// Localize one epoch's worth of already-reconstructed flows. Public
-    /// so tests and benches can drive the inference loop without sockets.
+    /// Localize one epoch's worth of already-reconstructed flows,
+    /// synchronously: assemble, run every shard on the executor, and
+    /// collect the merged verdict before returning. Public so tests and
+    /// benches can drive the inference loop without sockets.
+    ///
+    /// # Panics
+    /// Panics if an epoch is still in flight
+    /// ([`submit_flows`](Self::submit_flows)); call
+    /// [`flush_inflight`](Self::flush_inflight) first.
     pub fn run_flows(
         &mut self,
         epoch_index: u64,
@@ -617,8 +759,85 @@ impl<'t> StreamPipeline<'t> {
         end_ms: u64,
         monitored: &[MonitoredFlow],
     ) -> EpochReport {
-        let started = Instant::now();
-        let deadline = self.cfg.epoch_deadline.map(|d| started + d);
+        assert!(
+            self.in_flight.is_none(),
+            "run_flows with an epoch in flight; call flush_inflight() first"
+        );
+        let inflight = self.submit_epoch(epoch_index, start_ms, end_ms, monitored);
+        self.collect_inflight(inflight)
+    }
+
+    /// Submit one epoch's flows to the shard executor and return the
+    /// *previous* epoch's report, if one was in flight — the pipelined
+    /// counterpart of [`run_flows`](Self::run_flows). The new epoch is
+    /// prepared and queued *before* the old one is collected, so its
+    /// assembly — and, per shard, its inference (each shard's jobs run
+    /// FIFO with no cross-shard barrier) — overlaps the in-flight
+    /// epoch's searches. Verdicts are bit-identical to the sequential
+    /// path. Returns `None` on the first submission.
+    pub fn submit_flows(
+        &mut self,
+        epoch_index: u64,
+        start_ms: u64,
+        end_ms: u64,
+        monitored: &[MonitoredFlow],
+    ) -> Option<EpochReport> {
+        let inflight = self.submit_epoch(epoch_index, start_ms, end_ms, monitored);
+        let prev = self.in_flight.replace(inflight);
+        prev.map(|f| self.collect_inflight(f))
+    }
+
+    /// Collect the in-flight epoch, if any (end of a pipelined run, or
+    /// before a synchronous [`run_flows`](Self::run_flows) call).
+    pub fn flush_inflight(&mut self) -> Option<EpochReport> {
+        let f = self.in_flight.take()?;
+        Some(self.collect_inflight(f))
+    }
+
+    /// The assembly stage: hand the assembler a caught-up arena copy
+    /// (double buffering), assemble, derive touch signatures, per-shard
+    /// accept lists and (pipelined) term-ladder prefill, then queue one
+    /// job per shard on the executor.
+    fn submit_epoch(
+        &mut self,
+        epoch_index: u64,
+        start_ms: u64,
+        end_ms: u64,
+        monitored: &[MonitoredFlow],
+    ) -> InFlight {
+        let prep_started = Instant::now();
+        let deadline = self.cfg.epoch_deadline.map(|d| prep_started + d);
+        // Double-buffer handoff: when the previous epoch's observations
+        // still hold the assembler's arena (pipelined overlap), give the
+        // assembler the *other* copy — parked at the last collect, or
+        // cloned from the in-flight arena on the first overlap — caught
+        // up to the emitted watermark by delta replay.
+        if self.assembler.arena_is_out() {
+            let clone_in_flight = |f: &InFlight| f.ctx.obs.arena.clone();
+            let twin = match self.spare_arena.take() {
+                Some(mut t) => {
+                    self.catch_up(&mut t);
+                    if (t.path_count(), t.set_count()) == self.arena_wm {
+                        t
+                    } else {
+                        // The parked copy missed more than one epoch of
+                        // growth (mixed sequential/pipelined driving,
+                        // where no delta was kept): re-clone instead of
+                        // handing the assembler a stale arena.
+                        self.in_flight
+                            .as_ref()
+                            .map(clone_in_flight)
+                            .expect("arena out implies an epoch in flight")
+                    }
+                }
+                None => self
+                    .in_flight
+                    .as_ref()
+                    .map(clone_in_flight)
+                    .expect("arena out implies an epoch in flight"),
+            };
+            self.assembler.recycle_arena(twin);
+        }
         let obs = self.assembler.assemble(
             self.topo,
             &self.router,
@@ -626,72 +845,168 @@ impl<'t> StreamPipeline<'t> {
             &self.cfg.kinds,
             self.cfg.mode,
         );
+        // Record this assembly's interning growth so the other arena
+        // copy can replay it instead of being re-cloned every epoch.
+        if self.cfg.pipelined {
+            self.last_delta = Some(obs.arena.delta_since(self.arena_wm.0, self.arena_wm.1));
+        }
+        self.arena_wm = (obs.arena.path_count(), obs.arena.set_count());
         self.touch.extend(self.topo, &obs);
-        // Derive each observation's combined touch signature once;
-        // every shard filter below is then an O(1) mask test instead of
-        // a per-engine walk over the flow's links.
-        self.flow_touches.clear();
-        self.flow_touches.extend(obs.flows.iter().map(|o| {
+        // Derive each observation's combined touch signature once and
+        // answer every shard's relevance from it in the same pass; each
+        // shard then binds by replaying its accept list instead of
+        // re-filtering the epoch. The buffers are the previous epoch's,
+        // reclaimed at collect — warm capacity, no per-epoch allocation.
+        let n_shards = self.plan.shards.len();
+        let mut touches = std::mem::take(&mut self.spare_touches);
+        touches.clear();
+        touches.reserve(obs.flows.len());
+        let mut accept = std::mem::take(&mut self.spare_accept);
+        accept.resize_with(n_shards, Vec::new);
+        accept.iter_mut().for_each(Vec::clear);
+        for (i, o) in obs.flows.iter().enumerate() {
             let (set_touch, prefix_touch) = self.touch.flow_touch(self.topo, o);
-            set_touch.union(prefix_touch)
-        }));
+            let t = set_touch.union(prefix_touch);
+            touches.push(t);
+            for (si, shard) in self.plan.shards.iter().enumerate() {
+                if shard.relevant_combined(t) {
+                    accept[si].push(i as u32);
+                }
+            }
+        }
+        // Pre-compute every term ladder the shard engines will intern
+        // this epoch, so the inference critical path extends its term
+        // tables by memcpy instead of evaluating `llf` ladders.
+        let prefill = self.cfg.pipelined.then(|| {
+            let mut p = TermPrefill::new();
+            for o in &obs.flows {
+                let w = obs.arena.set(o.set).len() as u32;
+                if w > 0 {
+                    p.ensure(&self.cfg.params, o.sent, o.bad, w);
+                }
+            }
+            Arc::new(p)
+        });
+        // Health flags belong to the epoch being submitted: sample the
+        // late-record delta now. Nothing ingests between here and a
+        // sequential-mode merge; in pipelined mode, later drops are the
+        // next submission's news.
+        let mut flags = Vec::new();
+        let late_now = self.manager.late_records();
+        if late_now > self.late_attributed {
+            flags.push(DegradeReason::LateRecords {
+                count: late_now - self.late_attributed,
+            });
+            self.late_attributed = late_now;
+        }
+        flags.append(&mut self.pending_flags);
 
-        // Run every shard, one thread each (shard counts are small: pods
-        // + spine planes). Each thread owns its shard's state mutably;
-        // shared inputs are borrowed immutably. Panics are caught
-        // *inside* the spawned closure — the join below can never see
-        // one — so a panicking shard degrades its own slice of the
-        // verdict instead of unwinding through the scope and taking the
-        // epoch (and the other shards' verdicts) with it. The failed
-        // shard's state is reset to a valid initial state: a fresh view
-        // (a half-bound view may hold a partially extended epoch) and no
-        // engine; `prev` is kept — global component ids survive the
-        // rebuild, so the recovered shard re-seeds its warm search from
-        // its last good hypothesis.
-        let topo = self.topo;
-        let cfg = &self.cfg;
-        let touches: &[SetTouch] = &self.flow_touches;
-        let obs_ref = &obs;
-        type ShardRun = Result<(Vec<(CompIdx, f64)>, ShardOutcome), ShardFailure>;
-        let outcomes: Vec<ShardRun> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .plan
-                .shards
-                .iter()
-                .zip(self.shards.iter_mut())
-                .map(|(shard, state)| {
-                    scope.spawn(move || {
-                        catch_unwind(AssertUnwindSafe(|| {
-                            run_shard(
-                                topo,
-                                cfg,
-                                shard,
-                                &mut *state,
-                                obs_ref,
-                                touches,
-                                epoch_index,
-                                deadline,
-                            )
-                        }))
-                        .map_err(|payload| {
-                            state.engine = None;
-                            state.view = ArenaView::new();
-                            ShardFailure {
-                                shard: shard.label.clone(),
-                                panic_message: panic_message(payload.as_ref()),
-                            }
-                        })
+        let records = monitored.len();
+        let ctx = Arc::new(EpochCtx {
+            obs,
+            touches,
+            accept,
+            prefill,
+            deadline,
+            epoch_index,
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..n_shards {
+            let tctx = Arc::clone(&self.task_ctx);
+            let ectx = Arc::clone(&ctx);
+            let tx = tx.clone();
+            // Panics are caught *inside* the job — a panicking shard
+            // degrades its own slice of the verdict instead of taking
+            // the epoch with it. The failed shard's state resets to a
+            // valid initial state: a fresh view (a half-bound view may
+            // hold a partially extended epoch) and no engine; `prev` is
+            // kept — global component ids survive the rebuild, so the
+            // recovered shard re-seeds its warm search from its last
+            // good hypothesis.
+            self.exec.submit(i, move |state| {
+                let run = catch_unwind(AssertUnwindSafe(|| run_shard(&tctx, i, state, &ectx)))
+                    .map_err(|payload| {
+                        state.engine = None;
+                        state.view = ArenaView::new();
+                        ShardFailure {
+                            shard: tctx.shards[i].label.clone(),
+                            panic_message: panic_message(payload.as_ref()),
+                        }
+                    });
+                let _ = tx.send(TaskDone { shard: i, run });
+            });
+        }
+        InFlight {
+            epoch_index,
+            start_ms,
+            end_ms,
+            records,
+            ctx,
+            rx,
+            flags,
+            prepare: prep_started.elapsed(),
+            submitted: Instant::now(),
+            n_jobs: n_shards,
+        }
+    }
+
+    /// Replay the most recent assembly's interning growth onto the
+    /// other arena copy, if it sits exactly at the pre-assembly
+    /// watermark. A copy that already contains the growth (a fresh
+    /// clone, or the arena the assembly itself extended) skips — the
+    /// watermark guard makes the replay idempotent.
+    fn catch_up(&self, arena: &mut PathArena) {
+        if let Some(delta) = &self.last_delta {
+            if delta.lineage() == arena.lineage()
+                && delta.from_watermarks() == (arena.path_count(), arena.set_count())
+            {
+                arena
+                    .apply_delta(delta)
+                    .expect("lineage and watermark verified");
+            }
+        }
+    }
+
+    /// The collect stage: receive every shard verdict, run the
+    /// cross-plane refinement when warranted, merge under blame
+    /// ownership, and reclaim the epoch's arena copy for the double
+    /// buffer.
+    fn collect_inflight(&mut self, f: InFlight) -> EpochReport {
+        let InFlight {
+            epoch_index,
+            start_ms,
+            end_ms,
+            records,
+            ctx,
+            rx,
+            flags,
+            prepare,
+            submitted,
+            n_jobs,
+        } = f;
+        let mut runs: Vec<Option<ShardRun>> = (0..n_jobs).map(|_| None).collect();
+        for _ in 0..n_jobs {
+            match rx.recv() {
+                Ok(done) => runs[done.shard] = Some(done.run),
+                // A sender dropped without sending: the job was
+                // discarded at executor shutdown. Missing shards are
+                // synthesized as failures below.
+                Err(mpsc::RecvError) => break,
+            }
+        }
+        let outcomes: Vec<ShardRun> = runs
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    Err(ShardFailure {
+                        shard: self.plan.shards[i].label.clone(),
+                        panic_message: "shard task lost (executor shutdown)".into(),
                     })
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .expect("shard panics are caught inside the closure")
-                })
-                .collect()
-        });
+            })
+            .collect();
+        let merge_started = Instant::now();
 
         // Cross-plane refinement: when two or more plane shards blame
         // spine components — each having seen only its plane-filtered
@@ -729,7 +1044,7 @@ impl<'t> StreamPipeline<'t> {
             // refinement pass resets its persistent engine and view and
             // lets the blaming planes' own verdicts stand un-refined.
             match catch_unwind(AssertUnwindSafe(|| {
-                self.refine_spine(&obs, &seed, &blaming, epoch_index, deadline)
+                self.refine_spine(&ctx, &seed, &blaming)
             })) {
                 Ok(r) => refined = Some(r),
                 Err(payload) => {
@@ -762,18 +1077,15 @@ impl<'t> StreamPipeline<'t> {
         // Evidence coverage: the fraction of shard-relevant observation
         // slots whose shard search completed. A panicked shard zeroes
         // its slots; a deadline-truncated shard saw its evidence (the
-        // search over it was cut short), so it still counts.
-        let failed: Vec<bool> = outcomes.iter().map(|r| r.is_err()).collect();
+        // search over it was cut short), so it still counts. The accept
+        // lists computed at assembly are exactly the relevant slots.
         let mut relevant_slots = 0u64;
         let mut covered_slots = 0u64;
-        for &t in &self.flow_touches {
-            for (shard, &fail) in self.plan.shards.iter().zip(&failed) {
-                if shard.relevant_combined(t) {
-                    relevant_slots += 1;
-                    if !fail {
-                        covered_slots += 1;
-                    }
-                }
+        for (accepted, run) in ctx.accept.iter().zip(&outcomes) {
+            let slots = accepted.len() as u64;
+            relevant_slots += slots;
+            if run.is_ok() {
+                covered_slots += slots;
             }
         }
         let evidence_coverage = if relevant_slots == 0 {
@@ -834,17 +1146,10 @@ impl<'t> StreamPipeline<'t> {
                 panic_message,
             });
         }
-        // Evidence the windowing layer dropped since the last report
-        // (closed windows or the lateness horizon) never reached any
-        // shard — attribute the delta to this epoch's health.
-        let late_now = self.manager.late_records();
-        if late_now > self.late_attributed {
-            reasons.push(DegradeReason::LateRecords {
-                count: late_now - self.late_attributed,
-            });
-            self.late_attributed = late_now;
-        }
-        reasons.append(&mut self.pending_flags);
+        // Late-record and externally-flagged reasons were sampled when
+        // this epoch was submitted (they are its news, not the next
+        // epoch's).
+        reasons.extend(flags);
         let health = if reasons.is_empty() {
             EpochHealth::Healthy
         } else {
@@ -860,14 +1165,46 @@ impl<'t> StreamPipeline<'t> {
                 .then(a.component.cmp(&b.component))
         });
 
-        let observations = obs.flows.len();
-        self.assembler.recycle(obs);
+        let observations = ctx.obs.flows.len();
+        // Reclaim the epoch's arena copy: every shard job has sent its
+        // result, so the workers' `Arc` clones are dropped (or about to
+        // be — the send precedes the drop by a few instructions).
+        let mut ctx = ctx;
+        let ectx = loop {
+            match Arc::try_unwrap(ctx) {
+                Ok(e) => break e,
+                Err(shared) => {
+                    ctx = shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        let mut arena = ectx.obs.arena;
+        // The touch and accept buffers go back too: the next epoch
+        // refills them in place instead of re-allocating ~half a
+        // megabyte on the assembly stage's critical path.
+        self.spare_touches = ectx.touches;
+        self.spare_accept = ectx.accept;
+        self.catch_up(&mut arena);
+        if self.assembler.arena_is_out() {
+            // Pipelined: the next epoch's observations hold the other
+            // copy; this one, caught up, becomes the assembler's.
+            self.assembler.recycle_arena(arena);
+        } else {
+            // Sequential tail (flush): the assembler is already live;
+            // park this copy for the next overlap.
+            self.spare_arena = Some(arena);
+        }
+        let stages = StageTimings {
+            prepare,
+            merge: merge_started.elapsed(),
+        };
 
         EpochReport {
             epoch_index,
             start_ms,
             end_ms,
-            records: monitored.len(),
+            records,
             observations,
             result: LocalizationResult {
                 scores: provenance.iter().map(|p| p.score).collect(),
@@ -875,13 +1212,14 @@ impl<'t> StreamPipeline<'t> {
                 log_likelihood,
                 hypotheses_scanned: scanned,
                 iterations: shard_outcomes.len() as u64,
-                runtime: started.elapsed(),
+                runtime: prepare + submitted.elapsed(),
             },
             shards: shard_outcomes,
             refined: refined_outcome,
             provenance,
             health,
             failures,
+            stages,
         }
     }
 
@@ -897,14 +1235,15 @@ impl<'t> StreamPipeline<'t> {
     /// the single-spine plan — is property-tested in `plane_sharding.rs`.
     fn refine_spine(
         &mut self,
-        obs: &ObservationSet,
+        ctx: &EpochCtx,
         seed: &[CompIdx],
         blaming: &[u16],
-        epoch_index: u64,
-        deadline: Option<Instant>,
     ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
         let started = Instant::now();
         let topo = self.topo;
+        let obs = &ctx.obs;
+        let epoch_index = ctx.epoch_index;
+        let deadline = ctx.deadline;
         if let Some(chaos) = &self.cfg.chaos {
             match chaos.call("spine-refine", epoch_index) {
                 Some(ShardChaos::Panic) => {
@@ -917,7 +1256,7 @@ impl<'t> StreamPipeline<'t> {
         let full = self.cfg.refine_full_spine;
         let blame_mask: u64 = blaming.iter().fold(0u64, |m, &p| m | 1u64 << (p % 64));
         {
-            let touches: &[SetTouch] = &self.flow_touches;
+            let touches: &[SetTouch] = &ctx.touches;
             self.refine_view
                 .bind_epoch(obs, |i, _| {
                     let t = touches[i];
@@ -934,6 +1273,11 @@ impl<'t> StreamPipeline<'t> {
             coalesce: self.cfg.coalesce,
             ..Default::default()
         };
+        // Prefilled term ladders (pipelined mode): rebinding interns
+        // this epoch's terms, so install the prefill first.
+        if let Some(engine) = self.refine_engine.as_mut() {
+            engine.set_term_prefill(ctx.prefill.clone());
+        }
         match &mut self.refine_engine {
             Some(engine) if self.cfg.warm_start => engine
                 .try_rebind_view(topo, obs, &self.refine_view)
@@ -974,6 +1318,9 @@ impl<'t> StreamPipeline<'t> {
         // accepted them.
         let seed_local: Vec<CompIdx> = seed.iter().filter_map(|&g| engine.local_comp(g)).collect();
         let search = greedy.search_warm_deadline(engine, &seed_local, deadline);
+        // Drop the epoch's prefill (it is per-epoch data; the term
+        // table keeps the interned ladders).
+        engine.set_term_prefill(None);
         let (picked, scanned) = (search.picked, search.scanned);
         let kept: Vec<(CompIdx, f64)> = picked
             .iter()
@@ -1003,23 +1350,25 @@ impl<'t> StreamPipeline<'t> {
 }
 
 /// Localize one epoch on one shard: bind the shard's persistent view to
-/// the epoch's accepted observations, rebind or build the engine over
-/// it, search warm from the previous verdict, and return the owned
-/// predictions as *global* dense component indices (the caller's
-/// [`ComponentSpace`] translates to topology components, and the
-/// cross-plane refinement seeds from them).
-#[allow(clippy::too_many_arguments)]
+/// the epoch's accepted observations (the accept list computed on the
+/// assembly stage), rebind or build the engine over it, search warm
+/// from the previous verdict, and return the owned predictions as
+/// *global* dense component indices (the caller's [`ComponentSpace`]
+/// translates to topology components, and the cross-plane refinement
+/// seeds from them). Runs on an executor worker thread.
 fn run_shard(
-    topo: &Topology,
-    cfg: &StreamConfig,
-    shard: &Shard,
+    tctx: &TaskCtx,
+    idx: usize,
     state: &mut ShardState,
-    obs: &ObservationSet,
-    touches: &[SetTouch],
-    epoch_index: u64,
-    deadline: Option<Instant>,
+    ectx: &EpochCtx,
 ) -> (Vec<(CompIdx, f64)>, ShardOutcome) {
     let started = Instant::now();
+    let topo = &tctx.topo;
+    let cfg = &tctx.cfg;
+    let shard = &tctx.shards[idx];
+    let obs = &ectx.obs;
+    let epoch_index = ectx.epoch_index;
+    let deadline = ectx.deadline;
     if let Some(chaos) = &cfg.chaos {
         match chaos.call(&shard.label, epoch_index) {
             Some(ShardChaos::Panic) => panic!(
@@ -1032,7 +1381,7 @@ fn run_shard(
     }
     state
         .view
-        .bind_epoch(obs, |i, _| shard.relevant_combined(touches[i]))
+        .bind_epoch_indices(obs, &ectx.accept[idx])
         .expect("pipeline assembler keeps one arena lineage");
 
     let warm = cfg.warm_start && state.engine.is_some();
@@ -1040,6 +1389,12 @@ fn run_shard(
         coalesce: cfg.coalesce,
         ..Default::default()
     };
+    // Prefilled term ladders (pipelined mode): rebinding interns this
+    // epoch's terms, so install the prefill first. Cold builds below
+    // can't benefit — the engine doesn't exist yet.
+    if let Some(engine) = state.engine.as_mut() {
+        engine.set_term_prefill(ectx.prefill.clone());
+    }
     match &mut state.engine {
         Some(engine) if cfg.warm_start => engine
             .try_rebind_view(topo, obs, &state.view)
@@ -1062,6 +1417,9 @@ fn run_shard(
         Vec::new()
     };
     let search = greedy.search_warm_deadline(engine, &seed, deadline);
+    // Drop the epoch's prefill (per-epoch data; the term table keeps
+    // the interned ladders).
+    engine.set_term_prefill(None);
     let (picked, scanned) = (search.picked, search.scanned);
     // A deadline-truncated hypothesis still seeds the next epoch: every
     // pick in it improved the posterior, and the warm search removes

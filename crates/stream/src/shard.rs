@@ -114,6 +114,10 @@ impl SetTouch {
 #[derive(Debug, Default)]
 pub struct SetTouchIndex {
     sets: Vec<SetTouch>,
+    /// Per-link touch signature (both endpoints), built once per
+    /// topology: set extension and per-flow prefix signatures reduce to
+    /// array loads and ORs instead of node/role/plane lookups.
+    links: Vec<SetTouch>,
     /// Spine-plane membership, derived from the topology on first use.
     planes: Option<SpinePlanes>,
 }
@@ -134,11 +138,11 @@ impl SetTouchIndex {
     /// (append-only, mirroring the arena lineage).
     pub fn extend(&mut self, topo: &Topology, obs: &ObservationSet) {
         let planes = self.planes.get_or_insert_with(|| SpinePlanes::derive(topo));
-        for sid in self.sets.len()..obs.arena.set_count() {
-            let mut touch = SetTouch::default();
-            for pid in obs.arena.set(flock_telemetry::PathSetId(sid as u32)) {
-                for &l in obs.arena.path(*pid) {
-                    let link = topo.link(l);
+        if self.links.len() < topo.link_count() {
+            self.links = (0..topo.link_count())
+                .map(|li| {
+                    let link = topo.link(flock_topology::LinkId(li as u32));
+                    let mut touch = SetTouch::default();
                     for end in [link.src, link.dst] {
                         let node = topo.node(end);
                         if node.role == NodeRole::Spine {
@@ -150,6 +154,15 @@ impl SetTouchIndex {
                             touch.pods |= 1u128 << (node.pod % 128);
                         }
                     }
+                    touch
+                })
+                .collect();
+        }
+        for sid in self.sets.len()..obs.arena.set_count() {
+            let mut touch = SetTouch::default();
+            for pid in obs.arena.set(flock_telemetry::PathSetId(sid as u32)) {
+                for &l in obs.arena.path(*pid) {
+                    touch = touch.union(self.links[l.0 as usize]);
                 }
             }
             self.sets.push(touch);
@@ -157,23 +170,13 @@ impl SetTouchIndex {
     }
 
     /// Touch signature of a flow: its path set plus its host-attachment
-    /// prefix links.
-    pub fn flow_touch(&self, topo: &Topology, o: &FlowObs) -> (SetTouch, SetTouch) {
+    /// prefix links. Pure table lookups — [`extend`](Self::extend) must
+    /// have covered the flow's arena first.
+    pub fn flow_touch(&self, _topo: &Topology, o: &FlowObs) -> (SetTouch, SetTouch) {
         let set = self.sets[o.set.0 as usize];
         let mut prefix = SetTouch::default();
         for l in o.prefix.iter().flatten() {
-            let link = topo.link(*l);
-            for end in [link.src, link.dst] {
-                let node = topo.node(end);
-                if node.role == NodeRole::Spine {
-                    prefix.spine = true;
-                    if let Some(p) = self.planes.as_ref().and_then(|pl| pl.plane_of(end)) {
-                        prefix.planes |= 1u64 << (p % 64);
-                    }
-                } else if node.pod != u16::MAX {
-                    prefix.pods |= 1u128 << (node.pod % 128);
-                }
-            }
+            prefix = prefix.union(self.links[l.0 as usize]);
         }
         (set, prefix)
     }

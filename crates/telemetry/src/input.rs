@@ -20,14 +20,15 @@
 //! zero packets).
 
 use crate::flow::{MonitoredFlow, TrafficClass};
-use flock_topology::{LinkId, NodeRole, Router, Topology};
+use flock_topology::{FxHashMap, LinkId, NodeRole, Router, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Content hash used by the arena's hashed-over-storage dedup indexes.
+/// A weak hash only costs an extra content compare on collision — the
+/// indexes map hashes to candidate-id lists, never trust the hash alone.
 fn content_hash<T: std::hash::Hash>(xs: &[T]) -> u64 {
     use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = flock_topology::fasthash::FxHasher::default();
     xs.hash(&mut h);
     h.finish()
 }
@@ -52,9 +53,9 @@ pub struct PathArena {
     paths: Vec<Vec<LinkId>>,
     sets: Vec<Vec<PathId>>,
     #[serde(skip)]
-    path_lookup: HashMap<u64, Vec<PathId>>,
+    path_lookup: FxHashMap<u64, Vec<PathId>>,
     #[serde(skip)]
-    set_lookup: HashMap<u64, Vec<PathSetId>>,
+    set_lookup: FxHashMap<u64, Vec<PathSetId>>,
     /// Process-unique lineage token, stamped at creation and preserved by
     /// `Clone` (a clone shares content, so ids interned against either
     /// copy resolve identically). Lets holders of interned ids
@@ -70,8 +71,8 @@ impl Default for PathArena {
         PathArena {
             paths: Vec::new(),
             sets: Vec::new(),
-            path_lookup: HashMap::new(),
-            set_lookup: HashMap::new(),
+            path_lookup: FxHashMap::default(),
+            set_lookup: FxHashMap::default(),
             lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -163,7 +164,152 @@ impl PathArena {
     pub fn set_count(&self) -> usize {
         self.sets.len()
     }
+
+    /// Capture everything interned since the `(from_paths, from_sets)`
+    /// watermark as a replayable [`ArenaDelta`].
+    ///
+    /// The delta records, per new path, whether the path was *indexed*
+    /// (interned through the dedup lookup) or appended via
+    /// [`intern_path_nodedup`](Self::intern_path_nodedup): a twin arena
+    /// replaying the delta must mirror that choice exactly, or its future
+    /// dedup decisions — and therefore the ids it hands out — diverge
+    /// from the original's.
+    pub fn delta_since(&self, from_paths: usize, from_sets: usize) -> ArenaDelta {
+        let paths = self.paths[from_paths..]
+            .iter()
+            .enumerate()
+            .map(|(i, links)| {
+                let id = PathId((from_paths + i) as u32);
+                let indexed = self
+                    .path_lookup
+                    .get(&content_hash(links))
+                    .is_some_and(|cands| cands.contains(&id));
+                (links.clone(), indexed)
+            })
+            .collect();
+        ArenaDelta {
+            from_paths,
+            from_sets,
+            lineage: self.lineage,
+            paths,
+            sets: self.sets[from_sets..].to_vec(),
+        }
+    }
+
+    /// Replay a delta captured from this arena's twin (same lineage, via
+    /// `Clone`), appending exactly the paths and sets the twin interned —
+    /// index membership included — so both copies keep resolving every
+    /// id identically and making identical future dedup decisions.
+    ///
+    /// Fails without modifying the arena if the delta is from a different
+    /// lineage or this arena is not exactly at the delta's watermark
+    /// (replaying out of order would assign different ids).
+    pub fn apply_delta(&mut self, delta: &ArenaDelta) -> Result<(), DeltaError> {
+        if delta.lineage != self.lineage {
+            return Err(DeltaError::LineageMismatch {
+                expected: delta.lineage,
+                actual: self.lineage,
+            });
+        }
+        if (self.paths.len(), self.sets.len()) != (delta.from_paths, delta.from_sets) {
+            return Err(DeltaError::WatermarkMismatch {
+                expected: (delta.from_paths, delta.from_sets),
+                actual: (self.paths.len(), self.sets.len()),
+            });
+        }
+        for (links, indexed) in &delta.paths {
+            let id = PathId(self.paths.len() as u32);
+            if *indexed {
+                self.path_lookup
+                    .entry(content_hash(links))
+                    .or_default()
+                    .push(id);
+            }
+            self.paths.push(links.clone());
+        }
+        for members in &delta.sets {
+            let id = PathSetId(self.sets.len() as u32);
+            self.set_lookup
+                .entry(content_hash(members))
+                .or_default()
+                .push(id);
+            self.sets.push(members.clone());
+        }
+        Ok(())
+    }
 }
+
+/// Everything a [`PathArena`] interned past a watermark, in intern order,
+/// captured by [`PathArena::delta_since`] and replayed onto a same-lineage
+/// twin by [`PathArena::apply_delta`].
+///
+/// This is the handoff mechanism behind double-buffered assembly: while
+/// one arena copy is out with an epoch's [`ObservationSet`], the
+/// assembler extends the other, and the delta catches the returning copy
+/// up so the two stay content- and index-identical.
+#[derive(Debug, Clone)]
+pub struct ArenaDelta {
+    from_paths: usize,
+    from_sets: usize,
+    lineage: u64,
+    /// New paths with their dedup-index membership (nodedup'd ECMP
+    /// fabric paths are unindexed and must stay so in the twin).
+    paths: Vec<(Vec<LinkId>, bool)>,
+    sets: Vec<Vec<PathId>>,
+}
+
+impl ArenaDelta {
+    /// The `(paths, sets)` watermark the delta starts from.
+    pub fn from_watermarks(&self) -> (usize, usize) {
+        (self.from_paths, self.from_sets)
+    }
+
+    /// Lineage of the arena the delta was captured from.
+    pub fn lineage(&self) -> u64 {
+        self.lineage
+    }
+
+    /// Whether the delta carries no growth.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty() && self.sets.is_empty()
+    }
+}
+
+/// Why [`PathArena::apply_delta`] refused a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta was captured from an arena of a different lineage.
+    LineageMismatch {
+        /// Lineage the delta was captured from.
+        expected: u64,
+        /// Lineage of the arena it was applied to.
+        actual: u64,
+    },
+    /// The arena is not at the delta's starting watermark.
+    WatermarkMismatch {
+        /// `(paths, sets)` watermark the delta starts from.
+        expected: (usize, usize),
+        /// The arena's actual `(paths, sets)` counts.
+        actual: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::LineageMismatch { expected, actual } => write!(
+                f,
+                "arena delta lineage {expected} does not match arena lineage {actual}"
+            ),
+            DeltaError::WatermarkMismatch { expected, actual } => write!(
+                f,
+                "arena delta expects watermark {expected:?}, arena is at {actual:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// How flow metrics are turned into the model's `(sent, bad)` counts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -320,7 +466,7 @@ pub fn assemble(
 #[derive(Debug, Default)]
 pub struct Assembler {
     arena: PathArena,
-    ecmp_cache: HashMap<(flock_topology::NodeId, flock_topology::NodeId), PathSetId>,
+    ecmp_cache: FxHashMap<(flock_topology::NodeId, flock_topology::NodeId), PathSetId>,
     /// Whether the arena is currently out with an un-recycled
     /// `ObservationSet` (the struct's `arena` is then a fresh default).
     arena_out: bool,
@@ -329,6 +475,10 @@ pub struct Assembler {
     emitted_lineage: u64,
     emitted_paths: usize,
     emitted_sets: usize,
+    /// Scratch for the counting scatter in [`Assembler::assemble`],
+    /// reused across epochs so steady-state assembly allocates nothing.
+    sort_scratch: Vec<FlowObs>,
+    set_cursors: Vec<u32>,
 }
 
 impl Assembler {
@@ -352,15 +502,31 @@ impl Assembler {
     /// drops the ECMP set cache, whose ids would otherwise dangle into
     /// the departed arena.
     pub fn recycle(&mut self, obs: ObservationSet) {
+        self.recycle_arena(obs.arena);
+    }
+
+    /// [`recycle`](Self::recycle) for a bare arena — the double-buffered
+    /// pipeline hands back an arena *twin* (same lineage via `Clone`,
+    /// caught up by [`PathArena::apply_delta`]) rather than the emitted
+    /// observation set itself, which is still feeding the in-flight
+    /// epoch's shard engines.
+    pub fn recycle_arena(&mut self, arena: PathArena) {
         let ours = self.arena_out
-            && obs.arena.lineage() == self.emitted_lineage
-            && obs.arena.path_count() >= self.emitted_paths
-            && obs.arena.set_count() >= self.emitted_sets;
+            && arena.lineage() == self.emitted_lineage
+            && arena.path_count() >= self.emitted_paths
+            && arena.set_count() >= self.emitted_sets;
         if !ours {
             self.ecmp_cache.clear();
         }
-        self.arena = obs.arena;
+        self.arena = arena;
         self.arena_out = false;
+    }
+
+    /// Whether the arena is currently out with an un-recycled
+    /// [`ObservationSet`] — assembling in that state starts a fresh
+    /// lineage (and invalidates every view bound to the old one).
+    pub fn arena_is_out(&self) -> bool {
+        self.arena_out
     }
 
     /// Assemble one observation set against the persistent arena. See
@@ -382,7 +548,7 @@ impl Assembler {
         }
         let arena = &mut self.arena;
         let ecmp_cache = &mut self.ecmp_cache;
-        let mut agg: HashMap<FlowObs, u32> = HashMap::new();
+        let mut out: Vec<FlowObs> = Vec::with_capacity(flows.len());
 
         for mf in flows {
             let (sent, bad) = metrics(mf, mode);
@@ -435,21 +601,63 @@ impl Assembler {
                     }
                 }
             };
-            *agg.entry(obs).or_insert(0) += 1;
+            out.push(obs);
         }
 
-        let mut out: Vec<FlowObs> = agg
-            .into_iter()
-            .map(|(mut obs, w)| {
-                obs.weight = w;
-                obs
-            })
-            .collect();
-        // Deterministic order independent of HashMap iteration, keyed so
-        // observations sharing the `(set, sent, bad)` evidence key are
-        // adjacent: downstream consumers (the inference engine) coalesce
-        // contiguous runs into weighted super-flows.
-        out.sort_by_key(|o| (o.evidence_key(), o.prefix));
+        // Deterministic order keyed so observations sharing the
+        // `(set, sent, bad)` evidence key are adjacent: downstream
+        // consumers (the inference engine) coalesce contiguous runs into
+        // weighted super-flows. The `(evidence_key, prefix)` sort key
+        // covers every `FlowObs` field except `weight` (all 1 here), so
+        // equal-key neighbors are *identical* observations — the
+        // run-merge below is the exact weighted merge a hash-keyed
+        // aggregation would produce, without a per-flow hash insert on
+        // the assembly stage.
+        //
+        // The sort key's leading component is the *dense* arena set id,
+        // so instead of one comparison sort over all observations we
+        // counting-scatter by set (O(n + sets)) and comparison-sort only
+        // the `(sent, bad, prefix)` tail within each set's run — the
+        // same total order, at a fraction of the cost (the full sort was
+        // the dominant term of the pipelined prepare stage).
+        let sets = arena.set_count();
+        self.set_cursors.clear();
+        self.set_cursors.resize(sets + 1, 0);
+        for o in &out {
+            self.set_cursors[o.set.0 as usize + 1] += 1;
+        }
+        for i in 0..sets {
+            self.set_cursors[i + 1] += self.set_cursors[i];
+        }
+        self.sort_scratch.clear();
+        self.sort_scratch.extend_from_slice(&out);
+        for &o in &self.sort_scratch {
+            let cursor = &mut self.set_cursors[o.set.0 as usize];
+            out[*cursor as usize] = o;
+            *cursor += 1;
+        }
+        // After scattering, `set_cursors[s]` is the *end* of set `s`'s run.
+        let mut start = 0usize;
+        for i in 0..sets {
+            let end = self.set_cursors[i] as usize;
+            if end - start > 1 {
+                out[start..end].sort_unstable_by_key(|o| (o.sent, o.bad, o.prefix));
+            }
+            start = end;
+        }
+        debug_assert!(out.is_sorted_by_key(|o| (o.evidence_key(), o.prefix)));
+        out.dedup_by(|dup, keep| {
+            if dup.set == keep.set
+                && dup.sent == keep.sent
+                && dup.bad == keep.bad
+                && dup.prefix == keep.prefix
+            {
+                keep.weight += dup.weight;
+                true
+            } else {
+                false
+            }
+        });
         self.arena_out = true;
         self.emitted_lineage = self.arena.lineage();
         self.emitted_paths = self.arena.path_count();
@@ -705,6 +913,69 @@ mod tests {
             assert_eq!(a.intern_set(vec![ids[i * 2 + 1], ids[i * 2]]), *sid);
         }
         assert_eq!(a.set_count(), 250);
+    }
+
+    #[test]
+    fn delta_replay_keeps_twins_identical() {
+        // A twin cloned at a watermark and caught up via apply_delta must
+        // resolve every id identically AND keep making the same dedup
+        // decisions as the original afterwards.
+        let mut a = PathArena::new();
+        a.intern_path(&[LinkId(1)]);
+        a.intern_set(vec![PathId(0)]);
+        let mut twin = a.clone();
+        let wm = (a.path_count(), a.set_count());
+
+        // Growth past the watermark: an indexed path, a nodedup'd path
+        // (same content as nothing else), and a set over both.
+        let p1 = a.intern_path(&[LinkId(2), LinkId(3)]);
+        let p2 = a.intern_path_nodedup(&[LinkId(4), LinkId(5)]);
+        let s = a.intern_set(vec![p1, p2]);
+
+        let delta = a.delta_since(wm.0, wm.1);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.from_watermarks(), wm);
+        twin.apply_delta(&delta)
+            .expect("same lineage, exact watermark");
+
+        assert_eq!(twin.path_count(), a.path_count());
+        assert_eq!(twin.set_count(), a.set_count());
+        for i in 0..a.path_count() {
+            assert_eq!(twin.path(PathId(i as u32)), a.path(PathId(i as u32)));
+        }
+        // Indexed path dedups in both copies…
+        assert_eq!(twin.intern_path(&[LinkId(2), LinkId(3)]), p1);
+        assert_eq!(a.intern_path(&[LinkId(2), LinkId(3)]), p1);
+        // …the nodedup'd path stays unindexed in both (re-interning it
+        // allocates a fresh id in each, and both pick the same id).
+        let fresh_twin = twin.intern_path(&[LinkId(4), LinkId(5)]);
+        let fresh_a = a.intern_path(&[LinkId(4), LinkId(5)]);
+        assert_eq!(fresh_twin, fresh_a);
+        assert_ne!(fresh_twin, p2);
+        // Sets dedup in both.
+        assert_eq!(twin.intern_set(vec![p2, p1]), s);
+        assert_eq!(a.intern_set(vec![p2, p1]), s);
+    }
+
+    #[test]
+    fn delta_refuses_wrong_lineage_and_watermark() {
+        let mut a = PathArena::new();
+        a.intern_path(&[LinkId(1)]);
+        let delta = a.delta_since(0, 0);
+
+        let mut foreign = PathArena::new();
+        assert!(matches!(
+            foreign.apply_delta(&delta),
+            Err(DeltaError::LineageMismatch { .. })
+        ));
+
+        let mut late = a.clone();
+        assert!(matches!(
+            late.apply_delta(&delta),
+            Err(DeltaError::WatermarkMismatch { .. })
+        ));
+        // Refusal leaves the arena untouched.
+        assert_eq!(late.path_count(), 1);
     }
 
     #[test]

@@ -365,6 +365,30 @@ impl ArenaView {
         Ok(())
     }
 
+    /// [`bind_epoch`](Self::bind_epoch) from a precomputed accept list:
+    /// `accepted` holds the indices (into `obs.flows`, ascending) of the
+    /// observations this shard takes. The pipelined executor derives
+    /// accept lists for every shard in one pass over the epoch's touch
+    /// signatures during the assembly stage, so the per-shard bind on
+    /// the inference critical path is O(accepted), not O(observations).
+    pub fn bind_epoch_indices(
+        &mut self,
+        obs: &ObservationSet,
+        accepted: &[u32],
+    ) -> Result<(), ViewError> {
+        self.validate(&obs.arena)?;
+        self.epoch_flows.clear();
+        self.paths.ensure_ids(obs.arena.path_count());
+        self.sets.ensure_ids(obs.arena.set_count());
+        for &i in accepted {
+            self.epoch_flows.push(i);
+            self.project_set(&obs.arena, obs.flows[i as usize].set);
+        }
+        self.seen_paths = obs.arena.path_count();
+        self.seen_sets = obs.arena.set_count();
+        Ok(())
+    }
+
     /// Check that `arena` is a later state of the bound lineage.
     fn validate(&mut self, arena: &PathArena) -> Result<(), ViewError> {
         match self.lineage {

@@ -1,0 +1,137 @@
+//! Deterministic fast hashing for id-keyed index maps.
+//!
+//! The hot maps in assembly and touch indexing are keyed by small ids
+//! (node pairs, path ids, evidence keys), where SipHash's keyed-security
+//! costs real epoch-loop time for no benefit: the keys are internal ids,
+//! not attacker-controlled strings. [`FxHasher`] is the multiply-mix
+//! hasher long used by rustc for exactly this shape of workload —
+//! deterministic across runs and platforms of the same endianness, an
+//! order of magnitude cheaper per small key than the default hasher.
+//!
+//! Determinism matters beyond speed: assembly iterates none of these
+//! maps in a result-visible order (dedup candidate lists are scanned in
+//! insertion order, and observation output is sorted), but a
+//! deterministic hasher keeps bucket layouts — and therefore any latent
+//! iteration-order dependence — identical between the sequential and
+//! pipelined executors, which the bit-identity property suite locks.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Multiply-mix hasher (the rustc "Fx" construction): each 8-byte chunk
+/// is xor-folded into the state and multiplied by a large odd constant.
+/// Not collision-resistant against adversarial keys — use only for
+/// internal id-keyed maps.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The Fx multiplier: a large odd constant with high bit entropy
+/// (derived from the golden ratio, as in rustc's implementation).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        a.write_u32(7);
+        b.write_u64(0xdead_beef);
+        b.write_u32(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i ^ 0x55), u64::from(i) * 3);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i ^ 0x55)), Some(&(u64::from(i) * 3)));
+        }
+    }
+
+    #[test]
+    fn tail_bytes_distinguish() {
+        // The zero-padded tail must still distinguish lengths with equal
+        // prefixes (chunked fold covers the remainder).
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        b.write(&[1, 2, 3, 0]);
+        // Identical padded words — lengths are the caller's job (slices
+        // hashed via `Hash` include their length as a written usize).
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        use std::hash::Hash;
+        [1u8, 2, 3].hash(&mut c);
+        let mut d = FxHasher::default();
+        [1u8, 2, 3, 0].hash(&mut d);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

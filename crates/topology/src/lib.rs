@@ -17,6 +17,9 @@
 //!   path layer (§3.2).
 //! * [`equivalence`] — link equivalence classes under passive observation
 //!   and the theoretical maximum precision used in Fig. 5c.
+//! * [`fasthash`] — the deterministic multiply-mix hasher behind every
+//!   id-keyed index map on the epoch hot path (assembly caches, touch
+//!   indexes, term tables).
 //!
 //! The graph structures are intentionally small and purpose-built (no
 //! general graph library): the only operations the suite needs are tiered
@@ -29,6 +32,7 @@
 
 pub mod clos;
 pub mod equivalence;
+pub mod fasthash;
 pub mod faults;
 pub mod graph;
 pub mod irregular;
@@ -37,6 +41,7 @@ pub mod routing;
 
 pub use clos::{ClosParams, LeafSpineParams};
 pub use equivalence::{EquivalenceClasses, LinkSignature};
+pub use fasthash::{FxHashMap, FxHashSet};
 pub use faults::{Component, GroundTruth};
 pub use graph::{Link, LinkId, Node, NodeId, NodeRole, Topology};
 pub use planes::SpinePlanes;

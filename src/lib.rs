@@ -53,6 +53,7 @@
 //! | [`store`] | `flock-store` | tiered verdict store: blame history, alerts, provenance, metrics |
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use flock_baselines as baselines;
 pub use flock_calibrate as calibrate;

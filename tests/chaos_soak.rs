@@ -159,6 +159,7 @@ fn run_pipeline(
     faulty: LinkId,
     schedule: Option<&ChaosSchedule>,
     store_path: &PathBuf,
+    pipelined: bool,
 ) -> RunOutcome {
     // Reactor-stall executor: the hook sleeps once per arming, on the
     // targeted shard only.
@@ -205,6 +206,7 @@ fn run_pipeline(
             shard_by_pod: true,
             epoch_deadline: Some(Duration::from_secs(5)),
             chaos: chaos_hook,
+            pipelined,
             ..StreamConfig::paper_default()
         },
     );
@@ -367,8 +369,11 @@ fn chaos_soak_contains_every_fault_and_recovers() {
     let _ = std::fs::remove_file(&base_path);
     let _ = std::fs::remove_file(&chaos_path);
 
-    let baseline = run_pipeline(&topo, &epochs, faulty, None, &base_path);
-    let chaos = run_pipeline(&topo, &epochs, faulty, Some(&schedule), &chaos_path);
+    // The chaos leg runs pipelined (overlapping epochs on the shard
+    // executor) against a sequential baseline: the bit-identity checks
+    // below then also prove the pipelined path exact under wire chaos.
+    let baseline = run_pipeline(&topo, &epochs, faulty, None, &base_path, false);
+    let chaos = run_pipeline(&topo, &epochs, faulty, Some(&schedule), &chaos_path, true);
 
     // Both runs emitted every epoch (nothing hung, nothing was eaten).
     assert_eq!(baseline.reports.len() as u64, EPOCHS, "baseline epochs");
