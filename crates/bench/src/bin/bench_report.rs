@@ -35,11 +35,19 @@
 //!   sequentially, uncontended), the derived multi-core steady-wall
 //!   model `max(prepare + merge, critical)` and its ratio to the
 //!   critical path (`wall_over_critical`, CI-gated ≤ 1.5), plus the
-//!   degenerate single-core measured pipelined wall for honesty.
+//!   degenerate single-core measured pipelined wall for honesty;
+//! * **approximate coalescing** (schema v7): exact vs approx
+//!   (bucketed, default ε) super-flow counts and spine-engine /
+//!   warm-epoch times on the heavy-tail Pareto fixture — where exact
+//!   `(sent, bad)` keys barely repeat — plus the measured likelihood
+//!   drift bound, the search's decision margin, the `proven_exact`
+//!   certificate (margin > 2 × bound), and per-mode term-table sizes.
+//!   The `large` scale exists for this section: heavy-tailed reduction
+//!   claims only become visible well above the smoke scale.
 //!
 //! ```text
 //! cargo run --release -p flock-bench --bin bench-report -- \
-//!     [--scale smoke|small|medium] [--samples N] [--out BENCH_stream.json]
+//!     [--scale smoke|small|medium|large] [--samples N] [--out BENCH_stream.json]
 //! ```
 //!
 //! The `bench-diff` subcommand is the CI perf-regression gate: it
@@ -73,8 +81,8 @@
 //! (see `.github/workflows/ci.yml`).
 
 use flock_bench::{
-    arena_warmed_obs, combined_touches, plane_shards, spine_heavy_epochs, spine_shard,
-    steady_epochs, two_plane_fault_epochs,
+    arena_warmed_obs, arena_warmed_obs_mode, combined_touches, pareto_heavy_epochs, plane_shards,
+    spine_heavy_epochs, spine_shard, steady_epochs, two_plane_fault_epochs,
 };
 use flock_core::{
     simd, Engine, EngineOptions, EngineStateSizes, FlockGreedy, HyperParams, KernelDispatch,
@@ -82,7 +90,7 @@ use flock_core::{
 };
 use flock_store::{EpochRecord, Segment, StoreConfig, StoreQuery, Verdict, VerdictStore};
 use flock_stream::{EpochConfig, Provenance, StreamConfig, StreamPipeline};
-use flock_telemetry::{AnalysisMode, FlowObs, InputKind};
+use flock_telemetry::{AnalysisMode, CoalesceMode, FlowObs, InputKind};
 use flock_topology::{Component, LinkId};
 use std::time::Instant;
 
@@ -117,6 +125,13 @@ const SCALES: &[Scale] = &[
         flows_per_epoch: 8_000,
         spine_servers: 512,
         spine_flows: 16_000,
+    },
+    Scale {
+        name: "large",
+        servers: 1024,
+        flows_per_epoch: 16_000,
+        spine_servers: 1024,
+        spine_flows: 32_000,
     },
 ];
 
@@ -166,7 +181,7 @@ fn main() {
     let scale = SCALES
         .iter()
         .find(|s| s.name == scale_name)
-        .unwrap_or_else(|| panic!("unknown scale {scale_name} (smoke|small|medium)"));
+        .unwrap_or_else(|| panic!("unknown scale {scale_name} (smoke|small|medium|large)"));
 
     eprintln!("bench-report: scale={} samples={samples}", scale.name);
 
@@ -384,6 +399,84 @@ fn main() {
         spine_engine_ms[slot] = median_ms(samples, || {
             e.rebind_filtered(stopo, &sobs, Some(&filter));
             greedy.search_warm(&mut e, &seed);
+        });
+    }
+
+    // ---- Approximate coalescing on the heavy-tail Pareto fixture. ----
+    // Fan-in traffic with Pareto(α=1.05) flow sizes makes exact
+    // `(sent, bad)` keys nearly unique, so exact coalescing barely
+    // helps; log-spaced bucketing at the default ε collapses the tail.
+    // Measured on passive-only telemetry: under A2 the per-link noise
+    // flags (and path-pins) nearly every elephant, and singleton path
+    // sets cap coalescing at any tolerance — passive ECMP evidence is
+    // where the approximation has headroom. Reported per mode:
+    // super-flow counts, the spine-engine rebind + warm-search time, the
+    // full warm-epoch pipeline time, the term-table footprint, and the
+    // drift-bound certificate (`proven_exact` ⇔ margin > 2 × bound).
+    let pareto_fixture = pareto_heavy_epochs(scale.spine_servers, scale.spine_flows, 4, 17);
+    let patopo = &pareto_fixture.topo;
+    const PARETO_KINDS: [InputKind; 1] = [InputKind::P];
+    let approx_mode = CoalesceMode::approx_default();
+    let mut pareto_engine_ms = [0.0f64; 2]; // [exact, approx]
+    let mut pareto_flows = [0usize; 2];
+    let mut pareto_tt_entries = [0usize; 2];
+    let mut pareto_raw_obs = 0usize;
+    let mut pareto_drift = 0.0f64;
+    let mut pareto_margin = f64::INFINITY;
+    for (slot, mode) in [(0usize, CoalesceMode::Exact), (1, approx_mode)] {
+        let pobs = arena_warmed_obs_mode(&pareto_fixture, &PARETO_KINDS, mode);
+        let (shard, touch) = spine_shard(patopo, &pobs);
+        let touches = combined_touches(patopo, &pobs, &touch);
+        let filter = |i: usize, _: &FlowObs| shard.relevant_combined(touches[i]);
+        let opts = EngineOptions {
+            coalesce: true,
+            mode,
+            ..Default::default()
+        };
+        let mut e = Engine::with_options(patopo, &pobs, params, Some(&filter), opts);
+        pareto_flows[slot] = e.n_flows();
+        pareto_tt_entries[slot] = e.term_table_sizes().1;
+        if slot == 0 {
+            pareto_raw_obs = e.n_observations();
+        }
+        let seed: Vec<u32> = {
+            let (picked, _) = greedy.search(&mut e);
+            picked.iter().map(|(c, _)| *c).collect()
+        };
+        pareto_engine_ms[slot] = median_ms(samples, || {
+            e.rebind_filtered(patopo, &pobs, Some(&filter));
+            greedy.search_warm(&mut e, &seed);
+        });
+        if slot == 1 {
+            e.rebind_filtered(patopo, &pobs, Some(&filter));
+            let out = greedy.search_warm_deadline(&mut e, &seed, None);
+            pareto_drift = e.drift_bound();
+            pareto_margin = out.margin;
+        }
+    }
+    let pareto_proven = pareto_drift == 0.0 || pareto_margin > 2.0 * pareto_drift;
+    let mut pareto_epoch_ms = [0.0f64; 2]; // [exact, approx]
+    for (slot, mode) in [(0usize, CoalesceMode::Exact), (1, approx_mode)] {
+        let mut pipe = StreamPipeline::new(
+            patopo,
+            StreamConfig {
+                epoch: EpochConfig::tumbling(1_000),
+                kinds: PARETO_KINDS.to_vec(),
+                mode: AnalysisMode::PerPacket,
+                warm_start: true,
+                shard_by_pod: true,
+                spine_planes: false,
+                coalesce: true,
+                coalesce_mode: mode,
+                ..StreamConfig::paper_default()
+            },
+        );
+        pipe.run_flows(0, 0, 1_000, &pareto_fixture.epochs[0]);
+        let mut i = 1u64;
+        pareto_epoch_ms[slot] = median_ms(samples, || {
+            let flows = &pareto_fixture.epochs[(i as usize) % pareto_fixture.epochs.len()];
+            pipe.run_flows(i, i * 1_000, (i + 1) * 1_000, flows);
+            i += 1;
         });
     }
 
@@ -706,7 +799,7 @@ fn main() {
         .join(", ");
 
     let json = format!(
-        "{{\n  \"schema\": \"flock-bench-report/v6\",\n  \"scale\": \"{scale_name}\",\n  \
+        "{{\n  \"schema\": \"flock-bench-report/v7\",\n  \"scale\": \"{scale_name}\",\n  \
          \"samples\": {samples},\n  \"stream\": {{\n    \"cold_epoch_ms\": {:.4},\n    \
          \"warm_epoch_ms\": {:.4},\n    \"warm_epoch_ms_min\": {:.4},\n    \
          \"engine_cold_build_ms\": {:.4},\n    \
@@ -732,6 +825,18 @@ fn main() {
          \"spine_engine_coalesced_ms\": {:.4},\n    \"spine_engine_speedup\": {:.3},\n    \
          \"spine_raw_observations\": {spine_raw_obs},\n    \
          \"spine_super_flows\": {spine_super_flows},\n    \"spine_coalesce_ratio\": {:.3}\n  }},\n  \
+         \"approx\": {{\n    \"eps\": {:.4},\n    \
+         \"pareto_raw_observations\": {pareto_raw_obs},\n    \
+         \"super_flows_exact\": {},\n    \"super_flows_approx\": {},\n    \
+         \"super_flow_reduction\": {:.3},\n    \
+         \"coalesce_ratio_exact\": {:.3},\n    \"coalesce_ratio_approx\": {:.3},\n    \
+         \"spine_engine_exact_ms\": {:.4},\n    \"spine_engine_approx_ms\": {:.4},\n    \
+         \"spine_engine_speedup\": {:.3},\n    \
+         \"warm_epoch_exact_ms\": {:.4},\n    \"warm_epoch_approx_ms\": {:.4},\n    \
+         \"warm_epoch_speedup\": {:.3},\n    \
+         \"drift_bound\": {:.6},\n    \"decision_margin\": {:.6},\n    \
+         \"proven_exact\": {pareto_proven},\n    \
+         \"term_table_entries_exact\": {},\n    \"term_table_entries_approx\": {}\n  }},\n  \
          \"planes\": {{\n    \"n_planes\": {n_planes},\n    \
          \"spine_tier_single_ms\": {:.4},\n    \"spine_tier_plane_critical_ms\": {:.4},\n    \
          \"spine_tier_planes_wall_ms\": {:.4},\n    \"spine_tier_plane_speedup\": {:.3},\n    \
@@ -785,6 +890,22 @@ fn main() {
         spine_engine_ms[1],
         spine_engine_ms[0] / spine_engine_ms[1],
         spine_raw_obs as f64 / spine_super_flows.max(1) as f64,
+        approx_mode.eps(),
+        pareto_flows[0],
+        pareto_flows[1],
+        pareto_flows[0] as f64 / pareto_flows[1].max(1) as f64,
+        pareto_raw_obs as f64 / pareto_flows[0].max(1) as f64,
+        pareto_raw_obs as f64 / pareto_flows[1].max(1) as f64,
+        pareto_engine_ms[0],
+        pareto_engine_ms[1],
+        pareto_engine_ms[0] / pareto_engine_ms[1].max(1e-9),
+        pareto_epoch_ms[0],
+        pareto_epoch_ms[1],
+        pareto_epoch_ms[0] / pareto_epoch_ms[1].max(1e-9),
+        pareto_drift,
+        pareto_margin.min(1e12),
+        pareto_tt_entries[0],
+        pareto_tt_entries[1],
         spine_tier_single_ms,
         spine_tier_plane_critical_ms,
         spine_tier_planes_wall_ms,
@@ -970,19 +1091,21 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
     // true cost where the median flaps with machine noise.
     // Core gates existed from schema v1–v4 — missing means a broken
     // report, so the comparison itself is invalid. The kernel gates
-    // (schema v5) are *optional*: a rolling baseline artifact can lag a
-    // schema bump by one main-branch run, so a v4 baseline downgrades
-    // them to warn+skip instead of poisoning the whole gate.
+    // (schema v5) and approx gate (schema v7) are *optional*: a rolling
+    // baseline artifact can lag a schema bump by one main-branch run, so
+    // an older baseline downgrades them to warn+skip instead of
+    // poisoning the whole gate.
     let gates: [(&str, bool); 2] = [
         ("warm_epoch_ms_min", true),
         ("flip_throughput_per_s_max", false),
     ];
-    let optional_gates: [(&str, bool); 5] = [
+    let optional_gates: [(&str, bool); 6] = [
         ("flip_throughput_portable_per_s_max", false),
         ("flip_throughput_simd_per_s_max", false),
         ("fabric_sweep_ns_per_elem_simd", true),
         ("initial_delta_ns_per_elem_simd", true),
         ("argmax_ns_per_elem_simd", true),
+        ("approx.super_flow_reduction", false),
     ];
     let mut failed = false;
     println!(
@@ -1000,7 +1123,7 @@ fn bench_diff(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> i3
                 eprintln!("bench-diff: metric {key} missing from one of the reports");
                 return 2;
             }
-            println!("  {key:>34}: missing from baseline or current (pre-v5?) — skipped");
+            println!("  {key:>34}: missing from baseline or current (older schema?) — skipped");
             continue;
         };
         let regression = if higher_is_worse {

@@ -3,11 +3,12 @@
 //! paper's runtime figures use.
 #![warn(missing_docs)]
 
+use flock_netsim::dist::Pareto;
 use flock_netsim::failure::{self, FailureScenario, DEFAULT_NOISE_MAX};
 use flock_netsim::flowsim::{run_probes, simulate_flows, FlowSimConfig};
 use flock_netsim::traffic::{generate_demands, FlowDemand, TrafficConfig, TrafficPattern};
 use flock_stream::{SetTouch, SetTouchIndex, Shard, ShardPlan};
-use flock_telemetry::input::{assemble, AnalysisMode, InputKind, ObservationSet};
+use flock_telemetry::input::{assemble, AnalysisMode, CoalesceMode, InputKind, ObservationSet};
 use flock_telemetry::{plan_a1_probes, Assembler, MonitoredFlow};
 use flock_topology::{ClosParams, GroundTruth, NodeRole, Router, Topology};
 use rand::rngs::StdRng;
@@ -69,8 +70,21 @@ pub struct SteadyEpochs {
 /// already warmed by epoch 0 — the steady-state input the engine-layer
 /// benches and `bench-report` measure on.
 pub fn arena_warmed_obs(fixture: &SteadyEpochs, kinds: &[InputKind]) -> ObservationSet {
+    arena_warmed_obs_mode(fixture, kinds, CoalesceMode::Exact)
+}
+
+/// [`arena_warmed_obs`] with the assembler sorting for an explicit
+/// [`CoalesceMode`] — the approx-coalescing benches assemble the same
+/// epoch twice (exact and approx order) so each engine coalesces at its
+/// full reach.
+pub fn arena_warmed_obs_mode(
+    fixture: &SteadyEpochs,
+    kinds: &[InputKind],
+    mode: CoalesceMode,
+) -> ObservationSet {
     let router = Router::new(&fixture.topo);
     let mut asm = Assembler::new();
+    asm.set_coalesce(mode);
     let obs0 = asm.assemble(
         &fixture.topo,
         &router,
@@ -190,6 +204,82 @@ pub fn spine_heavy_epochs(
                         dst = hosts[rng.random_range(0..hosts.len())];
                     }
                     let packets = RPC_PACKET_PALETTE[rng.random_range(0..RPC_PACKET_PALETTE.len())];
+                    FlowDemand { src, dst, packets }
+                })
+                .collect();
+            simulate_flows(&topo, &router, &scenario, &demands, &cfg, &mut rng)
+        })
+        .collect();
+    SteadyEpochs {
+        truth: scenario.truth,
+        topo,
+        epochs,
+    }
+}
+
+/// Build `n_epochs` epochs of fan-in traffic with heavy-tailed Pareto
+/// flow sizes (shape 1.05 per the paper's traffic model, mean 20 MB so
+/// the elephant tail spans 600–1M packets at a 1500-byte MSS) under one
+/// persistent agg–spine gray failure: 90% of flows target the hosts of
+/// a single “storage” rack from sources outside its pod, the rest is
+/// uniform inter-pod background. Same fault structure as
+/// [`spine_heavy_epochs`], but almost no two flows share an exact
+/// `(sent, bad)` pair — the workload where exact coalescing leaves most
+/// of the reduction on the table and approximate (bucketed) coalescing
+/// is measured (`bench-report`'s `approx` section).
+pub fn pareto_heavy_epochs(
+    servers: u32,
+    flows_per_epoch: usize,
+    n_epochs: usize,
+    seed: u64,
+) -> SteadyEpochs {
+    let topo = flock_topology::clos::three_tier(ClosParams::with_servers(servers));
+    let router = Router::new(&topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spine_link = topo
+        .fabric_links()
+        .into_iter()
+        .find(|&l| {
+            let lk = topo.link(l);
+            topo.node(lk.src).role == NodeRole::Spine || topo.node(lk.dst).role == NodeRole::Spine
+        })
+        .expect("a three-tier Clos has spine-incident links");
+    let mut scenario = FailureScenario::noise_only(&topo, DEFAULT_NOISE_MAX, &mut rng);
+    scenario.drop_rate[spine_link.idx()] = 0.015;
+    scenario.truth.failed_links.push(spine_link);
+
+    let hosts = topo.hosts().to_vec();
+    let pod_of = |h| topo.node(topo.host_leaf(h)).pod;
+    let storage_leaf = topo.host_leaf(hosts[0]);
+    let storage_pod = topo.node(storage_leaf).pod;
+    let storage_hosts: Vec<_> = hosts
+        .iter()
+        .copied()
+        .filter(|&h| topo.host_leaf(h) == storage_leaf)
+        .collect();
+    let size_dist = Pareto::with_mean(20_000_000.0, 1.05);
+    let mss = 1500.0;
+    let cfg = FlowSimConfig::default();
+    let epochs = (0..n_epochs)
+        .map(|_| {
+            let demands: Vec<FlowDemand> = (0..flows_per_epoch)
+                .map(|_| {
+                    let (src, dst) = if rng.random_range(0..10u32) < 9 {
+                        let mut src = hosts[rng.random_range(0..hosts.len())];
+                        while pod_of(src) == storage_pod {
+                            src = hosts[rng.random_range(0..hosts.len())];
+                        }
+                        (src, storage_hosts[rng.random_range(0..storage_hosts.len())])
+                    } else {
+                        let src = hosts[rng.random_range(0..hosts.len())];
+                        let mut dst = hosts[rng.random_range(0..hosts.len())];
+                        while pod_of(dst) == pod_of(src) {
+                            dst = hosts[rng.random_range(0..hosts.len())];
+                        }
+                        (src, dst)
+                    };
+                    let bytes = size_dist.sample(&mut rng);
+                    let packets = (bytes / mss).ceil().clamp(1.0, 1_000_000.0) as u64;
                     FlowDemand { src, dst, packets }
                 })
                 .collect();

@@ -1,0 +1,263 @@
+//! Property-based tests of approximate evidence coalescing: the drift
+//! bound must be a sound certificate (whenever the search margin clears
+//! twice the bound, the approximate verdict is identical to exact
+//! inference), and at the default tolerance the headline gray-failure
+//! scenario must localize perfectly (P = R = 1.0) — approximation buys
+//! super-flow reduction, never verdicts.
+
+use flock_core::{CoalesceMode, Engine, EngineOptions, FlockGreedy, HyperParams};
+use flock_telemetry::input::{AnalysisMode, InputKind};
+use flock_telemetry::{Assembler, FlowKey, FlowStats, MonitoredFlow, ObservationSet, TrafficClass};
+use flock_topology::clos::{leaf_spine, three_tier, ClosParams, LeafSpineParams};
+use flock_topology::{Component, LinkId, Router, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A heavy-tailed flow size: Pareto(shape 1.05) packets from `base`,
+/// clamped — the regime where exact `(sent, bad)` keys barely repeat.
+fn pareto_packets(rng: &mut StdRng, base: f64) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    (base / u.powf(1.0 / 1.05)).clamp(1.0, 100_000.0) as u64
+}
+
+/// Random heavy-tailed telemetry on a tiny Clos with `n_bad` gray fabric
+/// links (drop ≈ 2% on crossing flows, light background noise),
+/// assembled sorted for `mode`. Returns the ground-truth links too.
+fn gray_obs(
+    topo: &Topology,
+    seed: u64,
+    n_flows: usize,
+    n_bad: usize,
+    kinds: &[InputKind],
+    mode: CoalesceMode,
+) -> (ObservationSet, Vec<LinkId>) {
+    let router = Router::new(topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fabric = topo.fabric_links();
+    let mut bad_links: Vec<LinkId> = Vec::new();
+    while bad_links.len() < n_bad {
+        let l = fabric[rng.random_range(0..fabric.len())];
+        if !bad_links.contains(&l) {
+            bad_links.push(l);
+        }
+    }
+    let hosts = topo.hosts().to_vec();
+    let mut flows = Vec::new();
+    for i in 0..n_flows {
+        let s = hosts[rng.random_range(0..hosts.len())];
+        let mut d = hosts[rng.random_range(0..hosts.len())];
+        while d == s {
+            d = hosts[rng.random_range(0..hosts.len())];
+        }
+        let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+        let pick = rng.random_range(0..paths.len());
+        let mut tp = vec![topo.host_uplink(s)];
+        tp.extend_from_slice(&paths[pick].links);
+        tp.push(topo.host_downlink(d));
+        let sent = pareto_packets(&mut rng, 50.0);
+        let crossings = tp.iter().filter(|l| bad_links.contains(l)).count() as u64;
+        // Gray links drop ≈ 5% of crossing traffic; 0.5% of clean flows
+        // see a stray bad packet of noise.
+        let mut bad = crossings * ((sent as f64 * 0.05).ceil() as u64);
+        if bad == 0 && rng.random_range(0..200u32) == 0 {
+            bad = 1;
+        }
+        flows.push(MonitoredFlow {
+            key: FlowKey::tcp(s, d, (i % 60000) as u16, 80),
+            stats: FlowStats {
+                packets: sent,
+                retransmissions: bad.min(sent),
+                bytes: 0,
+                rtt_sum_us: 0,
+                rtt_count: 0,
+                rtt_max_us: 0,
+            },
+            class: TrafficClass::Passive,
+            true_path: tp,
+        });
+    }
+    let mut asm = Assembler::new();
+    asm.set_coalesce(mode);
+    let obs = asm.assemble(topo, &router, &flows, kinds, AnalysisMode::PerPacket);
+    (obs, bad_links)
+}
+
+fn engine_with_mode(topo: &Topology, obs: &ObservationSet, mode: CoalesceMode) -> Engine {
+    Engine::with_options(
+        topo,
+        obs,
+        HyperParams::default(),
+        None,
+        EngineOptions {
+            coalesce: true,
+            mode,
+            ..Default::default()
+        },
+    )
+}
+
+/// Sorted predicted components of a fresh warm search, plus its margin
+/// and the engine's drift bound.
+fn verdict(
+    topo: &Topology,
+    obs: &ObservationSet,
+    mode: CoalesceMode,
+) -> (Vec<Component>, f64, f64) {
+    let mut e = engine_with_mode(topo, obs, mode);
+    let out = FlockGreedy::default().search_warm_deadline(&mut e, &[], None);
+    assert!(!out.timed_out);
+    let mut picked: Vec<Component> = out.picked.iter().map(|(c, _)| e.component(*c)).collect();
+    picked.sort_unstable_by_key(|c| format!("{c:?}"));
+    (picked, out.margin, e.drift_bound())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The certificate is sound across randomized topologies, telemetry
+    /// mixes, and tolerances: whenever the approximate search's decision
+    /// margin exceeds twice the measured drift bound, its verdict is
+    /// identical to the exact engine's on the same evidence.
+    #[test]
+    fn certified_approx_verdicts_match_exact(
+        seed in 0u64..500,
+        eps_idx in 0usize..5,
+        kind_idx in 0usize..3,
+        n_bad in 0usize..3,
+    ) {
+        let eps = [0.0, 0.01, 0.05, 0.1, 0.3][eps_idx];
+        // Passive path-set evidence, a mixed feed, and traced paths: the
+        // first two can leave ECMP-symmetric links exactly tied (margin
+        // 0 — the certificate rightly refuses), traced paths let it fire.
+        let kinds: &[InputKind] = [
+            &[InputKind::P][..],
+            &[InputKind::A2, InputKind::P][..],
+            &[InputKind::Int][..],
+        ][kind_idx];
+        let topo = three_tier(ClosParams::tiny());
+        let mode = CoalesceMode::Approx { eps };
+        let (obs, _) = gray_obs(&topo, seed, 120, n_bad, kinds, mode);
+        let (approx_picked, margin, drift) = verdict(&topo, &obs, mode);
+        prop_assert!(drift >= 0.0);
+        let proven = drift == 0.0 || margin > 2.0 * drift;
+        if proven {
+            let (exact_picked, _, exact_drift) =
+                verdict(&topo, &obs, CoalesceMode::Exact);
+            prop_assert_eq!(exact_drift, 0.0);
+            prop_assert_eq!(
+                approx_picked, exact_picked,
+                "certified approx verdict differs from exact (eps {}, margin {}, drift {})",
+                eps, margin, drift
+            );
+        }
+    }
+
+    /// Headline gray-failure scenario at the default tolerance: both the
+    /// exact and the approximate engine localize the failed link with
+    /// P = R = 1.0 (heavy-tailed sizes make almost every exact key
+    /// unique, so the approximate engine genuinely merges here). Traced
+    /// paths — passive path-set evidence cannot separate ECMP-symmetric
+    /// links on any engine, exact included. Three pods: in a 2-pod Clos
+    /// every agg–spine link is exactly serial with its plane-mate in the
+    /// other pod (clean flows contribute zero likelihood), so the truth
+    /// there is unidentifiable in principle; a third pod breaks every
+    /// serial pair.
+    #[test]
+    fn headline_scenario_exact_precision_recall_at_default_eps(seed in 0u64..200) {
+        let topo = three_tier(ClosParams {
+            pods: 3,
+            tors_per_pod: 2,
+            aggs_per_pod: 2,
+            spines_per_plane: 2,
+            hosts_per_tor: 3,
+        });
+        let mode = CoalesceMode::approx_default();
+        let (obs, bad_links) = gray_obs(&topo, seed, 400, 1, &[InputKind::Int], mode);
+        let truth: Vec<Component> = bad_links.iter().map(|&l| Component::Link(l)).collect();
+        for m in [CoalesceMode::Exact, mode] {
+            let (picked, _, _) = verdict(&topo, &obs, m);
+            prop_assert_eq!(
+                &picked, &truth,
+                "mode {} missed the gray link (seed {})", m.label(), seed
+            );
+        }
+    }
+}
+
+/// Deterministic end-to-end certificate check: strong separable evidence
+/// with jittered counts at a tight tolerance — the bucketing genuinely
+/// merges distinct counts (drift > 0), the margin clears twice the
+/// bound, and the certified verdict equals both the exact verdict and
+/// the ground truth. Traced paths (INT): with passive path-set evidence
+/// the three uplinks of the source leaf are ECMP-symmetric — exactly
+/// tied gains, margin 0, and the certificate (correctly) never fires.
+#[test]
+fn certificate_fires_with_nonzero_drift() {
+    let topo = leaf_spine(LeafSpineParams {
+        spines: 3,
+        leaves: 3,
+        hosts_per_leaf: 2,
+    });
+    let router = Router::new(&topo);
+    let mut rng = StdRng::seed_from_u64(12);
+    let fabric = topo.fabric_links();
+    let bad_link = fabric[1];
+    let hosts = topo.hosts().to_vec();
+    let mut flows = Vec::new();
+    for i in 0..300usize {
+        let s = hosts[rng.random_range(0..hosts.len())];
+        let mut d = hosts[rng.random_range(0..hosts.len())];
+        while d == s {
+            d = hosts[rng.random_range(0..hosts.len())];
+        }
+        let paths = router.paths(topo.host_leaf(s), topo.host_leaf(d));
+        let pick = rng.random_range(0..paths.len());
+        let mut tp = vec![topo.host_uplink(s)];
+        tp.extend_from_slice(&paths[pick].links);
+        tp.push(topo.host_downlink(d));
+        // Counts jittered within ±0.5%: inside the 1% buckets, so the
+        // approximate engine merges observations whose exact keys differ.
+        let sent = 1000 + rng.random_range(0..5u64);
+        let crossings = tp.iter().filter(|&&l| l == bad_link).count() as u64;
+        let bad = crossings * (30 + rng.random_range(0..2u64));
+        flows.push(MonitoredFlow {
+            key: FlowKey::tcp(s, d, (i % 60000) as u16, 80),
+            stats: FlowStats {
+                packets: sent,
+                retransmissions: bad.min(sent),
+                bytes: 0,
+                rtt_sum_us: 0,
+                rtt_count: 0,
+                rtt_max_us: 0,
+            },
+            class: TrafficClass::Passive,
+            true_path: tp,
+        });
+    }
+    let mode = CoalesceMode::Approx { eps: 0.01 };
+    let mut asm = Assembler::new();
+    asm.set_coalesce(mode);
+    let obs = asm.assemble(
+        &topo,
+        &router,
+        &flows,
+        &[InputKind::Int],
+        AnalysisMode::PerPacket,
+    );
+
+    let (approx_picked, margin, drift) = verdict(&topo, &obs, mode);
+    assert!(drift > 0.0, "expected genuine merges, drift {drift}");
+    assert!(
+        margin > 2.0 * drift,
+        "expected the certificate to fire: margin {margin} vs 2×{drift}"
+    );
+    let (exact_picked, _, _) = verdict(&topo, &obs, CoalesceMode::Exact);
+    assert_eq!(approx_picked, exact_picked);
+    assert_eq!(approx_picked, vec![Component::Link(bad_link)]);
+
+    // The approximate engine must also have merged more aggressively.
+    let e_exact = engine_with_mode(&topo, &obs, CoalesceMode::Exact);
+    let e_approx = engine_with_mode(&topo, &obs, mode);
+    assert!(e_approx.n_flows() < e_exact.n_flows());
+}

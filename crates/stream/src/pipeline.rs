@@ -46,8 +46,8 @@ use flock_core::{
     KernelDispatch, LocalizationResult, TermPrefill,
 };
 use flock_telemetry::{
-    AnalysisMode, ArenaDelta, ArenaView, Assembler, DrainBatch, FlowRecord, InputKind,
-    MonitoredFlow, ObservationSet, PathArena, StampedRecord, TrafficClass,
+    AnalysisMode, ArenaDelta, ArenaView, Assembler, CoalesceMode, DrainBatch, FlowRecord,
+    InputKind, MonitoredFlow, ObservationSet, PathArena, StampedRecord, TrafficClass,
 };
 use flock_topology::{Component, NodeId, NodeRole, Router, Topology};
 use serde::Serialize;
@@ -87,6 +87,17 @@ pub struct StreamConfig {
     /// (exact; `false` = one engine flow per observation, the raw
     /// baseline the `evidence_coalesce` bench measures against).
     pub coalesce: bool,
+    /// How far coalescing reaches: [`CoalesceMode::Exact`] (the default)
+    /// merges equal keys only; [`CoalesceMode::Approx`] buckets
+    /// near-identical `(sent, bad)` pairs into log-spaced bins so
+    /// heavy-tailed traffic collapses into far fewer weighted
+    /// super-flows. The assembler sorts for the configured mode and
+    /// every shard engine (and the refinement pass) coalesces under it;
+    /// each [`ShardOutcome`] reports the accumulated likelihood drift
+    /// bound and the search's decision margin, and flags the verdict
+    /// `proven_exact` when the margin clears `2 ×` the bound. Ignored
+    /// when `coalesce` is off.
+    pub coalesce_mode: CoalesceMode,
     /// Run the cross-plane refinement pass over the *full* spine
     /// evidence (the pre-view historical scope) instead of only the
     /// evidence touching the blaming planes. Default `false`: the
@@ -178,6 +189,7 @@ impl StreamConfig {
             shard_by_pod: false,
             spine_planes: true,
             coalesce: true,
+            coalesce_mode: CoalesceMode::Exact,
             refine_full_spine: false,
             epoch_deadline: None,
             chaos: None,
@@ -386,6 +398,20 @@ pub struct ShardOutcome {
     /// paths are bit-identical by construction (property-tested), so a
     /// difference here never implies a verdict difference.
     pub kernel: KernelDispatch,
+    /// Worst-case log-likelihood drift the shard engine's approximate
+    /// coalescing introduced this epoch (`Engine::drift_bound`); exactly
+    /// `0.0` under [`CoalesceMode::Exact`] or whenever bucketing never
+    /// merged distinct counts.
+    pub drift_bound: f64,
+    /// The search's decision margin (`BudgetedSearch::margin`): the
+    /// narrowest gain gap across every selection and stop decision.
+    pub margin: f64,
+    /// The drift certificate: the shard's verdict is *provably* the
+    /// exact-coalescing verdict — true when the search completed and
+    /// either no drift was introduced or `margin > 2 · drift_bound`
+    /// (every decision would survive perturbing all likelihoods by the
+    /// drift bound). Trivially true in exact mode.
+    pub proven_exact: bool,
 }
 
 /// Where an epoch's wall time went, split at the executor boundary.
@@ -624,12 +650,18 @@ impl<'t> StreamPipeline<'t> {
                 }
             }
         }
+        let mut assembler = Assembler::new();
+        assembler.set_coalesce(if cfg.coalesce {
+            cfg.coalesce_mode
+        } else {
+            CoalesceMode::Exact
+        });
         StreamPipeline {
             topo,
             router: Router::new(topo),
             manager: EpochManager::new(cfg.epoch),
             cfg,
-            assembler: Assembler::new(),
+            assembler,
             plan,
             exec,
             task_ctx,
@@ -1271,6 +1303,7 @@ impl<'t> StreamPipeline<'t> {
         let warm = self.cfg.warm_start && self.refine_engine.is_some();
         let opts = EngineOptions {
             coalesce: self.cfg.coalesce,
+            mode: self.cfg.coalesce_mode,
             ..Default::default()
         };
         // Prefilled term ladders (pipelined mode): rebinding interns
@@ -1330,6 +1363,9 @@ impl<'t> StreamPipeline<'t> {
             })
             .collect();
         let provenance = collect_provenance(engine, &self.refine_view, "spine-refine", &kept);
+        let drift_bound = engine.drift_bound();
+        let proven_exact =
+            !search.timed_out && (drift_bound == 0.0 || search.margin > 2.0 * drift_bound);
         let outcome = ShardOutcome {
             label: "spine-refine".into(),
             kind: ShardKind::Spine,
@@ -1344,6 +1380,9 @@ impl<'t> StreamPipeline<'t> {
             timed_out: search.timed_out,
             provenance,
             kernel: engine.kernel_dispatch(),
+            drift_bound,
+            margin: search.margin,
+            proven_exact,
         };
         (kept, outcome)
     }
@@ -1387,6 +1426,7 @@ fn run_shard(
     let warm = cfg.warm_start && state.engine.is_some();
     let opts = EngineOptions {
         coalesce: cfg.coalesce,
+        mode: cfg.coalesce_mode,
         ..Default::default()
     };
     // Prefilled term ladders (pipelined mode): rebinding interns this
@@ -1434,6 +1474,9 @@ fn run_shard(
         })
         .collect();
     let provenance = collect_provenance(engine, &state.view, &shard.label, &kept);
+    let drift_bound = engine.drift_bound();
+    let proven_exact =
+        !search.timed_out && (drift_bound == 0.0 || search.margin > 2.0 * drift_bound);
     let outcome = ShardOutcome {
         label: shard.label.clone(),
         kind: shard.kind,
@@ -1448,6 +1491,9 @@ fn run_shard(
         timed_out: search.timed_out,
         provenance,
         kernel: engine.kernel_dispatch(),
+        drift_bound,
+        margin: search.margin,
+        proven_exact,
     };
     (kept, outcome)
 }
